@@ -1,0 +1,60 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The sweeps are computed once per session (they are the expensive part) and
+shared by the per-panel benchmark tests.  Scale knobs via environment:
+
+* ``REPRO_BENCH_REPEATS``  — runs averaged per point (default 2;
+  paper: 20)
+* ``REPRO_BENCH_DURATION`` — seconds of simulated time per run
+  (default 30; paper: 100)
+* ``REPRO_BENCH_QUICK=1``  — tiny sweeps for smoke-testing the harness
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import DIKNNProtocol
+from repro.experiments import (SimulationConfig, build_simulation,
+                               default_protocol_factories, fig8_sweep,
+                               fig9_sweep, run_query)
+from repro.geometry import Vec2
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1" if QUICK else "2"))
+DURATION = float(os.environ.get("REPRO_BENCH_DURATION",
+                                "12" if QUICK else "30"))
+K_VALUES = (20, 60, 100) if QUICK else (20, 40, 60, 80, 100)
+SPEEDS = (5.0, 30.0) if QUICK else (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+
+
+@pytest.fixture(scope="session")
+def fig8():
+    """Figure 8 sweep: k from 20 to 100 at µmax = 10 m/s."""
+    return fig8_sweep(base=SimulationConfig(seed=1, max_speed=10.0),
+                      k_values=K_VALUES,
+                      factories=default_protocol_factories(),
+                      repeats=REPEATS, duration=DURATION)
+
+
+@pytest.fixture(scope="session")
+def fig9():
+    """Figure 9 sweep: µmax from 5 to 30 m/s at k = 40."""
+    return fig9_sweep(base=SimulationConfig(seed=2), speeds=SPEEDS, k=40,
+                      factories=default_protocol_factories(),
+                      repeats=REPEATS, duration=DURATION)
+
+
+@pytest.fixture(scope="session")
+def warm_handle():
+    """A warmed-up default simulation for single-query micro-benchmarks."""
+    handle = build_simulation(SimulationConfig(seed=5), DIKNNProtocol())
+    handle.warm_up()
+    return handle
+
+
+def one_query(handle, k=20, point=Vec2(60, 60)):
+    """A representative single query (the micro-benchmark payload)."""
+    return run_query(handle, point, k=k, timeout=20.0)

@@ -1,0 +1,25 @@
+"""E0 — the paper's §5.1 default-parameter table, and a single-query
+micro-benchmark on exactly that configuration."""
+
+from conftest import one_query
+
+from repro.experiments import PAPER_DEFAULTS, SimulationConfig, defaults_table
+
+
+def test_e0_parameter_table(benchmark, warm_handle):
+    """Regenerates the settings table and times one default-config query."""
+    print()
+    print(defaults_table())
+
+    cfg = SimulationConfig()
+    assert cfg.n_nodes == PAPER_DEFAULTS["node_number"][0]
+    assert cfg.field_size == (115.0, 115.0)
+    assert cfg.radio_range == PAPER_DEFAULTS["radio_range_r"][0]
+    assert cfg.beacon_interval == PAPER_DEFAULTS["beacon_interval"][0]
+    assert cfg.max_speed == PAPER_DEFAULTS["mu_max"][0]
+    assert cfg.query_interval_mean == PAPER_DEFAULTS["query_interval"][0]
+    assert cfg.assurance_gain == PAPER_DEFAULTS["assurance_gain"][0]
+
+    outcome = benchmark.pedantic(one_query, args=(warm_handle,),
+                                 rounds=3, iterations=1)
+    assert outcome is not None

@@ -1,0 +1,90 @@
+"""E2–E5 — Figure 8: scalability in k (latency, energy, post-/pre-accuracy).
+
+Regenerates all four panels: k from 20 to 100 at µmax = 10 m/s, query
+interval exp(4 s), averaged over seeds.  Absolute numbers come from our
+simulator; the assertions check the *shapes* the paper reports (who wins
+and how curves move), see DESIGN.md §3 and EXPERIMENTS.md.
+"""
+
+from conftest import one_query
+
+from repro.metrics import mean_ignoring_nan
+
+
+def _series(fig8, proto, metric):
+    return fig8.metric_series(proto, metric)
+
+
+def test_fig8a_latency(fig8, benchmark, warm_handle):
+    print("\n" + fig8.table("latency", title="Figure 8(a) — latency (s)"))
+    d = _series(fig8, "diknn", "latency")
+    k = _series(fig8, "kpt", "latency")
+    p = _series(fig8, "peertree", "latency")
+    # Latency grows with k for every protocol.
+    assert d[-1] > d[0]
+    assert k[-1] > k[0]
+    assert p[-1] > p[0]
+    # The competitors grow faster than DIKNN (paper: "both Peer-tree and
+    # KPT grow faster than DIKNN as k increases").  At our sample sizes
+    # (~14 queries/point vs the paper's ~500) each point carries tail
+    # noise, so the growth comparison accepts either a faster slope or a
+    # higher endpoint.
+    assert (k[-1] - k[0]) > 0.5 * (d[-1] - d[0]) or k[-1] > d[-1]
+    assert (p[-1] - p[0]) > 0.5 * (d[-1] - d[0]) or p[-1] > d[-1]
+    # DIKNN is fastest at small k.
+    assert d[0] <= min(k[0], p[0]) * 1.15
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 40}, rounds=2, iterations=1)
+
+
+def test_fig8b_energy(fig8, benchmark, warm_handle):
+    print("\n" + fig8.table("energy_j", title="Figure 8(b) — energy (J)"))
+    d = _series(fig8, "diknn", "energy_j")
+    k = _series(fig8, "kpt", "energy_j")
+    p = _series(fig8, "peertree", "energy_j")
+    # Energy grows with k for the query-driven protocols.
+    assert d[-1] > d[0]
+    assert k[-1] > k[0]
+    # Peer-tree pays its index maintenance everywhere: highest overall.
+    assert mean_ignoring_nan(p) > mean_ignoring_nan(d)
+    assert mean_ignoring_nan(p) > mean_ignoring_nan(k)
+    # DIKNN stays in the same band as KPT at small-to-mid k (the paper's
+    # "up to 50% saving" holds at matched accuracy; see EXPERIMENTS.md for
+    # the k=100 caveat where our KPT under-explores).
+    assert d[0] <= k[0] * 1.6
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 60}, rounds=2, iterations=1)
+
+
+def test_fig8c_post_accuracy(fig8, benchmark, warm_handle):
+    print("\n" + fig8.table("post_accuracy",
+                            title="Figure 8(c) — post-accuracy"))
+    d = _series(fig8, "diknn", "post_accuracy")
+    k = _series(fig8, "kpt", "post_accuracy")
+    p = _series(fig8, "peertree", "post_accuracy")
+    # DIKNN holds a high, stable level across k.
+    assert min(d) >= 0.6
+    assert max(d) - min(d) < 0.35
+    # KPT degrades as k grows (long collection latency + fixed boundary).
+    assert k[-1] < k[0]
+    assert k[-1] < d[-1]
+    # Peer-tree sits below average (stale clusterhead positions).
+    assert mean_ignoring_nan(p) < mean_ignoring_nan(d)
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 80}, rounds=2, iterations=1)
+
+
+def test_fig8d_pre_accuracy(fig8, benchmark, warm_handle):
+    print("\n" + fig8.table("pre_accuracy",
+                            title="Figure 8(d) — pre-accuracy"))
+    d = _series(fig8, "diknn", "pre_accuracy")
+    k = _series(fig8, "kpt", "pre_accuracy")
+    p = _series(fig8, "peertree", "pre_accuracy")
+    # DIKNN stays precise at large k (boundary error shrinks, §5.3).
+    assert d[-1] >= 0.65
+    # "the others continuously degrade due to their long latency".
+    assert k[-1] < k[0]
+    assert k[-1] < d[-1] - 0.1
+    assert p[-1] < d[-1]
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 100}, rounds=2, iterations=1)

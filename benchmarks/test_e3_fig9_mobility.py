@@ -1,0 +1,67 @@
+"""E6–E9 — Figure 9: impact of node mobility at k = 40.
+
+Regenerates all four panels: µmax from 5 to 30 m/s with k = 40.  Shape
+assertions follow the paper's findings: DIKNN's infrastructure-free
+itineraries stay stable; Peer-tree's index maintenance explodes; KPT's
+tree repairs cost latency and accuracy.
+"""
+
+from conftest import one_query
+
+from repro.metrics import mean_ignoring_nan
+
+
+def test_fig9a_latency(fig9, benchmark, warm_handle):
+    print("\n" + fig9.table("latency", title="Figure 9(a) — latency (s)"))
+    d = fig9.metric_series("diknn", "latency")
+    p = fig9.metric_series("peertree", "latency")
+    # DIKNN's latency stays stable under mobility (flat-ish curve).
+    assert max(d) < 2.5 * min(d)
+    # Peer-tree has high latency at every speed (hierarchy round trips).
+    assert mean_ignoring_nan(p) > mean_ignoring_nan(d)
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 40}, rounds=2, iterations=1)
+
+
+def test_fig9b_energy(fig9, benchmark, warm_handle):
+    print("\n" + fig9.table("energy_j", title="Figure 9(b) — energy (J)"))
+    d = fig9.metric_series("diknn", "energy_j")
+    p = fig9.metric_series("peertree", "energy_j")
+    # Peer-tree's energy rises with mobility (MBR-crossing updates) and is
+    # the highest throughout.
+    assert p[-1] > p[0] * 1.2
+    assert all(pe > de for pe, de in zip(p, d))
+    # DIKNN energy stays roughly flat across speeds.
+    assert max(d) < 2.0 * min(d)
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 40}, rounds=2, iterations=1)
+
+
+def test_fig9c_post_accuracy(fig9, benchmark, warm_handle):
+    print("\n" + fig9.table("post_accuracy",
+                            title="Figure 9(c) — post-accuracy"))
+    d = fig9.metric_series("diknn", "post_accuracy")
+    p = fig9.metric_series("peertree", "post_accuracy")
+    # Peer-tree's accuracy collapses with speed ("the latest position can
+    # hardly be traced by the clusterheads under high mobility").
+    assert p[-1] < p[0] - 0.15
+    # DIKNN stays the most accurate at high mobility.
+    assert d[-1] > p[-1]
+    assert d[-1] >= 0.55
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 40}, rounds=2, iterations=1)
+
+
+def test_fig9d_pre_accuracy(fig9, benchmark, warm_handle):
+    print("\n" + fig9.table("pre_accuracy",
+                            title="Figure 9(d) — pre-accuracy"))
+    d = fig9.metric_series("diknn", "pre_accuracy")
+    k = fig9.metric_series("kpt", "pre_accuracy")
+    p = fig9.metric_series("peertree", "pre_accuracy")
+    # DIKNN degrades only mildly with speed and stays on top at 30 m/s.
+    assert d[-1] >= d[0] - 0.3
+    assert d[-1] >= max(k[-1], p[-1]) - 0.05
+    # Peer-tree degrades dramatically.
+    assert p[-1] < p[0] - 0.15
+    benchmark.pedantic(one_query, args=(warm_handle,),
+                       kwargs={"k": 40}, rounds=2, iterations=1)

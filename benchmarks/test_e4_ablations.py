@@ -1,0 +1,158 @@
+"""E11–E14 — ablations of the design choices DESIGN.md calls out.
+
+* E11: KNNB vs KPT's conservative boundary radius (§4.2).
+* E12: itinerary width w = sqrt(3) r / 2 (coverage vs length, §3.3).
+* E13: rendezvous adjustment and assurance gain (§4.3).
+* E14: sector-count adaptivity (§3.3).
+"""
+
+import math
+import random
+
+import pytest
+from conftest import one_query
+
+from repro.core import (DIKNNConfig, DIKNNProtocol, build_itineraries,
+                        conservative_radius, full_coverage_width,
+                        optimal_radius)
+from repro.experiments import SimulationConfig, build_simulation, run_query
+from repro.geometry import Vec2, segment_point_distance
+
+
+def test_e11_knnb_vs_conservative_radius(benchmark):
+    """E11: measured KNNB radii stay near the optimal circle while the
+    original KPT boundary grows quadratically in area and floods the
+    field; the paper quotes a ~1/sqrt(k*pi) radius ratio."""
+    handle = build_simulation(SimulationConfig(seed=9, max_speed=0.0),
+                              DIKNNProtocol())
+    handle.warm_up()
+    density = 200 / (115.0 * 115.0)
+    print("\nE11: KNNB vs conservative boundary")
+    print(f"{'k':>4} {'KNNB':>7} {'optimal':>8} {'conserv.':>9} {'ratio':>7}"
+          f" {'1/sqrt(k pi)':>12}")
+    rows = []
+    for k in (10, 20, 40, 80):
+        outcome = run_query(handle, Vec2(65, 60), k=k, timeout=20.0)
+        est = outcome.meta["initial_radius"]
+        cons = conservative_radius(k, max_hop_distance=15.0)
+        rows.append((k, est, cons))
+        print(f"{k:>4} {est:>7.1f} {optimal_radius(density, k):>8.1f} "
+              f"{cons:>9.0f} {est / cons:>7.3f} "
+              f"{1 / math.sqrt(k * math.pi):>12.3f}")
+    for k, est, cons in rows:
+        assert est < cons / 3          # far smaller than conservative
+        assert est < 115.0             # never floods the field
+        # Same order of magnitude as the paper's quoted ratio.
+        assert est / cons < 4.0 / math.sqrt(k * math.pi)
+    benchmark.pedantic(one_query, args=(handle,), rounds=2, iterations=1)
+
+
+def _mean_path_gap(width_factor, samples=1500):
+    """Max-gap statistic: fraction of boundary points farther than the
+    radio range from the itinerary path."""
+    r = 20.0
+    w = width_factor * full_coverage_width(r)
+    q = Vec2(60, 60)
+    its = build_itineraries(q, 60.0, 8, w, spacing=0.8 * r)
+    rng = random.Random(11)
+    far = 0
+    for _ in range(samples):
+        a = rng.uniform(0, 2 * math.pi)
+        rho = 60.0 * math.sqrt(rng.random())
+        p = q + Vec2.from_polar(rho, a)
+        best = min(
+            segment_point_distance(it.waypoints[i], it.waypoints[i + 1], p)
+            for it in its for i in range(len(it.waypoints) - 1))
+        if best > 0.9 * r:
+            far += 1
+    total_length = sum(it.length() for it in its)
+    return far / samples, total_length
+
+
+def test_e12_itinerary_width_ablation(benchmark):
+    """E12: w = sqrt(3)r/2 fully covers with minimal length; narrower
+    widths only add length, wider widths lose coverage."""
+    print("\nE12: itinerary width ablation (w as multiple of sqrt(3)r/2)")
+    print(f"{'w factor':>9} {'uncovered':>10} {'path length':>12}")
+    results = {}
+    for factor in (0.6, 1.0, 1.8, 2.8):
+        uncovered, length = _mean_path_gap(factor)
+        results[factor] = (uncovered, length)
+        print(f"{factor:>9.1f} {uncovered:>10.3f} {length:>12.0f}")
+    # Paper width: full coverage.
+    assert results[1.0][0] == 0.0
+    # Narrower: still covered but strictly longer itinerary.
+    assert results[0.6][0] == 0.0
+    assert results[0.6][1] > results[1.0][1]
+    # Much wider: shorter path but coverage holes appear.
+    assert results[2.8][1] < results[1.0][1]
+    assert results[2.8][0] > 0.0
+    benchmark.pedantic(_mean_path_gap, args=(1.0,),
+                       kwargs={"samples": 200}, rounds=2, iterations=1)
+
+
+def _accuracy_with_config(config, seed=13, k=50):
+    handle = build_simulation(
+        SimulationConfig(seed=seed, max_speed=0.0, n_nodes=80),
+        DIKNNProtocol(config))
+    handle.warm_up()
+    outcome = run_query(handle, Vec2(60, 60), k=k, timeout=25.0,
+                        assurance_gain=0.0)
+    return outcome
+
+
+def test_e13_rendezvous_ablation(benchmark):
+    """E13a: on a sparse field where KNNB underestimates, the rendezvous
+    adjustment recovers accuracy by extending the boundary."""
+    on = _accuracy_with_config(DIKNNConfig(rendezvous=True))
+    off = _accuracy_with_config(DIKNNConfig(rendezvous=False))
+    print(f"\nE13a rendezvous: accuracy on={on.pre_accuracy:.2f} "
+          f"(R {on.meta.get('radius', 0):.0f}) "
+          f"off={off.pre_accuracy:.2f} (R {off.meta.get('radius', 0):.0f})")
+    assert on.pre_accuracy >= off.pre_accuracy
+    assert on.meta["radius"] >= off.meta["radius"]
+    benchmark.pedantic(_accuracy_with_config,
+                       args=(DIKNNConfig(rendezvous=True),),
+                       rounds=1, iterations=1)
+
+
+def test_e13_assurance_gain_ablation(benchmark):
+    """E13b: the assurance gain g trades energy for boundary coverage
+    under mobility — larger g never shrinks the final boundary."""
+    radii = {}
+    for g in (0.0, 0.5, 1.0):
+        handle = build_simulation(
+            SimulationConfig(seed=17, max_speed=20.0),
+            DIKNNProtocol())
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(60, 60), k=30, timeout=20.0,
+                            assurance_gain=g)
+        radii[g] = outcome.meta.get("radius", 0.0)
+    print(f"\nE13b assurance gain -> final radius: "
+          + ", ".join(f"g={g}: {r:.1f} m" for g, r in radii.items()))
+    assert radii[1.0] >= radii[0.0] - 1e-6
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e14_sector_count_ablation(benchmark):
+    """E14: the cone-shaped structure adapts to any parallelism degree —
+    every S completes with high accuracy; more sectors shorten the
+    serial per-sector traversal (latency drops from S=1 to S>=4)."""
+    print("\nE14: sector count ablation (k=40, static field)")
+    print(f"{'S':>3} {'latency':>8} {'accuracy':>9} {'energy':>8}")
+    stats = {}
+    for sectors in (1, 2, 4, 8, 16):
+        handle = build_simulation(SimulationConfig(seed=21, max_speed=0.0),
+                                  DIKNNProtocol(DIKNNConfig(
+                                      sectors=sectors)))
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(60, 60), k=40, timeout=30.0)
+        stats[sectors] = outcome
+        print(f"{sectors:>3} {outcome.latency or float('nan'):>8.2f} "
+              f"{outcome.pre_accuracy:>9.2f} "
+              f"{outcome.energy_j * 1000:>7.1f}m")
+    for sectors, outcome in stats.items():
+        assert outcome.completed
+        assert outcome.pre_accuracy >= 0.6
+    assert stats[8].latency < stats[1].latency
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

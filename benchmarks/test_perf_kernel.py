@@ -1,0 +1,110 @@
+"""Substrate performance microbenchmarks (real timing, pytest-benchmark).
+
+These measure the simulator itself, not the paper's metrics: event
+throughput, spatial queries, planarization, itinerary construction and
+KNNB — the pieces every simulated second is built from.  Useful for
+catching performance regressions in the substrate.
+"""
+
+import numpy as np
+
+from repro.core import build_itineraries, full_coverage_width, knnb_radius
+from repro.core.knnb import InfoList
+from repro.deploy import UniformDeployment
+from repro.geometry import Rect, SpatialGrid, Vec2, planarize
+from repro.sim import Simulator
+
+FIELD = Rect.from_size(115.0, 115.0)
+
+
+def test_perf_event_throughput(benchmark):
+    """Schedule and drain 20k events."""
+
+    def run():
+        sim = Simulator()
+        counter = [0]
+        for i in range(20_000):
+            sim.schedule_at(float(i) * 1e-3,
+                            lambda: counter.__setitem__(0, counter[0] + 1))
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_perf_spatial_grid_queries(benchmark):
+    """1k range queries over a 200-point grid."""
+    rng = np.random.default_rng(3)
+    points = UniformDeployment().generate(200, FIELD, rng)
+    grid = SpatialGrid(20.0)
+    grid.bulk_load(list(enumerate(points)))
+    centers = UniformDeployment().generate(1000, FIELD, rng)
+
+    def run():
+        total = 0
+        for c in centers:
+            total += sum(1 for _ in grid.within(c, 20.0))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_perf_planarization(benchmark):
+    """Gabriel-planarize a 200-node unit-disk graph."""
+    rng = np.random.default_rng(5)
+    positions = dict(enumerate(
+        UniformDeployment().generate(200, FIELD, rng)))
+
+    def run():
+        return planarize(positions, radius=20.0)
+
+    adjacency = benchmark(run)
+    assert len(adjacency) == 200
+
+
+def test_perf_itinerary_construction(benchmark):
+    """Build all 8 sub-itineraries for a large boundary."""
+    w = full_coverage_width(20.0)
+
+    def run():
+        return build_itineraries(Vec2(60, 60), 55.0, 8, w, spacing=16.0)
+
+    its = benchmark(run)
+    assert len(its) == 8
+
+
+def test_perf_knnb(benchmark):
+    """Algorithm 1 over a 30-hop information list."""
+    info = InfoList()
+    for i in range(30):
+        info.append(Vec2(400.0 - i * 13.0, 50.0), 4)
+
+    def run():
+        return knnb_radius(info, Vec2(400.0, 50.0), 20.0, 40)
+
+    assert benchmark(run) > 0
+
+
+def test_perf_full_simulated_second(benchmark):
+    """One simulated second of a warm 200-node beaconing network."""
+    from repro.mobility import RandomWaypointMobility
+    from repro.net import Network, SensorNode
+
+    def build():
+        sim = Simulator(seed=9)
+        net = Network(sim)
+        rng = np.random.default_rng(9)
+        for i, pos in enumerate(
+                UniformDeployment().generate(200, FIELD, rng)):
+            net.add_node(SensorNode(i, RandomWaypointMobility(
+                pos, FIELD, sim.rng.stream(f"m{i}"), max_speed=10.0)))
+        net.warm_up()
+        return sim
+
+    sim = build()
+
+    def run():
+        sim.run(until=sim.now + 1.0)
+        return sim.events_executed
+
+    assert benchmark(run) > 0

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Mini Figure-9 study: DIKNN vs KPT vs Peer-tree as nodes speed up.
+
+Sweeps the random-waypoint µmax over a few speeds at k = 40 and prints the
+four metrics the paper reports (latency, energy, post-/pre-accuracy).
+Smaller than the benchmark harness so it finishes in a couple of minutes;
+run benchmarks/test_e3_fig9_mobility.py for the full reproduction.
+
+Run:  python examples/mobility_study.py [--quick]
+"""
+
+import sys
+
+from repro.experiments import (SimulationConfig, default_protocol_factories,
+                               fig9_sweep, figure_report)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    speeds = (5.0, 30.0) if quick else (5.0, 15.0, 30.0)
+    result = fig9_sweep(
+        base=SimulationConfig(seed=1),
+        speeds=speeds, k=40,
+        factories=default_protocol_factories(),
+        repeats=1, duration=20.0 if quick else 30.0)
+    print(figure_report(result, "Figure 9 (mini)"))
+    print()
+    diknn_lat = result.metric_series("diknn", "latency")
+    print("DIKNN latency across speeds:",
+          " -> ".join(f"{v:.2f}s" for v in diknn_lat),
+          "(the paper's point: itinerary-based processing stays stable "
+          "under mobility)")
+
+
+if __name__ == "__main__":
+    main()

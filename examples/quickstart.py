@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: one DIKNN query on the paper's default network.
+
+Builds the §5.1 setup (200 RWP nodes on a 115x115 m field, 20 m radios,
+µmax = 10 m/s, a stationary sink), issues a single k-NN query, and prints
+what came back together with the ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (DIKNNProtocol, SimulationConfig, Vec2, build_simulation,
+                   pre_accuracy, true_knn)
+from repro.experiments import run_query
+
+
+def main() -> None:
+    config = SimulationConfig(seed=7, max_speed=10.0)
+    handle = build_simulation(config, DIKNNProtocol())
+    handle.warm_up()
+
+    point, k = Vec2(60.0, 60.0), 20
+    outcome = run_query(handle, point, k=k)
+
+    print(f"query: {k}-NN around ({point.x:.0f}, {point.y:.0f})")
+    print(f"completed:     {outcome.completed}")
+    print(f"latency:       {outcome.latency:.3f} s")
+    print(f"energy:        {outcome.energy_j * 1000:.2f} mJ")
+    print(f"pre-accuracy:  {outcome.pre_accuracy:.2f}")
+    print(f"post-accuracy: {outcome.post_accuracy:.2f}")
+    print(f"KNN boundary:  R = {outcome.meta['radius']:.1f} m "
+          f"(KNNB estimate {outcome.meta['initial_radius']:.1f} m)")
+    print(f"nodes explored: {outcome.meta['explored']:.0f}, "
+          f"Q-node hops: {outcome.meta['qnode_hops']:.0f}")
+
+    truth = true_knn(handle.network, point, k,
+                     t=handle.sim.now)
+    print(f"\ntrue {k}-NN now: {sorted(truth)}")
+
+
+if __name__ == "__main__":
+    main()

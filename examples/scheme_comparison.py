@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Data-collection scheme comparison (paper footnote 1).
+
+Runs the same query workload under the three D-node reply-scheduling
+schemes — pure contention, token-ring polling, and the paper's hybrid —
+and prints the latency/accuracy/energy trade-off that footnote 1 alludes
+to ("the data collection scheme introduced in this paper combines both
+... to achieve higher performance").
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from repro.core import DIKNNConfig, DIKNNProtocol
+from repro.experiments import SimulationConfig, run_workload
+
+
+def main() -> None:
+    print("scheme        latency   pre-acc   post-acc   energy")
+    print("-" * 55)
+    for scheme in ("contention", "token_ring", "hybrid"):
+        runs = []
+        for seed in (3, 5, 7):
+            cfg = SimulationConfig(seed=seed, max_speed=10.0)
+            runs.append(run_workload(
+                cfg,
+                lambda c, s=scheme: DIKNNProtocol(
+                    DIKNNConfig(collection_scheme=s)),
+                k=40, duration=20.0))
+        lat = sum(r.mean_latency for r in runs) / len(runs)
+        pre = sum(r.mean_pre_accuracy for r in runs) / len(runs)
+        post = sum(r.mean_post_accuracy for r in runs) / len(runs)
+        energy = sum(r.energy_j for r in runs) / len(runs)
+        print(f"{scheme:<12} {lat:>8.2f}s {pre:>8.2f} {post:>9.2f} "
+              f"{energy:>8.3f}J")
+    print("\nThe hybrid suppresses D-nodes the previous Q-node already")
+    print("collected, shrinking every collection window; token-ring is")
+    print("tightly packed but deaf to nodes missing from the poller's")
+    print("neighbor table; pure contention hears everyone but always")
+    print("waits out the full angular schedule.")
+
+
+if __name__ == "__main__":
+    main()

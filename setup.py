@@ -1,0 +1,7 @@
+"""Setup shim: this environment lacks the `wheel` package needed by
+`pip install -e .`'s PEP-660 path, so `python setup.py develop` is the
+offline-friendly editable install. Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

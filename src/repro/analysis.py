@@ -1,0 +1,125 @@
+"""Closed-form performance models of DIKNN.
+
+Back-of-envelope models of the quantities the simulator measures, useful
+for sanity-checking simulation output and for sizing deployments without
+running anything.  All models assume a uniform node density and the
+paper's default protocol parameters; see the test suite for how tightly
+they track the simulator (factors of ~2, by design — these are models,
+not fits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .core.itinerary import (adj_segments_length, full_coverage_width,
+                             init_segment_length, peri_segments_length)
+from .core.knnb import optimal_radius
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """The environment constants the models need."""
+
+    density: float              # nodes / m^2
+    radio_range: float = 20.0
+    channel_rate_bps: float = 250_000.0
+    time_unit_s: float = 0.018  # the collection time unit m
+    sectors: int = 8
+    hop_progress_fraction: float = 0.7   # effective greedy advance per hop
+
+    @property
+    def width(self) -> float:
+        return full_coverage_width(self.radio_range)
+
+    @property
+    def node_degree(self) -> float:
+        """Expected neighbor count."""
+        return self.density * math.pi * self.radio_range ** 2
+
+
+def knn_boundary_radius(profile: NetworkProfile, k: int) -> float:
+    """Expected KNN boundary radius (the optimal circle)."""
+    return max(optimal_radius(profile.density, k), profile.radio_range)
+
+
+def itinerary_length(profile: NetworkProfile, k: int) -> float:
+    """Expected per-sector itinerary length at the optimal boundary.
+
+    A sweep of the sector at band width w has length ~ area / w; the
+    exact segment formulas floor the ring count, so the area model is
+    the better expectation and the segment sum acts as a lower bound.
+    """
+    radius = knn_boundary_radius(profile, k)
+    w, s = profile.width, profile.sectors
+    segment_sum = (init_segment_length(w, s, radius)
+                   + peri_segments_length(w, s, radius)
+                   + adj_segments_length(w, s, radius))
+    area_sweep = (math.pi * radius * radius / s) / w
+    return max(segment_sum, area_sweep,
+               init_segment_length(w, s, radius))
+
+
+def qnode_stops_per_sector(profile: NetworkProfile, k: int) -> float:
+    """Expected Q-node stops along one sub-itinerary."""
+    hop = profile.hop_progress_fraction * profile.radio_range
+    return max(1.0, itinerary_length(profile, k) / hop)
+
+
+def expected_new_responders_per_stop(profile: NetworkProfile) -> float:
+    """Fresh D-nodes per probe: the sliver of the radio disc not covered
+    by the previous Q-node at typical hop spacing (~40% of the disc)."""
+    return 0.4 * profile.node_degree
+
+
+def collection_window_s(profile: NetworkProfile) -> float:
+    """Expected per-stop collection window (responders + 2 slack units)."""
+    return (expected_new_responders_per_stop(profile) + 2.0) \
+        * profile.time_unit_s
+
+
+def expected_latency_s(profile: NetworkProfile, k: int,
+                       route_hops: float = 6.0) -> float:
+    """Expected query latency: routing phase + the slowest sub-itinerary
+    (stops x window) + the result route back.
+
+    Per-hop transmission time is small (~1-5 ms) next to the collection
+    windows, so the model is dominated by ``stops * window``.
+    """
+    per_hop_s = 150 * 8 / profile.channel_rate_bps + 0.003  # frame+backoff
+    # The slowest sub-itinerary dominates: ~1.5x the mean stop count.
+    dissemination = 1.5 * qnode_stops_per_sector(profile, k) \
+        * collection_window_s(profile)
+    return (route_hops * per_hop_s) + dissemination \
+        + (route_hops * per_hop_s)
+
+
+def expected_messages(profile: NetworkProfile, k: int,
+                      route_hops: float = 6.0) -> float:
+    """Expected application-frame count for one query: the routed query,
+    per-stop probes + data replies + tokens per sector, and S result
+    bundles routed back."""
+    stops = qnode_stops_per_sector(profile, k) * profile.sectors
+    replies = profile.density * math.pi \
+        * knn_boundary_radius(profile, k) ** 2
+    results = profile.sectors * route_hops
+    return route_hops + stops * 2 + replies + results
+
+
+def expected_energy_j(profile: NetworkProfile, k: int,
+                      route_hops: float = 6.0,
+                      mean_frame_bytes: float = 60.0,
+                      e_elec: float = 50e-9,
+                      eps_amp: float = 100e-12,
+                      mean_receivers: float = None) -> float:
+    """Expected per-query energy: frames x (tx + rx by addressed receivers
+    + header-decode by overhearers)."""
+    if mean_receivers is None:
+        mean_receivers = profile.node_degree
+    frames = expected_messages(profile, k, route_hops)
+    bits = (mean_frame_bytes + 32) * 8
+    tx = e_elec * bits + eps_amp * bits * profile.radio_range ** 2
+    rx = e_elec * bits
+    overhear = e_elec * 32 * 8 * max(0.0, mean_receivers - 1)
+    return frames * (tx + rx + overhear)

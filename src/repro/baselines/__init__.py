@@ -1,0 +1,10 @@
+"""Competitor protocols: KPT (+KNNB), Peer-tree, bounded flooding."""
+
+from .base import RoutingPhaseMixin, candidate_from_wire, candidate_tuple
+from .flooding import FloodingConfig, FloodingProtocol
+from .kpt import KPTConfig, KPTProtocol
+from .peertree import PeerTreeConfig, PeerTreeProtocol
+
+__all__ = ["RoutingPhaseMixin", "candidate_from_wire", "candidate_tuple",
+           "FloodingConfig", "FloodingProtocol", "KPTConfig", "KPTProtocol",
+           "PeerTreeConfig", "PeerTreeProtocol"]

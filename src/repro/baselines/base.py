@@ -1,0 +1,100 @@
+"""Shared machinery for the baseline protocols.
+
+``RoutingPhaseMixin`` factors out what KPT shares with DIKNN: GPSR routing
+of the query to the home node with per-hop information gathering, and
+drop-retry for query/result routes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.base import QueryProtocol
+from ..core.knnb import InfoList, count_new_neighbors
+from ..core.query import Candidate, KNNQuery
+from ..geometry import Vec2
+from ..net.node import SensorNode
+
+CANDIDATE_BYTES = 10   # paper §5.1: response size of each sensor node
+QUERY_BASE_BYTES = 20
+RESULT_BASE_BYTES = 16
+
+
+def candidate_tuple(node: SensorNode, now: float) -> tuple:
+    """A node's wire-format query response."""
+    pos = node.position()
+    return (node.id, pos.x, pos.y, node.speed(), node.reading, now)
+
+
+def candidate_from_wire(data: tuple) -> Candidate:
+    return Candidate(node_id=int(data[0]),
+                     position=Vec2(float(data[1]), float(data[2])),
+                     speed=float(data[3]), reading=float(data[4]),
+                     reported_at=float(data[5]))
+
+
+class RoutingPhaseMixin(QueryProtocol):
+    """Query routing with information gathering and route-drop retries."""
+
+    MAX_ROUTE_RETRIES = 2
+    RETRY_PAUSE_S = 0.25
+
+    #: inner kind of the routed query message; subclasses set this
+    KIND_QUERY: str = ""
+    KIND_RESULT: str = ""
+
+    def _install_routing_phase(self) -> None:
+        self.router.on_hop(self.KIND_QUERY, self._on_query_hop)
+
+    def _on_query_hop(self, node: SensorNode, inner: dict) -> Optional[int]:
+        """Append (loc_i, enc_i) to the information list L (§4.1)."""
+        pos = node.position()
+        locs = inner["L"]["locs"]
+        encs = inner["L"]["encs"]
+        prev = Vec2(*locs[-1]) if locs else None
+        neighbor_positions = [e.position for e in node.neighbors()]
+        enc = count_new_neighbors(neighbor_positions, prev,
+                                  self.network.radio.range_m)
+        locs.append((pos.x, pos.y))
+        encs.append(enc)
+        return QUERY_BASE_BYTES + len(locs) * InfoList.ENTRY_BYTES
+
+    def _route_query(self, sink: SensorNode, query: KNNQuery,
+                     attempt: int = 0) -> None:
+        payload = {
+            "query_id": query.query_id,
+            "k": query.k,
+            "g": query.assurance_gain,
+            "point": (query.point.x, query.point.y),
+            "sink_id": sink.id,
+            "sink_pos": (sink.position().x, sink.position().y),
+            "L": {"locs": [], "encs": []},
+        }
+
+        def _on_drop(_inner: dict, _node) -> None:
+            if attempt >= self.MAX_ROUTE_RETRIES or not sink.alive:
+                return
+            self.network.sim.schedule_in(
+                self.RETRY_PAUSE_S,
+                lambda: self._route_query(sink, query, attempt + 1))
+
+        self.router.send(sink, query.point, self.KIND_QUERY, payload,
+                         QUERY_BASE_BYTES, on_drop=_on_drop)
+
+    def _route_result(self, node: SensorNode, sink_pos: Vec2, sink_id: int,
+                      payload: dict, attempt: int = 0) -> None:
+        size = RESULT_BASE_BYTES + CANDIDATE_BYTES * len(payload["cands"])
+
+        def _on_drop(inner: dict, drop_node) -> None:
+            if attempt >= self.MAX_ROUTE_RETRIES:
+                return
+            origin = drop_node if drop_node is not None else node
+            if not origin.alive:
+                return
+            self.network.sim.schedule_in(
+                self.RETRY_PAUSE_S,
+                lambda: self._route_result(origin, sink_pos, sink_id,
+                                           payload, attempt + 1))
+
+        self.router.send(node, sink_pos, self.KIND_RESULT, payload, size,
+                         dst_id=sink_id, on_drop=_on_drop)

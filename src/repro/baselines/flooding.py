@@ -1,0 +1,142 @@
+"""Naive infrastructure-free baseline: bounded flooding (paper §3.3).
+
+The strawman DIKNN argues against: the home node floods the query inside
+the KNNB boundary; *every* in-boundary node independently GPSR-routes its
+response back to the sink.  The excessive number of independent routing
+paths makes it "extremely resource-consuming" — this baseline exists for
+the ablation benchmarks, not for the paper's headline figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..core.base import CompletionFn
+from ..core.knnb import InfoList, knnb_radius
+from ..core.query import KNNQuery, merge_candidates
+from ..geometry import Vec2
+from ..net.messages import Message
+from ..net.node import SensorNode
+from .base import (CANDIDATE_BYTES, RoutingPhaseMixin, candidate_from_wire,
+                   candidate_tuple)
+
+
+@dataclass(frozen=True)
+class FloodingConfig:
+    """Flooding tunables."""
+
+    flood_bytes: int = 18
+    reply_base_bytes: int = 10
+    rebroadcast_jitter_s: float = 0.02
+    boundary_slack: float = 5.0
+    done_level_time_s: float = 0.25   # per-hop allowance before "done"
+
+
+class FloodingProtocol(RoutingPhaseMixin):
+    """Boundary-limited flooding with per-node reply routing."""
+
+    name = "flooding"
+
+    KIND_QUERY = "fl.query"
+    KIND_FLOOD = "fl.flood"
+    KIND_REPLY = "fl.reply"
+    KIND_DONE = "fl.done"
+    KIND_RESULT = "fl.result"   # unused; kept for interface symmetry
+
+    def __init__(self, config: Optional[FloodingConfig] = None):
+        super().__init__()
+        self.config = config or FloodingConfig()
+        self._flooded: Set[tuple] = set()
+        self._homes_seen: Set[int] = set()
+
+    def _install_handlers(self) -> None:
+        self._install_routing_phase()
+        self.router.on_deliver(self.KIND_QUERY, self._on_query_delivered)
+        self.router.on_deliver(self.KIND_REPLY, self._on_reply)
+        self.router.on_deliver(self.KIND_DONE, self._on_done)
+        self.network.register_handler(self.KIND_FLOOD, self._on_flood)
+
+    def issue(self, sink: SensorNode, query: KNNQuery,
+              on_complete: CompletionFn) -> None:
+        self._register_query(query, sectors_total=1,
+                             on_complete=on_complete)
+        self._route_query(sink, query)
+
+    def _on_query_delivered(self, node: SensorNode, inner: dict) -> None:
+        query_id = inner["query_id"]
+        if query_id in self._homes_seen:
+            return
+        self._homes_seen.add(query_id)
+        q = Vec2(*inner["point"])
+        info = InfoList.from_payload(inner["L"])
+        radius = knnb_radius(info, q, self.network.radio.range_m,
+                             inner["k"])
+        flood = {
+            "query_id": query_id,
+            "point": (q.x, q.y),
+            "radius": radius,
+            "sink_id": inner["sink_id"],
+            "sink_pos": inner["sink_pos"],
+        }
+        self._flooded.add((node.id, query_id))
+        self._reply_to_sink(node, flood)
+        node.broadcast(self.KIND_FLOOD, flood, self.config.flood_bytes)
+        # Tell the sink when the flood has plausibly drained.
+        hops = max(1, int(math.ceil(radius / (0.7 * self.network.radio.range_m))))
+        done_after = (hops + 1) * self.config.done_level_time_s
+
+        def _send_done() -> None:
+            if node.alive:
+                self.router.send(node, Vec2(*flood["sink_pos"]),
+                                 self.KIND_DONE, {"query_id": query_id},
+                                 8, dst_id=flood["sink_id"])
+
+        self.network.sim.schedule_in(done_after, _send_done)
+
+    def _on_flood(self, node: SensorNode, message: Message) -> None:
+        p = message.payload
+        key = (node.id, p["query_id"])
+        if key in self._flooded:
+            return
+        q = Vec2(*p["point"])
+        if node.position().distance_to(q) > p["radius"] + \
+                self.config.boundary_slack:
+            return
+        self._flooded.add(key)
+        self._reply_to_sink(node, p)
+        jitter = float(self.network.sim.rng.stream("flood.jitter")
+                       .uniform(0.0, self.config.rebroadcast_jitter_s))
+        payload = dict(p)
+
+        def _rebroadcast() -> None:
+            if node.alive:
+                node.broadcast(self.KIND_FLOOD, payload,
+                               self.config.flood_bytes)
+
+        self.network.sim.schedule_in(jitter, _rebroadcast)
+
+    def _reply_to_sink(self, node: SensorNode, flood: dict) -> None:
+        now = self.network.sim.now
+        self.router.send(
+            node, Vec2(*flood["sink_pos"]), self.KIND_REPLY,
+            {"query_id": flood["query_id"],
+             "cand": candidate_tuple(node, now)},
+            self.config.reply_base_bytes + CANDIDATE_BYTES,
+            dst_id=flood["sink_id"])
+
+    def _on_reply(self, node: SensorNode, inner: dict) -> None:
+        result = self._result_of(inner["query_id"])
+        if result is None:
+            return
+        result.candidates = merge_candidates(
+            result.candidates, [candidate_from_wire(inner["cand"])],
+            result.query.point, cap=max(result.query.k * 4, 64))
+
+    def _on_done(self, node: SensorNode, inner: dict) -> None:
+        result = self._result_of(inner["query_id"])
+        if result is None:
+            return
+        result.sectors_reported = 1
+        self._complete(inner["query_id"])

@@ -1,0 +1,338 @@
+"""KPT baseline (Winter & Lee [29], Winter, Xu & Lee [30]).
+
+As in the paper's evaluation (§5.1), KPT is simulated with the KNNB
+algorithm for boundary estimation (its native conservative boundary of
+``k * MHD`` would flood the whole field) and a spanning tree constructed
+inside the boundary for data collection:
+
+1. the query is routed to the home node (routing phase identical to DIKNN);
+2. the home node floods a tree-construction message within the boundary —
+   every in-boundary node joins under the first announcer it hears and
+   rebroadcasts (this simultaneous rebroadcast storm is where KPT's
+   collision losses at large k come from);
+3. convergecast: each node holds its own and its children's responses
+   until a depth-staggered timer fires, then unicasts the batch to its
+   parent; losing the parent (mobility) triggers orphan re-attachment and
+   data re-forwarding ("partially collected data may be forwarded again
+   and again between new and old tree nodes");
+4. the home node sorts the aggregate and routes the top-k to the sink.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.base import CompletionFn
+from ..core.knnb import InfoList, knnb_radius
+from ..core.query import KNNQuery, merge_candidates
+from ..geometry import Vec2
+from ..net.messages import Message
+from ..net.node import SensorNode
+from .base import (CANDIDATE_BYTES, RoutingPhaseMixin, candidate_from_wire,
+                   candidate_tuple)
+
+
+@dataclass(frozen=True)
+class KPTConfig:
+    """KPT tunables."""
+
+    level_time_base_s: float = 0.15    # per-tree-level hold time, fixed part
+    level_time_per_k_s: float = 0.003  # ... plus growth with result size
+    hop_reach_fraction: float = 0.7    # expected greedy progress per hop
+    boundary_slack: float = 5.0        # membership slack beyond R (meters)
+    build_jitter_s: float = 0.05       # rebroadcast de-sync jitter
+    build_bytes: int = 18
+    orphan_bytes: int = 8
+    adopt_bytes: int = 8
+    adopt_window_s: float = 0.08
+    data_base_bytes: int = 10
+
+
+class _TreeNode:
+    """Per-(node, query) tree membership state."""
+
+    __slots__ = ("parent", "depth", "collected", "sent", "hold_handle")
+
+    def __init__(self, parent: int, depth: int):
+        self.parent = parent
+        self.depth = depth
+        self.collected: List[tuple] = []
+        self.sent = False
+        self.hold_handle = None
+
+
+class KPTProtocol(RoutingPhaseMixin):
+    """KPT with KNNB boundary estimation."""
+
+    name = "kpt"
+
+    KIND_QUERY = "kpt.query"
+    KIND_BUILD = "kpt.build"
+    KIND_DATA = "kpt.data"
+    KIND_ORPHAN = "kpt.orphan"
+    KIND_ADOPT = "kpt.adopt"
+    KIND_RESULT = "kpt.result"
+
+    def __init__(self, config: Optional[KPTConfig] = None):
+        super().__init__()
+        self.config = config or KPTConfig()
+        self._members: Dict[Tuple[int, int], _TreeNode] = {}
+        self._roots: Dict[int, dict] = {}       # query_id -> root context
+        self._homes_seen: Set[int] = set()
+        self._initial_radius: Dict[int, float] = {}
+        self._orphan_batches: Dict[Tuple[int, int], tuple] = {}
+        self._adopters: Dict[Tuple[int, int], int] = {}
+
+    def _install_handlers(self) -> None:
+        self._install_routing_phase()
+        self.router.on_deliver(self.KIND_QUERY, self._on_query_delivered)
+        self.router.on_deliver(self.KIND_RESULT, self._on_result)
+        self.network.register_handler(self.KIND_BUILD, self._on_build)
+        self.network.register_handler(self.KIND_DATA, self._on_data)
+        self.network.register_handler(self.KIND_ORPHAN, self._on_orphan)
+        self.network.register_handler(self.KIND_ADOPT, self._on_adopt)
+
+    # -- issue ---------------------------------------------------------------
+
+    def issue(self, sink: SensorNode, query: KNNQuery,
+              on_complete: CompletionFn) -> None:
+        self._register_query(query, sectors_total=1,
+                             on_complete=on_complete)
+        self._route_query(sink, query)
+
+    # -- home node: boundary + tree construction ------------------------------
+
+    def _max_depth(self, radius: float) -> int:
+        per_hop = self.config.hop_reach_fraction * self.network.radio.range_m
+        return max(1, int(math.ceil(radius / per_hop)) + 1)
+
+    def _level_time(self, k: int) -> float:
+        return (self.config.level_time_base_s
+                + self.config.level_time_per_k_s * k)
+
+    def _on_query_delivered(self, node: SensorNode, inner: dict) -> None:
+        query_id = inner["query_id"]
+        if query_id in self._homes_seen:
+            return
+        self._homes_seen.add(query_id)
+        q = Vec2(*inner["point"])
+        info = InfoList.from_payload(inner["L"])
+        radius = knnb_radius(info, q, self.network.radio.range_m,
+                             inner["k"])
+        self._initial_radius[query_id] = radius
+        now = self.network.sim.now
+        self._roots[query_id] = {
+            "node_id": node.id,
+            "point": q,
+            "k": inner["k"],
+            "radius": radius,
+            "sink_id": inner["sink_id"],
+            "sink_pos": Vec2(*inner["sink_pos"]),
+            "candidates": [candidate_tuple(node, now)],
+            "ts": now,
+        }
+        member = _TreeNode(parent=-1, depth=0)
+        self._members[(node.id, query_id)] = member
+        build = {
+            "query_id": query_id,
+            "root": node.id,
+            "parent": node.id,
+            "depth": 0,
+            "point": (q.x, q.y),
+            "radius": radius,
+            "k": inner["k"],
+            "max_depth": self._max_depth(radius),
+        }
+        node.broadcast(self.KIND_BUILD, build, self.config.build_bytes)
+        hold = self._hold_time(build["max_depth"], 0, inner["k"])
+        member.hold_handle = self.network.sim.schedule_in(
+            hold, lambda: self._root_finish(node, query_id))
+
+    def _hold_time(self, max_depth: int, depth: int, k: int) -> float:
+        """Depth-staggered convergecast hold, jittered per node so the whole
+        depth tier does not fire (and collide) at the same instant."""
+        # The flood can wander deeper than the radius-derived estimate
+        # (detours around voids); such nodes just report in the next tier.
+        base = max(1, max_depth - depth + 1) * self._level_time(k)
+        jitter = float(self.network.sim.rng.stream("kpt.hold")
+                       .uniform(0.0, 0.5 * self._level_time(k)))
+        return base + jitter
+
+    # -- tree membership -------------------------------------------------------
+
+    def _on_build(self, node: SensorNode, message: Message) -> None:
+        p = message.payload
+        query_id = p["query_id"]
+        key = (node.id, query_id)
+        if key in self._members:
+            return
+        q = Vec2(*p["point"])
+        if node.position().distance_to(q) > p["radius"] + \
+                self.config.boundary_slack:
+            return
+        depth = p["depth"] + 1
+        member = _TreeNode(parent=message.src, depth=depth)
+        self._members[key] = member
+        # Rebroadcast (the flooding storm; small jitter so not everything
+        # collides at t+0 — the MAC's contention handles the rest).
+        jitter = float(self.network.sim.rng.stream("kpt.jitter")
+                       .uniform(0.0, self.config.build_jitter_s))
+        rebroadcast = dict(p)
+        rebroadcast["parent"] = node.id
+        rebroadcast["depth"] = depth
+
+        def _rebroadcast() -> None:
+            if node.alive:
+                node.broadcast(self.KIND_BUILD, rebroadcast,
+                               self.config.build_bytes)
+
+        self.network.sim.schedule_in(jitter, _rebroadcast)
+        hold = self._hold_time(p["max_depth"], depth, p["k"])
+        member.hold_handle = self.network.sim.schedule_in(
+            hold, lambda: self._send_up(node, query_id, p["k"],
+                                        Vec2(*p["point"])))
+
+    # -- convergecast ------------------------------------------------------------
+
+    def _send_up(self, node: SensorNode, query_id: int, k: int,
+                 q: Vec2) -> None:
+        member = self._members.get((node.id, query_id))
+        if member is None or member.sent or not node.alive:
+            return
+        member.sent = True
+        now = self.network.sim.now
+        batch = self._merge(member.collected,
+                            [candidate_tuple(node, now)], q, k)
+        self._send_data(node, member.parent, query_id, k, q, batch)
+
+    def _send_data(self, node: SensorNode, parent: int, query_id: int,
+                   k: int, q: Vec2, batch: List[tuple],
+                   reattached: bool = False) -> None:
+        payload = {"query_id": query_id, "k": k, "point": (q.x, q.y),
+                   "cands": batch}
+        size = (self.config.data_base_bytes
+                + CANDIDATE_BYTES * len(batch))
+
+        def _on_fail(_msg: Message) -> None:
+            # Parent moved away: orphan recovery (§2's tree-maintenance
+            # overhead) — ask the neighborhood for a new parent.
+            node.forget_neighbor(parent)
+            if not reattached:
+                self._start_orphan_recovery(node, query_id, k, q, batch)
+
+        node.send(parent, self.KIND_DATA, payload, size, on_fail=_on_fail)
+
+    def _on_data(self, node: SensorNode, message: Message) -> None:
+        p = message.payload
+        query_id = p["query_id"]
+        q = Vec2(*p["point"])
+        root_ctx = self._roots.get(query_id)
+        if root_ctx is not None and root_ctx["node_id"] == node.id:
+            root_ctx["candidates"] = self._merge(
+                root_ctx["candidates"], p["cands"], q, p["k"])
+            return
+        member = self._members.get((node.id, query_id))
+        if member is None:
+            return
+        if member.sent:
+            # Late data (orphan re-forwarding): push it up immediately —
+            # the re-forwarding chain the paper complains about.
+            self._send_data(node, member.parent, query_id, p["k"], q,
+                            p["cands"])
+        else:
+            member.collected = self._merge(member.collected, p["cands"],
+                                           q, p["k"])
+
+    # -- orphan recovery ---------------------------------------------------------
+
+    def _start_orphan_recovery(self, node: SensorNode, query_id: int,
+                               k: int, q: Vec2,
+                               batch: List[tuple]) -> None:
+        if not node.alive:
+            return
+        member = self._members.get((node.id, query_id))
+        depth = member.depth if member is not None else 10**6
+        node.broadcast(self.KIND_ORPHAN,
+                       {"query_id": query_id, "depth": depth},
+                       self.config.orphan_bytes)
+        pending_key = (node.id, query_id)
+        self._orphan_batches[pending_key] = (k, q, batch)
+        self.network.sim.schedule_in(
+            self.config.adopt_window_s,
+            lambda: self._finish_orphan_recovery(node, query_id))
+
+    def _on_orphan(self, node: SensorNode, message: Message) -> None:
+        query_id = message.payload["query_id"]
+        member = self._members.get((node.id, query_id))
+        if member is None:
+            return
+        if member.depth >= message.payload["depth"]:
+            return  # adopting would push data away from the root
+        node.send(message.src, self.KIND_ADOPT,
+                  {"query_id": query_id}, self.config.adopt_bytes)
+
+    def _on_adopt(self, node: SensorNode, message: Message) -> None:
+        key = (node.id, message.payload["query_id"])
+        if key in self._orphan_batches and key not in self._adopters:
+            self._adopters[key] = message.src
+
+    def _finish_orphan_recovery(self, node: SensorNode,
+                                query_id: int) -> None:
+        key = (node.id, query_id)
+        pending = self._orphan_batches.pop(key, None)
+        adopter = self._adopters.pop(key, None)
+        if pending is None or not node.alive:
+            return
+        k, q, batch = pending
+        if adopter is None:
+            return  # data lost — KPT's accuracy hit under mobility
+        member = self._members.get(key)
+        if member is not None:
+            member.parent = adopter
+        self._send_data(node, adopter, query_id, k, q, batch,
+                        reattached=True)
+
+    # -- root completion -----------------------------------------------------------
+
+    def _root_finish(self, node: SensorNode, query_id: int) -> None:
+        ctx = self._roots.pop(query_id, None)
+        if ctx is None or not node.alive:
+            return
+        top = self._merge([], ctx["candidates"], ctx["point"], ctx["k"])
+        payload = {
+            "query_id": query_id,
+            "sectors": [0],
+            "cands": top,
+            "voids": 0,
+            "explored": len(ctx["candidates"]),
+            "radius": ctx["radius"],
+        }
+        self._route_result(node, ctx["sink_pos"], ctx["sink_id"], payload)
+
+    def _on_result(self, node: SensorNode, inner: dict) -> None:
+        result = self._result_of(inner["query_id"])
+        if result is None:
+            return
+        result.candidates = merge_candidates(
+            result.candidates,
+            [candidate_from_wire(c) for c in inner["cands"]],
+            result.query.point, cap=max(result.query.k * 4, 64))
+        result.sectors_reported = 1
+        result.meta["radius"] = inner["radius"]
+        result.meta["explored"] = float(inner["explored"])
+        result.meta["initial_radius"] = self._initial_radius.get(
+            inner["query_id"], 0.0)
+        self._complete(inner["query_id"])
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _merge(existing: List[tuple], new: List[tuple], q: Vec2,
+               cap: int) -> List[tuple]:
+        merged = merge_candidates([candidate_from_wire(c) for c in existing],
+                                  [candidate_from_wire(c) for c in new],
+                                  q, cap)
+        return [(c.node_id, c.position.x, c.position.y, c.speed, c.reading,
+                 c.reported_at) for c in merged]

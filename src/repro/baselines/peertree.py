@@ -1,0 +1,503 @@
+"""Peer-tree baseline (Demirbas & Ferhatosmanoglu [7]).
+
+The decentralized R-tree approach as the paper simulates it (§5.1): the
+field is partitioned into a 5x5 grid of MBR cells.  In each cell a
+*stationary, pre-located* clusterhead is pinned (the node closest to the
+cell center at setup); its address is known by every sensor node.  The
+clusterhead of the center cell acts as the hierarchy root.
+
+Index maintenance: every node periodically notifies its current cell's
+clusterhead of its position, and immediately re-registers when it crosses
+into another cell (this is why Peer-tree's energy grows with mobility —
+"more sensor nodes move across MBRs, which results in excessive
+information updates").  Clusterheads evict members not heard from within
+a timeout.
+
+Query processing follows the distributed R-tree KNN descent: the sink
+routes the query to its clusterhead, which forwards it up to the root;
+the root then performs a best-first expansion over cells — sequentially
+collecting the member tables of clusterheads in order of cell distance to
+q until the k-th candidate provably beats the next cell.  Every expansion
+is a multi-hop round trip through the hierarchy, which is where
+Peer-tree's latency comes from; member positions are stale cache entries,
+which is where its accuracy goes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.base import CompletionFn
+from ..core.query import KNNQuery, merge_candidates
+from ..geometry import Rect, Vec2
+from ..mobility import StaticMobility
+from ..net.node import SensorNode
+from ..sim.engine import PeriodicTask
+from ..sim.errors import ConfigurationError
+from .base import (RoutingPhaseMixin, candidate_from_wire,
+                   candidate_tuple)
+
+
+@dataclass(frozen=True)
+class PeerTreeConfig:
+    """Peer-tree tunables (grid defaults from the paper §5.1)."""
+
+    grid_rows: int = 5
+    grid_cols: int = 5
+    notify_interval_s: float = 4.0
+    cell_check_interval_s: float = 1.0
+    member_timeout_s: float = 10.0
+    collect_timeout_s: float = 0.6
+    collect_retries: int = 1
+    inform_timeout_base_s: float = 0.5
+    inform_timeout_per_k_s: float = 0.022
+    inform_stagger_s: float = 0.015    # spacing between member informs
+    include_stale_selection: bool = False  # True: keep unreachable members
+                                           # in the result (stale positions)
+    inform_bytes: int = 12
+    response_bytes: int = 20
+    inform_ttl_hops: int = 14          # a member that moved beyond this is
+                                       # unreachable: the packet is dropped
+    notify_bytes: int = 10
+    collect_bytes: int = 12
+    member_entry_bytes: int = 6
+    members_base_bytes: int = 10
+    query_bytes: int = 20
+    max_members_per_reply: int = 64
+
+
+class PeerTreeProtocol(RoutingPhaseMixin):
+    """Peer-tree: grid-MBR clusterhead index with best-first KNN descent."""
+
+    name = "peertree"
+
+    KIND_QUERY = "pt.query"         # sink -> own clusterhead (routed)
+    KIND_UP = "pt.up"               # clusterhead -> root (routed)
+    KIND_COLLECT = "pt.collect"     # root -> cell head (routed)
+    KIND_MEMBERS = "pt.members"     # cell head -> root (routed)
+    KIND_NOTIFY = "pt.notify"       # member -> head (routed)
+    KIND_INFORM = "pt.inform"       # root -> selected member (routed)
+    KIND_RESPONSE = "pt.response"   # member -> root (routed)
+    KIND_RESULT = "pt.result"       # root -> sink (routed)
+
+    def __init__(self, field: Rect,
+                 config: Optional[PeerTreeConfig] = None):
+        super().__init__()
+        self.field = field
+        self.config = config or PeerTreeConfig()
+        self.cells: List[Rect] = []
+        self.heads: List[int] = []          # cell index -> head node id
+        self.head_pos: List[Vec2] = []
+        self.root_cell: int = 0
+        self._members: Dict[int, Dict[int, Tuple[Vec2, float]]] = {}
+        self._queries: Dict[int, dict] = {}  # root-side query contexts
+        self._tasks: List[PeriodicTask] = []
+        self._last_cell: Dict[int, int] = {}
+        self._setup_done = False
+
+    # -- installation / index construction -------------------------------------
+
+    def _install_handlers(self) -> None:
+        self.router.on_deliver(self.KIND_QUERY, self._on_query_at_head)
+        self.router.on_deliver(self.KIND_UP, self._on_query_at_root)
+        self.router.on_deliver(self.KIND_COLLECT, self._on_collect)
+        self.router.on_deliver(self.KIND_MEMBERS, self._on_members)
+        self.router.on_deliver(self.KIND_NOTIFY, self._on_notify)
+        self.router.on_deliver(self.KIND_INFORM, self._on_inform)
+        self.router.on_deliver(self.KIND_RESPONSE, self._on_response)
+        self.router.on_deliver(self.KIND_RESULT, self._on_result)
+
+    def setup(self) -> None:
+        """Pin clusterheads and start the maintenance plane."""
+        if self._setup_done:
+            raise ConfigurationError("Peer-tree index already built")
+        self._setup_done = True
+        cfg = self.config
+        self.cells = self.field.grid_cells(cfg.grid_rows, cfg.grid_cols)
+        now = self.network.sim.now
+        taken: Set[int] = set()
+        for cell in self.cells:
+            center = cell.center()
+            best_id, best_d = None, math.inf
+            for node in self.network.nodes.values():
+                if node.id in taken or not node.alive:
+                    continue
+                d = node.mobility.position_at(now).distance_to(center)
+                if d < best_d:
+                    best_d, best_id = d, node.id
+            if best_id is None:
+                raise ConfigurationError("not enough nodes for clusterheads")
+            taken.add(best_id)
+            head = self.network.nodes[best_id]
+            # Pre-located stationary clusterhead (paper §5.1): pin it.
+            head.mobility = StaticMobility(head.mobility.position_at(now))
+            self.heads.append(best_id)
+            self.head_pos.append(head.mobility.position_at(now))
+            self._members[len(self.heads) - 1] = {}
+        self.root_cell = (cfg.grid_rows // 2) * cfg.grid_cols \
+            + cfg.grid_cols // 2
+        self._start_maintenance()
+
+    def _start_maintenance(self) -> None:
+        cfg = self.config
+        for node in self.network.nodes.values():
+            notify = PeriodicTask(
+                self.network.sim, cfg.notify_interval_s,
+                self._make_notifier(node),
+                jitter=0.1 * cfg.notify_interval_s,
+                rng_stream=f"pt.notify.{node.id}")
+            notify.start(initial_delay=float(
+                self.network.sim.rng.stream("pt.stagger")
+                .uniform(0.0, cfg.notify_interval_s)))
+            check = PeriodicTask(
+                self.network.sim, cfg.cell_check_interval_s,
+                self._make_cell_checker(node),
+                rng_stream=f"pt.check.{node.id}")
+            check.start()
+            self._tasks.extend((notify, check))
+
+    def stop(self) -> None:
+        """Stop maintenance traffic (end of a run)."""
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+
+    # -- maintenance plane -------------------------------------------------------
+
+    def cell_of(self, pos: Vec2) -> int:
+        cfg = self.config
+        col = min(int((pos.x - self.field.x_min)
+                      / (self.field.width / cfg.grid_cols)),
+                  cfg.grid_cols - 1)
+        row = min(int((pos.y - self.field.y_min)
+                      / (self.field.height / cfg.grid_rows)),
+                  cfg.grid_rows - 1)
+        return max(0, row) * cfg.grid_cols + max(0, col)
+
+    def _make_notifier(self, node: SensorNode):
+        def _notify() -> None:
+            if node.alive and self._setup_done:
+                self._send_notify(node)
+        return _notify
+
+    def _make_cell_checker(self, node: SensorNode):
+        def _check() -> None:
+            if not node.alive or not self._setup_done:
+                return
+            cell = self.cell_of(node.position())
+            if self._last_cell.get(node.id) != cell:
+                # Crossed an MBR border: immediate re-registration — the
+                # mobility-driven update traffic of Figure 9(b).
+                self._send_notify(node)
+        return _check
+
+    def _send_notify(self, node: SensorNode) -> None:
+        pos = node.position()
+        cell = self.cell_of(pos)
+        self._last_cell[node.id] = cell
+        head_id = self.heads[cell]
+        if head_id == node.id:
+            now = self.network.sim.now
+            self._members[cell][node.id] = (pos, now)
+            return
+        self.router.send(node, self.head_pos[cell], self.KIND_NOTIFY,
+                         {"cell": cell, "node": node.id,
+                          "pos": (pos.x, pos.y)},
+                         self.config.notify_bytes, dst_id=head_id,
+                         ttl=8)
+
+    def _on_notify(self, node: SensorNode, inner: dict) -> None:
+        cell = inner["cell"]
+        if self.heads[cell] != node.id:
+            return
+        self._members[cell][inner["node"]] = (
+            Vec2(*inner["pos"]), self.network.sim.now)
+
+    def _fresh_members(self, cell: int) -> List[Tuple[int, Vec2]]:
+        now = self.network.sim.now
+        table = self._members[cell]
+        stale = [nid for nid, (_pos, t) in table.items()
+                 if now - t > self.config.member_timeout_s]
+        for nid in stale:
+            del table[nid]
+        return [(nid, pos) for nid, (pos, _t) in table.items()]
+
+    # -- query plane ---------------------------------------------------------------
+
+    def issue(self, sink: SensorNode, query: KNNQuery,
+              on_complete: CompletionFn) -> None:
+        self._register_query(query, sectors_total=1,
+                             on_complete=on_complete)
+        cell = self.cell_of(sink.position())
+        payload = {
+            "query_id": query.query_id,
+            "k": query.k,
+            "point": (query.point.x, query.point.y),
+            "sink_id": sink.id,
+            "sink_pos": (sink.position().x, sink.position().y),
+        }
+        self.router.send(sink, self.head_pos[cell], self.KIND_QUERY,
+                         payload, self.config.query_bytes,
+                         dst_id=self.heads[cell])
+
+    def _on_query_at_head(self, node: SensorNode, inner: dict) -> None:
+        """The sink's clusterhead forwards the query up the hierarchy."""
+        root_id = self.heads[self.root_cell]
+        if node.id == root_id:
+            self._on_query_at_root(node, inner)
+            return
+        self.router.send(node, self.head_pos[self.root_cell], self.KIND_UP,
+                         {k: v for k, v in inner.items()
+                          if not k.startswith("_")},
+                         self.config.query_bytes, dst_id=root_id)
+
+    def _on_query_at_root(self, node: SensorNode, inner: dict) -> None:
+        query_id = inner["query_id"]
+        if query_id in self._queries:
+            return
+        q = Vec2(*inner["point"])
+        order = sorted(range(len(self.cells)),
+                       key=lambda c: self._cell_distance(c, q))
+        self._queries[query_id] = {
+            "node_id": node.id,
+            "point": q,
+            "k": inner["k"],
+            "sink_id": inner["sink_id"],
+            "sink_pos": Vec2(*inner["sink_pos"]),
+            "pending_cells": order,
+            "visited": [],
+            "candidates": [],
+            "await_cell": None,
+            "attempts": 0,
+            "timeout": None,
+        }
+        self._expand_next(node, query_id)
+
+    def _cell_distance(self, cell: int, q: Vec2) -> float:
+        return self.cells[cell].clamp(q).distance_to(q)
+
+    def _expand_next(self, node: SensorNode, query_id: int) -> None:
+        ctx = self._queries.get(query_id)
+        if ctx is None or not node.alive:
+            return
+        if self._done_expanding(ctx):
+            self._root_finish(node, query_id)
+            return
+        cell = ctx["pending_cells"].pop(0)
+        ctx["await_cell"] = cell
+        ctx["attempts"] = 0
+        self._send_collect(node, query_id, cell)
+
+    def _done_expanding(self, ctx: dict) -> bool:
+        if not ctx["pending_cells"]:
+            return True
+        next_dist = self._cell_distance(ctx["pending_cells"][0],
+                                        ctx["point"])
+        q = ctx["point"]
+        good = sum(1 for c in ctx["candidates"]
+                   if Vec2(c[1], c[2]).distance_to(q) <= next_dist)
+        return good >= ctx["k"]
+
+    def _send_collect(self, node: SensorNode, query_id: int,
+                      cell: int) -> None:
+        ctx = self._queries.get(query_id)
+        if ctx is None:
+            return
+        head_id = self.heads[cell]
+        if head_id == node.id:
+            # Root is this cell's head: answer locally, no round trip.
+            self._absorb_members(node, query_id, cell,
+                                 self._fresh_members(cell))
+            return
+        q = ctx["point"]
+        self.router.send(node, self.head_pos[cell], self.KIND_COLLECT,
+                         {"query_id": query_id, "cell": cell,
+                          "point": (q.x, q.y), "k": ctx["k"],
+                          "root": node.id,
+                          "root_pos": (self.head_pos[self.root_cell].x,
+                                       self.head_pos[self.root_cell].y)},
+                         self.config.collect_bytes, dst_id=head_id)
+        ctx["timeout"] = self.network.sim.schedule_in(
+            self.config.collect_timeout_s,
+            lambda: self._collect_timeout(node, query_id, cell))
+
+    def _collect_timeout(self, node: SensorNode, query_id: int,
+                         cell: int) -> None:
+        ctx = self._queries.get(query_id)
+        if ctx is None or ctx["await_cell"] != cell:
+            return
+        if ctx["attempts"] < self.config.collect_retries:
+            ctx["attempts"] += 1
+            self._send_collect(node, query_id, cell)
+            return
+        # Give up on the cell — "a clusterhead simply drops packets":
+        # its members are simply missing from the result.
+        ctx["visited"].append(cell)
+        ctx["await_cell"] = None
+        self._expand_next(node, query_id)
+
+    def _on_collect(self, node: SensorNode, inner: dict) -> None:
+        cell = inner["cell"]
+        if self.heads[cell] != node.id:
+            return
+        q = Vec2(*inner["point"])
+        members = self._fresh_members(cell)
+        members.sort(key=lambda m: m[1].distance_to(q))
+        members = members[:self.config.max_members_per_reply]
+        now = self.network.sim.now
+        wire = [(nid, pos.x, pos.y, 0.0, 0.0, now) for nid, pos in members]
+        size = (self.config.members_base_bytes
+                + self.config.member_entry_bytes * len(wire))
+        self.router.send(node, Vec2(*inner["root_pos"]), self.KIND_MEMBERS,
+                         {"query_id": inner["query_id"], "cell": cell,
+                          "cands": wire},
+                         size, dst_id=inner["root"])
+
+    def _on_members(self, node: SensorNode, inner: dict) -> None:
+        self._absorb_members(node, inner["query_id"], inner["cell"],
+                             None, wire=inner["cands"])
+
+    def _absorb_members(self, node: SensorNode, query_id: int, cell: int,
+                        members: Optional[List[Tuple[int, Vec2]]],
+                        wire: Optional[List[tuple]] = None) -> None:
+        ctx = self._queries.get(query_id)
+        if ctx is None or ctx["node_id"] != node.id:
+            return
+        if ctx["await_cell"] != cell:
+            return  # duplicate / late reply
+        if ctx["timeout"] is not None:
+            ctx["timeout"].cancel()
+            ctx["timeout"] = None
+        if wire is None:
+            now = self.network.sim.now
+            wire = [(nid, pos.x, pos.y, 0.0, 0.0, now)
+                    for nid, pos in (members or [])]
+        ctx["candidates"] = self._merge(ctx["candidates"], wire,
+                                        ctx["point"],
+                                        cap=max(ctx["k"] * 3, 48))
+        ctx["visited"].append(cell)
+        ctx["await_cell"] = None
+        self._expand_next(node, query_id)
+
+    def _root_finish(self, node: SensorNode, query_id: int) -> None:
+        """Expansion done: inform the selected KNN nodes by unicast (the
+        Peer-tree NN-notification step) and collect their responses."""
+        ctx = self._queries.get(query_id)
+        if ctx is None:
+            return
+        top = self._merge([], ctx["candidates"], ctx["point"], ctx["k"])
+        ctx["informed"] = [int(c[0]) for c in top if int(c[0]) != node.id]
+        ctx["responses"] = []
+        if node.id in {int(c[0]) for c in top}:
+            now = self.network.sim.now
+            ctx["responses"].append(candidate_tuple(node, now))
+        ctx["expected_responses"] = (len(ctx["informed"])
+                                     + len(ctx["responses"]))
+        if not ctx["informed"]:
+            self._inform_done(node, query_id)
+            return
+        cached = {int(c[0]): Vec2(c[1], c[2]) for c in top}
+        root_pos = self.head_pos[self.root_cell]
+        for i, member_id in enumerate(ctx["informed"]):
+            # Routed to the member's *cached* position; if it moved away
+            # the packet is dropped - "a clusterhead simply drops packets
+            # if they can not be routed to the destinations in the MBR
+            # record" - and that member is missing from the result.
+            # Informs are staggered: bursting them floods the root's
+            # neighborhood and collapses the channel.
+            target = cached[member_id]
+            self.network.sim.schedule_in(
+                i * self.config.inform_stagger_s,
+                self._make_inform(node, query_id, member_id, target,
+                                  root_pos))
+        timeout = (self.config.inform_timeout_base_s
+                   + self.config.inform_timeout_per_k_s * ctx["k"])
+        ctx["inform_deadline"] = self.network.sim.schedule_in(
+            timeout, lambda: self._inform_done(node, query_id))
+
+    def _make_inform(self, node: SensorNode, query_id: int, member_id: int,
+                     target: Vec2, root_pos: Vec2):
+        def _send() -> None:
+            if not node.alive or query_id not in self._queries:
+                return
+            self.router.send(node, target, self.KIND_INFORM,
+                             {"query_id": query_id, "root": node.id,
+                              "root_pos": (root_pos.x, root_pos.y)},
+                             self.config.inform_bytes, dst_id=member_id,
+                             ttl=self.config.inform_ttl_hops)
+        return _send
+
+    def _on_inform(self, node: SensorNode, inner: dict) -> None:
+        now = self.network.sim.now
+        self.router.send(node, Vec2(*inner["root_pos"]), self.KIND_RESPONSE,
+                         {"query_id": inner["query_id"],
+                          "cand": candidate_tuple(node, now)},
+                         self.config.response_bytes, dst_id=inner["root"])
+
+    def _on_response(self, node: SensorNode, inner: dict) -> None:
+        ctx = self._queries.get(inner["query_id"])
+        if ctx is None or ctx["node_id"] != node.id or "responses" not in ctx:
+            return
+        ctx["responses"].append(tuple(inner["cand"]))
+        if len(ctx["responses"]) >= ctx["expected_responses"]:
+            deadline = ctx.get("inform_deadline")
+            if deadline is not None:
+                deadline.cancel()
+            self._inform_done(node, inner["query_id"])
+
+    def _inform_done(self, node: SensorNode, query_id: int) -> None:
+        ctx = self._queries.pop(query_id, None)
+        if ctx is None:
+            return
+        # The result is what came back from the informed members.  A
+        # member whose cached position was too stale to route to is simply
+        # missing ("a clusterhead simply drops packets...") — Peer-tree's
+        # accuracy story under mobility.  With include_stale_selection the
+        # index's cached selection is kept instead (ablation).
+        top = self._merge([], ctx.get("responses", []), ctx["point"],
+                          ctx["k"])
+        if self.config.include_stale_selection:
+            selection = self._merge([], ctx["candidates"], ctx["point"],
+                                    ctx["k"])
+            top = self._merge(selection, ctx.get("responses", []),
+                              ctx["point"], ctx["k"])
+        payload = {
+            "query_id": query_id,
+            "sectors": [0],
+            "cands": top,
+            "voids": 0,
+            "explored": len(ctx["candidates"]),
+            "radius": 0.0,
+            "cells_visited": len(ctx["visited"]),
+            "informed": len(ctx.get("informed", [])),
+            "responded": len(ctx.get("responses", [])),
+        }
+        self._route_result(node, ctx["sink_pos"], ctx["sink_id"], payload)
+
+    def _on_result(self, node: SensorNode, inner: dict) -> None:
+        result = self._result_of(inner["query_id"])
+        if result is None:
+            return
+        result.candidates = merge_candidates(
+            result.candidates,
+            [candidate_from_wire(c) for c in inner["cands"]],
+            result.query.point, cap=max(result.query.k * 4, 64))
+        result.sectors_reported = 1
+        result.meta["explored"] = float(inner["explored"])
+        result.meta["cells_visited"] = float(inner.get("cells_visited", 0))
+        result.meta["informed"] = float(inner.get("informed", 0))
+        result.meta["responded"] = float(inner.get("responded", 0))
+        self._complete(inner["query_id"])
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _merge(existing: List[tuple], new: List[tuple], q: Vec2,
+               cap: int) -> List[tuple]:
+        merged = merge_candidates([candidate_from_wire(c) for c in existing],
+                                  [candidate_from_wire(c) for c in new],
+                                  q, cap)
+        return [(c.node_id, c.position.x, c.position.y, c.speed, c.reading,
+                 c.reported_at) for c in merged]

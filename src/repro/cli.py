@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``defaults``  — print the paper's §5.1 parameter table.
+* ``query``     — run one DIKNN query and print its metrics.
+* ``fig8``      — regenerate the Figure 8 series (scalability in k).
+* ``fig9``      — regenerate the Figure 9 series (mobility impact).
+* ``viz``       — render a DIKNN traversal over a chosen deployment as SVG.
+* ``window``    — run one itinerary window query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (DIKNNConfig, DIKNNProtocol, WindowQuery,
+                   WindowQueryProtocol, nodes_in_window, window_recall)
+from .experiments import (Scenario, SimulationConfig, TraversalRecorder,
+                          build_simulation, default_protocol_factories,
+                          defaults_table, fig8_sweep, fig9_sweep,
+                          figure_report, generate_report,
+                          paper_default_scenario, render_svg, run_query,
+                          save_svg)
+from .geometry import Rect, Vec2
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--nodes", type=int, default=200)
+    parser.add_argument("--speed", type=float, default=10.0,
+                        help="max node speed (m/s)")
+    parser.add_argument("--deployment", default="uniform",
+                        choices=("uniform", "clustered", "caribou", "grid"))
+
+
+def _config(args) -> SimulationConfig:
+    return SimulationConfig(seed=args.seed, n_nodes=args.nodes,
+                            max_speed=args.speed,
+                            deployment=args.deployment)
+
+
+def cmd_defaults(_args) -> int:
+    print(defaults_table())
+    return 0
+
+
+def cmd_query(args) -> int:
+    handle = build_simulation(
+        _config(args),
+        DIKNNProtocol(DIKNNConfig(sectors=args.sectors,
+                                  collection_scheme=args.scheme)))
+    handle.warm_up()
+    point = Vec2(args.x, args.y)
+    outcome = run_query(handle, point, k=args.k, timeout=args.timeout)
+    print(f"completed:     {outcome.completed}")
+    if outcome.latency is not None:
+        print(f"latency:       {outcome.latency:.3f} s")
+    print(f"energy:        {outcome.energy_j * 1e3:.2f} mJ")
+    print(f"pre-accuracy:  {outcome.pre_accuracy:.2f}")
+    print(f"post-accuracy: {outcome.post_accuracy:.2f}")
+    for key in ("initial_radius", "radius", "explored", "voids",
+                "qnode_hops"):
+        if key in outcome.meta:
+            print(f"{key + ':':<15}{outcome.meta[key]:.1f}")
+    return 0 if outcome.completed else 1
+
+
+def _sweep_args(args):
+    factories = default_protocol_factories(
+        include_flooding=args.flooding)
+    if args.only:
+        factories = {name: f for name, f in factories.items()
+                     if name in args.only}
+    return factories
+
+
+def cmd_fig8(args) -> int:
+    result = fig8_sweep(base=_config(args),
+                        k_values=tuple(args.k),
+                        factories=_sweep_args(args),
+                        repeats=args.repeats, duration=args.duration)
+    print(figure_report(result, "Figure 8"))
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    result = fig9_sweep(base=_config(args),
+                        speeds=tuple(args.speeds), k=args.k,
+                        factories=_sweep_args(args),
+                        repeats=args.repeats, duration=args.duration)
+    print(figure_report(result, "Figure 9"))
+    return 0
+
+
+def cmd_viz(args) -> int:
+    handle = build_simulation(_config(args), DIKNNProtocol())
+    handle.warm_up()
+    recorder = TraversalRecorder(handle.network)
+    outcome = run_query(handle, Vec2(args.x, args.y), k=args.k,
+                        timeout=args.timeout)
+    svg = render_svg(handle.network, handle.config.field, recorder.trace,
+                     title=f"DIKNN k={args.k} ({args.deployment})")
+    save_svg(args.out, svg)
+    print(f"query accuracy {outcome.pre_accuracy:.2f}, "
+          f"{recorder.trace.hop_count()} itinerary hops")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_window(args) -> int:
+    proto = WindowQueryProtocol()
+    handle = build_simulation(_config(args), proto)
+    handle.warm_up()
+    window = Rect(args.x, args.y, args.x + args.w, args.y + args.h)
+    query = WindowQuery.make(sink_id=handle.sink.id, window=window,
+                             issued_at=handle.sim.now)
+    results = []
+    proto.issue(handle.sink, query, results.append)
+    handle.sim.run(until=handle.sim.now + args.timeout)
+    if not results:
+        print("window query did not complete")
+        return 1
+    result = results[0]
+    truth = nodes_in_window(handle.network, window,
+                            t=result.query.issued_at)
+    print(f"latency: {result.latency:.3f} s")
+    print(f"reported {len(result.node_ids())} nodes "
+          f"(truth at issue time: {len(truth)})")
+    print(f"recall:  {window_recall(handle.network, result):.2f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    text = generate_report(base=SimulationConfig(seed=args.seed),
+                           repeats=args.repeats, duration=args.duration,
+                           k_values=tuple(args.k),
+                           speeds=tuple(args.speeds),
+                           chart_dir=args.charts)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_run_scenario(args) -> int:
+    if args.file:
+        scenario = Scenario.load(args.file)
+    else:
+        scenario = paper_default_scenario(protocol=args.protocol,
+                                          k=args.k, seed=args.seed)
+    if args.save:
+        scenario.save(args.save)
+        print(f"wrote {args.save}")
+        return 0
+    metrics = scenario.run()
+    print(f"scenario:        {scenario.name}")
+    print(f"queries issued:  {metrics.queries_issued}")
+    print(f"completion rate: {metrics.completion_rate:.0%}")
+    print(f"mean latency:    {metrics.mean_latency:.3f} s")
+    print(f"pre-accuracy:    {metrics.mean_pre_accuracy:.2f}")
+    print(f"post-accuracy:   {metrics.mean_post_accuracy:.2f}")
+    print(f"energy:          {metrics.energy_j:.3f} J")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIKNN (ICDE 2007) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("defaults", help="print the paper's parameter table") \
+       .set_defaults(func=cmd_defaults)
+
+    q = sub.add_parser("query", help="run one DIKNN query")
+    _add_common(q)
+    q.add_argument("-k", type=int, default=20)
+    q.add_argument("--x", type=float, default=60.0)
+    q.add_argument("--y", type=float, default=60.0)
+    q.add_argument("--sectors", type=int, default=8)
+    q.add_argument("--scheme", default="hybrid",
+                   choices=("hybrid", "contention", "token_ring"))
+    q.add_argument("--timeout", type=float, default=20.0)
+    q.set_defaults(func=cmd_query)
+
+    f8 = sub.add_parser("fig8", help="regenerate Figure 8 (k sweep)")
+    _add_common(f8)
+    f8.add_argument("--k", type=int, nargs="+",
+                    default=[20, 40, 60, 80, 100])
+    f8.add_argument("--repeats", type=int, default=2)
+    f8.add_argument("--duration", type=float, default=30.0)
+    f8.add_argument("--flooding", action="store_true")
+    f8.add_argument("--only", nargs="+", default=None,
+                    help="restrict to these protocols")
+    f8.set_defaults(func=cmd_fig8)
+
+    f9 = sub.add_parser("fig9", help="regenerate Figure 9 (speed sweep)")
+    _add_common(f9)
+    f9.add_argument("--speeds", type=float, nargs="+",
+                    default=[5, 10, 15, 20, 25, 30])
+    f9.add_argument("-k", type=int, default=40)
+    f9.add_argument("--repeats", type=int, default=2)
+    f9.add_argument("--duration", type=float, default=30.0)
+    f9.add_argument("--flooding", action="store_true")
+    f9.add_argument("--only", nargs="+", default=None)
+    f9.set_defaults(func=cmd_fig9)
+
+    v = sub.add_parser("viz", help="render a traversal as SVG")
+    _add_common(v)
+    v.add_argument("-k", type=int, default=40)
+    v.add_argument("--x", type=float, default=60.0)
+    v.add_argument("--y", type=float, default=60.0)
+    v.add_argument("--timeout", type=float, default=20.0)
+    v.add_argument("--out", default="diknn_traversal.svg")
+    v.set_defaults(func=cmd_viz)
+
+    w = sub.add_parser("window", help="run one itinerary window query")
+    _add_common(w)
+    w.add_argument("--x", type=float, default=40.0)
+    w.add_argument("--y", type=float, default=40.0)
+    w.add_argument("--w", type=float, default=40.0)
+    w.add_argument("--h", type=float, default=40.0)
+    w.add_argument("--timeout", type=float, default=25.0)
+    w.set_defaults(func=cmd_window)
+
+    r = sub.add_parser("report",
+                       help="run both figure sweeps and emit a markdown "
+                            "reproduction report")
+    r.add_argument("--seed", type=int, default=1)
+    r.add_argument("--repeats", type=int, default=2)
+    r.add_argument("--duration", type=float, default=30.0)
+    r.add_argument("--k", type=int, nargs="+",
+                   default=[20, 40, 60, 80, 100])
+    r.add_argument("--speeds", type=float, nargs="+",
+                   default=[5, 10, 15, 20, 25, 30])
+    r.add_argument("--out", default=None)
+    r.add_argument("--charts", default=None,
+                   help="directory for SVG figure charts")
+    r.set_defaults(func=cmd_report)
+
+    rs = sub.add_parser("run-scenario",
+                        help="run (or emit) a pinned scenario file")
+    rs.add_argument("--file", default=None,
+                    help="scenario JSON to run (default: paper setup)")
+    rs.add_argument("--protocol", default="diknn",
+                    choices=("diknn", "kpt", "peertree", "flooding"))
+    rs.add_argument("-k", type=int, default=40)
+    rs.add_argument("--seed", type=int, default=1)
+    rs.add_argument("--save", default=None,
+                    help="write the scenario JSON instead of running it")
+    rs.set_defaults(func=cmd_run_scenario)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Data collection scheduling at a Q-node (paper §3.3 and footnote 1).
+
+When a Q-node broadcasts a probe, the D-nodes hearing it must reply
+without colliding.  The paper discusses three schemes (footnote 1 credits
+the best performance to a combination of the first two):
+
+* ``"contention"`` — each D-node sets a timer proportional to the angle
+  ``alpha`` between the probe's reference line and its own bearing from
+  the Q-node, scaled by the expected responder count and the per-response
+  time unit ``m`` (0.018 s, §5.1).  Purely receiver-driven; works for
+  nodes the Q-node has never heard of, but spreads replies over the full
+  window even when few nodes respond.
+* ``"token_ring"`` — the probe carries a precedence list (the Q-node's
+  neighbor table, angle-ordered); listed D-node *i* replies in slot
+  ``i*m``.  Tight packing, but nodes absent from the Q-node's table are
+  never polled and stay silent.
+* ``"hybrid"`` (default) — the contention timers plus the previous-Q-node
+  suppression rule: nodes within radio range of the previous Q-node have
+  already been collected and stay silent, which shrinks the expected
+  responder count and with it the window.
+
+All schemes close the Q-node's collection window after the largest
+possible timer plus slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..geometry import TWO_PI, Vec2, normalize_angle
+
+DEFAULT_TIME_UNIT_S = 0.018
+
+SCHEMES = ("contention", "token_ring", "hybrid")
+
+
+@dataclass(frozen=True)
+class CollectionPlan:
+    """What a Q-node advertises in its probe."""
+
+    reference_angle: float   # reference line emanating from the Q-node
+    expected_responders: int
+    time_unit_s: float = DEFAULT_TIME_UNIT_S
+    slack_units: float = 2.0
+    scheme: str = "hybrid"
+    #: token-ring precedence list: node ids in reply order
+    precedence: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown collection scheme {self.scheme!r}; "
+                             f"choose from {SCHEMES}")
+
+    @property
+    def window_s(self) -> float:
+        """How long the Q-node listens before advancing."""
+        if self.scheme == "token_ring":
+            return (len(self.precedence)
+                    + self.slack_units) * self.time_unit_s
+        return (self.expected_responders
+                + self.slack_units) * self.time_unit_s
+
+    def wire_bytes(self, base: int, per_precedence_entry: int = 2) -> int:
+        """Probe size: token-ring probes carry the precedence list."""
+        if self.scheme == "token_ring":
+            return base + per_precedence_entry * len(self.precedence)
+        return base
+
+
+def build_precedence(qnode_pos: Vec2, reference_angle: float,
+                     neighbor_entries: Sequence) -> Tuple[int, ...]:
+    """Angle-ordered polling list for the token-ring scheme."""
+    def key(entry):
+        offset = entry.position - qnode_pos
+        if offset.norm_sq() == 0.0:
+            return 0.0
+        return normalize_angle(offset.angle() - reference_angle)
+
+    return tuple(e.node_id for e in sorted(neighbor_entries, key=key))
+
+
+def reply_delay(plan_ref_angle: float, expected: int, time_unit_s: float,
+                qnode_pos: Vec2, dnode_pos: Vec2) -> float:
+    """The D-node's contention timer.
+
+    ``timer = (alpha / 2*pi) * expected * m`` where ``alpha`` is the CCW
+    angle from the reference line to the Q-node→D-node bearing.  Colocated
+    nodes get a zero-angle fallback jitterless slot (the MAC's backoff
+    still separates them).
+    """
+    if expected <= 0:
+        return 0.0
+    offset = dnode_pos - qnode_pos
+    if offset.norm_sq() == 0.0:
+        alpha = 0.0
+    else:
+        alpha = normalize_angle(offset.angle() - plan_ref_angle)
+    return (alpha / TWO_PI) * expected * time_unit_s
+
+
+def token_ring_delay(precedence: Sequence[int], node_id: int,
+                     time_unit_s: float) -> Optional[float]:
+    """The D-node's polling slot, or None when it was not polled."""
+    try:
+        rank = list(precedence).index(node_id)
+    except ValueError:
+        return None
+    return rank * time_unit_s
+
+
+def scheme_reply_delay(plan_scheme: str, plan_ref_angle: float,
+                       expected: int, time_unit_s: float,
+                       precedence: Sequence[int], node_id: int,
+                       qnode_pos: Vec2, dnode_pos: Vec2) -> Optional[float]:
+    """Reply delay under the probe's scheme; None means "stay silent"."""
+    if plan_scheme == "token_ring":
+        return token_ring_delay(precedence, node_id, time_unit_s)
+    return reply_delay(plan_ref_angle, expected, time_unit_s, qnode_pos,
+                       dnode_pos)
+
+
+def expected_new_responders(neighbor_positions, boundary_center: Vec2,
+                            boundary_radius: float,
+                            prev_qnode: Optional[Vec2],
+                            radio_range: float) -> int:
+    """Estimate of how many neighbors will answer a probe: inside the KNN
+    boundary and not already covered by the previous Q-node's probe."""
+    r_sq = radio_range * radio_range
+    b_sq = boundary_radius * boundary_radius
+    count = 0
+    for pos in neighbor_positions:
+        if pos.distance_sq_to(boundary_center) > b_sq:
+            continue
+        if prev_qnode is not None and pos.distance_sq_to(prev_qnode) <= r_sq:
+            continue
+        count += 1
+    return count
+
+
+def should_reply(dnode_pos: Vec2, boundary_center: Vec2,
+                 boundary_radius: float, prev_qnode: Optional[Vec2],
+                 radio_range: float, already_responded: bool) -> bool:
+    """D-node qualification check (mirrors the Q-node's estimate)."""
+    if already_responded:
+        return False
+    if dnode_pos.distance_to(boundary_center) > boundary_radius:
+        return False
+    if (prev_qnode is not None
+            and dnode_pos.distance_to(prev_qnode) <= radio_range):
+        return False
+    return True

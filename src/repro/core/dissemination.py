@@ -1,0 +1,220 @@
+"""Q-node forwarding along a sub-itinerary (paper §3.3, Figure 3).
+
+A token (the query + partial result) hops between Q-nodes chasing the
+itinerary waypoints.  Forwarding heuristics:
+
+* waypoints within w/2 of the current Q-node count as reached;
+* the next Q-node is the unvisited neighbor closest to the next unreached
+  waypoint, provided it makes progress (or already sits on the waypoint);
+* on an itinerary void (§5.2) the Q-node looks ahead a few waypoints and,
+  failing that, detours through the best available unvisited neighbor —
+  the "perimeter forwarding mode" that bypasses vacancies by walking into
+  nearby segments;
+* with no unvisited neighbor at all the traversal ends early.
+
+The token also reconstructs its waypoint plan deterministically from the
+boundary-radius history, so itineraries never travel inside messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..geometry import Vec2
+from ..net.node import NeighborEntry
+from .itinerary import (SectorItinerary, build_sector_itinerary,
+                        extend_sector_itinerary)
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """Outcome of a forwarding decision."""
+
+    node_id: Optional[int]   # None: traversal finished (or dead end)
+    waypoint_index: int      # updated progress along the plan
+    void_detour: bool        # True when a void forced a non-ideal hop
+    dead_end: bool = False   # True when unvisited neighbors ran out
+
+
+def advance_past_reached(position: Vec2, waypoints: Sequence[Vec2],
+                         index: int, width: float) -> int:
+    """Skip waypoints already within w/2 of ``position``."""
+    limit = width / 2.0
+    while index < len(waypoints) and \
+            position.distance_to(waypoints[index]) <= limit:
+        index += 1
+    return index
+
+
+def choose_next_qnode(position: Vec2, neighbors: Sequence[NeighborEntry],
+                      waypoints: Sequence[Vec2], index: int, width: float,
+                      visited: Sequence[int],
+                      lookahead: int = 4,
+                      max_reach: Optional[float] = None) -> NextHop:
+    """Pick the next Q-node for the itinerary traversal.
+
+    Args:
+        position: current Q-node position.
+        neighbors: fresh neighbor-table entries.
+        waypoints: the sector's waypoint plan.
+        index: first unreached waypoint index.
+        width: itinerary width w.
+        visited: ids of nodes that already held this token.
+        lookahead: how many waypoints ahead to consider when the immediate
+            one is unreachable (void bypass).
+        max_reach: if set, prefer neighbors believed within this distance
+            (link margin under mobility); edge-of-range neighbors are used
+            only when nothing else qualifies.
+
+    Returns:
+        The forwarding decision.
+    """
+    index = advance_past_reached(position, waypoints, index, width)
+    if index >= len(waypoints):
+        return NextHop(None, index, False)
+
+    visited_set = set(visited)
+    usable = [e for e in neighbors if e.node_id not in visited_set]
+    if not usable:
+        return NextHop(None, index, True, dead_end=True)
+    if max_reach is not None:
+        safe = [e for e in usable
+                if e.position.distance_to(position) <= max_reach]
+        if safe:
+            usable = safe
+
+    half_w = width / 2.0
+    for look in range(lookahead):
+        j = index + look
+        if j >= len(waypoints):
+            break
+        target = waypoints[j]
+        best = min(usable, key=lambda e: e.position.distance_to(target))
+        best_d = best.position.distance_to(target)
+        my_d = position.distance_to(target)
+        if best_d <= half_w or best_d < my_d - 1e-9:
+            return NextHop(best.node_id, j if look else index, look > 0)
+
+    # Void: nobody makes progress toward the next waypoints. Detour through
+    # the unvisited neighbor closest to the next waypoint anyway (perimeter
+    # forwarding around the vacancy).
+    target = waypoints[min(index, len(waypoints) - 1)]
+    detour = min(usable, key=lambda e: e.position.distance_to(target))
+    return NextHop(detour.node_id, index, True)
+
+
+@dataclass
+class TokenState:
+    """The mutable state a sector token carries between Q-nodes."""
+
+    query_id: int
+    sink_id: int
+    sink_pos: Vec2
+    point: Vec2            # query point q
+    k: int
+    assurance_gain: float
+    sectors_total: int
+    sector: int
+    width: float
+    spacing: float
+    inverted: bool
+    radius_history: List[float]     # boundary radius after each adjustment
+    waypoint_index: int = 0
+    explored: int = 0               # nodes discovered by this sub-itinerary
+    max_speed: float = 0.0
+    started_at: float = 0.0         # ts: dissemination start
+    candidates: List[tuple] = field(default_factory=list)   # wire tuples
+    stats: Dict[int, tuple] = field(default_factory=dict)   # sector -> wire
+    visited: List[int] = field(default_factory=list)
+    voids: int = 0
+    consecutive_detours: int = 0
+    assurance_extended: bool = False
+    boundary_extensions: int = 0
+
+    BASE_BYTES = 24
+    CANDIDATE_BYTES = 10   # paper §5.1: response size 10 bytes
+    STAT_BYTES = 4
+    VISITED_BYTES = 2
+    MAX_VISITED = 24
+
+    @property
+    def radius(self) -> float:
+        return self.radius_history[-1]
+
+    def wire_bytes(self) -> int:
+        return (self.BASE_BYTES
+                + self.CANDIDATE_BYTES * len(self.candidates)
+                + self.STAT_BYTES * len(self.stats)
+                + self.VISITED_BYTES * len(self.visited))
+
+    def record_visit(self, node_id: int) -> None:
+        self.visited.append(node_id)
+        if len(self.visited) > self.MAX_VISITED:
+            del self.visited[0]
+
+    def build_itinerary(self) -> SectorItinerary:
+        """Deterministically rebuild the waypoint plan from the radius
+        history (base itinerary plus each extension, in order)."""
+        it = build_sector_itinerary(self.point, self.radius_history[0],
+                                    self.sectors_total, self.sector,
+                                    self.width, self.spacing,
+                                    invert=self.inverted)
+        for radius in self.radius_history[1:]:
+            it = extend_sector_itinerary(it, radius, self.spacing)
+        return it
+
+    def to_payload(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "sink_id": self.sink_id,
+            "sink_pos": (self.sink_pos.x, self.sink_pos.y),
+            "point": (self.point.x, self.point.y),
+            "k": self.k,
+            "g": self.assurance_gain,
+            "S": self.sectors_total,
+            "sector": self.sector,
+            "w": self.width,
+            "spacing": self.spacing,
+            "inverted": self.inverted,
+            "radii": list(self.radius_history),
+            "wp_idx": self.waypoint_index,
+            "explored": self.explored,
+            "max_speed": self.max_speed,
+            "ts": self.started_at,
+            "cands": list(self.candidates),
+            "stats": {int(k_): tuple(v) for k_, v in self.stats.items()},
+            "visited": list(self.visited),
+            "voids": self.voids,
+            "detours": self.consecutive_detours,
+            "assured": self.assurance_extended,
+            "extensions": self.boundary_extensions,
+        }
+
+    @staticmethod
+    def from_payload(data: dict) -> "TokenState":
+        return TokenState(
+            query_id=data["query_id"],
+            sink_id=data["sink_id"],
+            sink_pos=Vec2(*data["sink_pos"]),
+            point=Vec2(*data["point"]),
+            k=data["k"],
+            assurance_gain=data["g"],
+            sectors_total=data["S"],
+            sector=data["sector"],
+            width=data["w"],
+            spacing=data["spacing"],
+            inverted=data["inverted"],
+            radius_history=list(data["radii"]),
+            waypoint_index=data["wp_idx"],
+            explored=data["explored"],
+            max_speed=data["max_speed"],
+            started_at=data["ts"],
+            candidates=list(data["cands"]),
+            stats={int(k_): tuple(v) for k_, v in data["stats"].items()},
+            visited=list(data["visited"]),
+            voids=data["voids"],
+            consecutive_detours=data["detours"],
+            assurance_extended=data["assured"],
+            boundary_extensions=data["extensions"],
+        )

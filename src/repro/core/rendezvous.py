@@ -1,0 +1,119 @@
+"""Rendezvous-based dynamic boundary adjustment (paper §4.3, Figure 6).
+
+Peri-segment directions are inverted in every interseptal sector, so
+sub-itineraries of adjacent sectors arrive at their shared border at about
+the same ring — the face-to-face adj-segments form rendezvous areas.  A
+Q-node finishing a ring broadcasts a small rendezvous announcement with its
+sector's exploration statistics; border nodes cache it, and the adjacent
+sector's Q-node picks the statistics up through its D-node replies when it
+probes those border nodes.
+
+With statistics from 2, 4, ..., min(2j, S) sectors at the j-th rendezvous,
+a Q-node infers the *total* number of nodes explored around q (bilinear
+interpolation fills in unheard sectors, per the paper) and re-solves the
+boundary radius: stop early when k is already covered, extend when the
+estimated density says the boundary is too small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SectorStats:
+    """Exploration statistics of one sector, as gossiped at rendezvous."""
+
+    explored: int = 0          # nodes discovered in the sector so far
+    progress_radius: float = 0.0  # how far out the sub-itinerary has walked
+
+    def to_wire(self) -> tuple:
+        return (self.explored, round(self.progress_radius, 2))
+
+    @staticmethod
+    def from_wire(data: tuple) -> "SectorStats":
+        return SectorStats(explored=int(data[0]),
+                           progress_radius=float(data[1]))
+
+
+def merge_stats(mine: Dict[int, SectorStats],
+                theirs: Dict[int, SectorStats]) -> None:
+    """Fold gossip into local knowledge, keeping the most advanced report
+    per sector."""
+    for sector, stats in theirs.items():
+        held = mine.get(sector)
+        if held is None or stats.progress_radius > held.progress_radius or \
+                (stats.progress_radius == held.progress_radius
+                 and stats.explored > held.explored):
+            mine[sector] = stats
+
+
+@dataclass(frozen=True)
+class BoundaryDecision:
+    """Outcome of a boundary re-evaluation."""
+
+    action: str               # "continue" | "stop" | "extend"
+    new_radius: Optional[float] = None
+    estimated_total: float = 0.0
+
+
+def evaluate_boundary(stats: Dict[int, SectorStats], sectors_total: int,
+                      k: int, current_radius: float,
+                      progress_radius: float,
+                      extend_cap: float,
+                      extend_threshold: float = 1.15,
+                      stop_margin: float = 1.0,
+                      min_extend_progress: float = 0.85) -> BoundaryDecision:
+    """Re-solve the boundary radius from gossiped exploration statistics.
+
+    Interpolates unheard sectors with the mean of heard ones, then inverts
+    the uniform-density count model: if ``est_total`` nodes were found
+    within ``progress_radius``, the radius expected to hold ``k`` nodes is
+    ``progress_radius * sqrt(k / est_total)``.
+
+    Args:
+        stats: per-sector statistics known locally (own sector included).
+        sectors_total: S.
+        k: query target.
+        current_radius: the boundary radius currently being traversed.
+        progress_radius: how far out this sub-itinerary has walked.
+        extend_cap: hard upper bound for extensions (e.g. field diagonal).
+        extend_threshold: extend only when the re-solved radius exceeds the
+            current one by this factor (damps estimator noise).
+        stop_margin: stop early only when ``est_total >= k * stop_margin``.
+        min_extend_progress: extend only after the walk has covered this
+            fraction of the current boundary — early-traversal density
+            samples are too noisy to resize on.
+
+    Returns:
+        The decision; ``new_radius`` is set for "extend".
+    """
+    if not stats or progress_radius <= 0.0:
+        return BoundaryDecision("continue")
+    known = [s.explored for s in stats.values()]
+    est_total = sum(known) / len(known) * sectors_total
+    if est_total <= 0.0:
+        # Nothing found anywhere yet: extend once the walk has covered the
+        # whole current boundary (empty region), else keep going.
+        if progress_radius >= current_radius - 1e-9:
+            new_r = min(current_radius * 1.5, extend_cap)
+            if new_r > current_radius + 1e-9:
+                return BoundaryDecision("extend", new_radius=new_r,
+                                        estimated_total=0.0)
+        return BoundaryDecision("continue", estimated_total=0.0)
+
+    needed_radius = progress_radius * math.sqrt(k / est_total)
+
+    if est_total >= k * stop_margin and needed_radius <= progress_radius:
+        return BoundaryDecision("stop", estimated_total=est_total)
+
+    if (needed_radius > current_radius * extend_threshold
+            and progress_radius >= min_extend_progress * current_radius):
+        new_r = min(needed_radius, extend_cap)
+        if new_r > current_radius + 1e-9:
+            return BoundaryDecision("extend", new_radius=new_r,
+                                    estimated_total=est_total)
+
+    return BoundaryDecision("continue", estimated_total=est_total)

@@ -1,0 +1,10 @@
+"""Node deployment generators: uniform, clustered, caribou-herd, grid."""
+
+from .base import Deployment
+from .caribou import CaribouDeployment
+from .clustered import ClusteredDeployment
+from .grid_deploy import GridDeployment
+from .uniform import UniformDeployment
+
+__all__ = ["Deployment", "CaribouDeployment", "ClusteredDeployment",
+           "GridDeployment", "UniformDeployment"]

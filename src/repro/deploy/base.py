@@ -1,0 +1,30 @@
+"""Deployment generator interface and helpers.
+
+A deployment places ``n`` node positions inside a rectangular field.  The
+paper uses uniform random placement for the main experiments (§5.1) and a
+real-world caribou distribution for the Figure 7 demonstration; clustered
+and grid deployments support the spatial-irregularity ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+
+
+class Deployment(abc.ABC):
+    """Strategy producing initial node positions."""
+
+    @abc.abstractmethod
+    def generate(self, n: int, field: Rect,
+                 rng: np.random.Generator) -> List[Vec2]:
+        """``n`` positions inside ``field``."""
+
+    @staticmethod
+    def _validate(n: int) -> None:
+        if n < 0:
+            raise ValueError("cannot deploy a negative number of nodes")

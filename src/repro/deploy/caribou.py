@@ -1,0 +1,132 @@
+"""Synthetic caribou-herd deployment (substitute for the Gros Morne trace).
+
+The paper's Figure 7 runs DIKNN over a real caribou population distribution
+from Gros Morne National Park [27]; that map is no longer obtainable.  What
+Figure 7 needs from the data is a *large, strongly irregular field with
+dense herds, sparse stragglers, and hard voids* — conditions that provoke
+itinerary voids and isolated sector pockets.  This generator synthesizes a
+field with those properties:
+
+* herds: anisotropic Gaussian clusters strung along a meandering valley
+  corridor (animals aggregate along terrain features);
+* stragglers: a thin uniform background;
+* voids: elliptical exclusion zones ("lakes/barrens") that reject samples.
+
+See DESIGN.md §4 (substitution 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+from .base import Deployment
+
+
+@dataclass(frozen=True)
+class _Void:
+    center: Vec2
+    rx: float
+    ry: float
+
+    def contains(self, p: Vec2) -> bool:
+        dx = (p.x - self.center.x) / self.rx
+        dy = (p.y - self.center.y) / self.ry
+        return dx * dx + dy * dy <= 1.0
+
+
+class CaribouDeployment(Deployment):
+    """Herd-structured irregular deployment with exclusion voids."""
+
+    def __init__(self, n_herds: int = 6, straggler_fraction: float = 0.12,
+                 n_voids: int = 3, herd_spread_fraction: float = 0.06,
+                 corridor_amplitude: float = 0.25):
+        if not 0.0 <= straggler_fraction <= 1.0:
+            raise ValueError("straggler_fraction must lie in [0, 1]")
+        if n_herds < 1:
+            raise ValueError("need at least one herd")
+        self.n_herds = n_herds
+        self.straggler_fraction = straggler_fraction
+        self.n_voids = n_voids
+        self.herd_spread_fraction = herd_spread_fraction
+        self.corridor_amplitude = corridor_amplitude
+
+    def _make_voids(self, field: Rect,
+                    rng: np.random.Generator) -> List[_Void]:
+        voids = []
+        for _ in range(self.n_voids):
+            center = Vec2(float(rng.uniform(field.x_min, field.x_max)),
+                          float(rng.uniform(field.y_min, field.y_max)))
+            rx = float(rng.uniform(0.06, 0.14)) * field.width
+            ry = float(rng.uniform(0.06, 0.14)) * field.height
+            voids.append(_Void(center, rx, ry))
+        return voids
+
+    def _herd_centers(self, field: Rect,
+                      rng: np.random.Generator) -> List[Vec2]:
+        """Herds strung along a sinusoidal valley corridor."""
+        centers = []
+        phase = float(rng.uniform(0.0, 2.0 * math.pi))
+        for i in range(self.n_herds):
+            frac = (i + 0.5) / self.n_herds
+            x = field.x_min + frac * field.width
+            mid_y = field.y_min + field.height / 2.0
+            y = mid_y + (self.corridor_amplitude * field.height
+                         * math.sin(2.0 * math.pi * frac + phase))
+            jitter = 0.05 * min(field.width, field.height)
+            centers.append(field.clamp(Vec2(
+                x + float(rng.normal(0.0, jitter)),
+                y + float(rng.normal(0.0, jitter)))))
+        return centers
+
+    def generate(self, n: int, field: Rect,
+                 rng: np.random.Generator) -> List[Vec2]:
+        self._validate(n)
+        voids = self._make_voids(field, rng)
+        centers = self._herd_centers(field, rng)
+        spread = self.herd_spread_fraction * min(field.width, field.height)
+        n_stragglers = int(round(n * self.straggler_fraction))
+        n_herded = n - n_stragglers
+        # Herd sizes follow a Dirichlet draw: real herds are unequal.
+        weights = rng.dirichlet([2.0] * len(centers))
+        positions: List[Vec2] = []
+
+        def _sample_ok(p: Vec2) -> bool:
+            return field.contains(p) and not any(v.contains(p) for v in voids)
+
+        for center, w in zip(centers, weights):
+            target = int(round(n_herded * float(w)))
+            # Anisotropic: herds stretch along the corridor (x axis).
+            sx, sy = spread * 1.8, spread * 0.8
+            made = 0
+            attempts = 0
+            while made < target and attempts < target * 50 + 100:
+                attempts += 1
+                p = field.clamp(Vec2(float(rng.normal(center.x, sx)),
+                                     float(rng.normal(center.y, sy))))
+                if _sample_ok(p):
+                    positions.append(p)
+                    made += 1
+        while len(positions) < n - n_stragglers:
+            # Top up if rounding/void rejection left us short.
+            p = Vec2(float(rng.uniform(field.x_min, field.x_max)),
+                     float(rng.uniform(field.y_min, field.y_max)))
+            if _sample_ok(p):
+                positions.append(p)
+        attempts = 0
+        while len(positions) < n and attempts < n * 100 + 1000:
+            attempts += 1
+            p = Vec2(float(rng.uniform(field.x_min, field.x_max)),
+                     float(rng.uniform(field.y_min, field.y_max)))
+            if _sample_ok(p):
+                positions.append(p)
+        # Pathological void coverage: fall back to unconstrained placement
+        # rather than returning fewer nodes than asked for.
+        while len(positions) < n:
+            positions.append(Vec2(float(rng.uniform(field.x_min, field.x_max)),
+                                  float(rng.uniform(field.y_min, field.y_max))))
+        return positions[:n]

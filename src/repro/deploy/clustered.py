@@ -1,0 +1,65 @@
+"""Clustered (spatially irregular) deployment.
+
+Implements the spatial irregularity scenario of Ganesan et al. [8] that the
+paper cites in §4.3: node density varies strongly across the field.  A
+Gaussian-mixture placement with a uniform background produces exactly the
+unpredictable-density regime the rendezvous mechanism targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+from .base import Deployment
+
+
+class ClusteredDeployment(Deployment):
+    """Gaussian-mixture clusters over a uniform background."""
+
+    def __init__(self, n_clusters: int = 4, cluster_fraction: float = 0.8,
+                 spread_fraction: float = 0.08,
+                 centers: Optional[Sequence[Tuple[float, float]]] = None):
+        """
+        Args:
+            n_clusters: number of Gaussian blobs (ignored if ``centers``).
+            cluster_fraction: fraction of nodes placed in blobs; the rest
+                are uniform background stragglers.
+            spread_fraction: blob standard deviation as a fraction of the
+                smaller field dimension.
+            centers: explicit blob centers; random if omitted.
+        """
+        if not 0.0 <= cluster_fraction <= 1.0:
+            raise ValueError("cluster_fraction must lie in [0, 1]")
+        if n_clusters < 1 and centers is None:
+            raise ValueError("need at least one cluster")
+        self.n_clusters = n_clusters
+        self.cluster_fraction = cluster_fraction
+        self.spread_fraction = spread_fraction
+        self.centers = centers
+
+    def generate(self, n: int, field: Rect,
+                 rng: np.random.Generator) -> List[Vec2]:
+        self._validate(n)
+        if self.centers is not None:
+            centers = [Vec2(cx, cy) for cx, cy in self.centers]
+        else:
+            centers = [Vec2(float(rng.uniform(field.x_min, field.x_max)),
+                            float(rng.uniform(field.y_min, field.y_max)))
+                       for _ in range(self.n_clusters)]
+        spread = self.spread_fraction * min(field.width, field.height)
+        n_clustered = int(round(n * self.cluster_fraction))
+        positions: List[Vec2] = []
+        if centers and n_clustered:
+            assignments = rng.integers(0, len(centers), size=n_clustered)
+            for ci in assignments:
+                center = centers[int(ci)]
+                p = Vec2(float(rng.normal(center.x, spread)),
+                         float(rng.normal(center.y, spread)))
+                positions.append(field.clamp(p))
+        for _ in range(n - len(positions)):
+            positions.append(Vec2(float(rng.uniform(field.x_min, field.x_max)),
+                                  float(rng.uniform(field.y_min, field.y_max))))
+        return positions

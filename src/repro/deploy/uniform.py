@@ -1,0 +1,21 @@
+"""Uniform random deployment — the paper's default (§5.1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+from .base import Deployment
+
+
+class UniformDeployment(Deployment):
+    """Nodes i.i.d. uniform over the field."""
+
+    def generate(self, n: int, field: Rect,
+                 rng: np.random.Generator) -> List[Vec2]:
+        self._validate(n)
+        xs = rng.uniform(field.x_min, field.x_max, size=n)
+        ys = rng.uniform(field.y_min, field.y_max, size=n)
+        return [Vec2(float(x), float(y)) for x, y in zip(xs, ys)]

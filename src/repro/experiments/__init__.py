@@ -1,0 +1,33 @@
+"""Experiment harness: configs, runner, sweeps, figure tables, SVG viz."""
+
+from .config import (PAPER_DEFAULTS, SimulationConfig, SimulationHandle,
+                     build_simulation, defaults_table, make_deployment)
+from .charts import (render_figure_charts, render_line_chart,
+                     save_figure_charts)
+from .report import (claim_checklist, generate_report, load_sweep,
+                     render_report, save_sweep, sweep_from_dict,
+                     sweep_to_dict)
+from .scenario import Scenario, paper_default_scenario
+from .runner import repeat_workload, run_query, run_workload
+from .series import SeriesPoint, SweepResult
+from .sweeps import (FIG8_K_VALUES, FIG9_SPEEDS, default_protocol_factories,
+                     fig8_sweep, fig9_sweep)
+from .tables import FIGURE_PANELS, figure_report, shape_checks
+from .viz import TraversalRecorder, TraversalTrace, render_svg, save_svg
+from .workloads import (HotspotWorkload, MovingTargetWorkload,
+                        QueryWorkload, UniformWorkload)
+
+__all__ = [
+    "PAPER_DEFAULTS", "SimulationConfig", "SimulationHandle",
+    "build_simulation", "defaults_table", "make_deployment",
+    "render_figure_charts", "render_line_chart", "save_figure_charts",
+    "Scenario", "paper_default_scenario",
+    "claim_checklist", "generate_report", "load_sweep", "render_report",
+    "save_sweep", "sweep_from_dict", "sweep_to_dict",
+    "repeat_workload", "run_query", "run_workload", "SeriesPoint",
+    "SweepResult", "FIG8_K_VALUES", "FIG9_SPEEDS",
+    "default_protocol_factories", "fig8_sweep", "fig9_sweep",
+    "FIGURE_PANELS", "figure_report", "shape_checks", "TraversalRecorder",
+    "TraversalTrace", "render_svg", "save_svg", "HotspotWorkload",
+    "MovingTargetWorkload", "QueryWorkload", "UniformWorkload",
+]

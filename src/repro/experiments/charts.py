@@ -1,0 +1,154 @@
+"""Dependency-free SVG line charts for the figure series.
+
+Renders each panel of a sweep (latency / energy / post- / pre-accuracy)
+as a small multi-series line chart, so the reproduction report can show
+actual figures next to the tables — matplotlib-free, viewable in any
+browser or markdown renderer that inlines SVG.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .series import SweepResult
+from .tables import FIGURE_PANELS
+
+#: series palette (color-blind-safe-ish)
+_COLORS = {"diknn": "#2c6fbb", "kpt": "#d1662c", "peertree": "#3f9b5f",
+           "flooding": "#8a4fb0"}
+_FALLBACK = ["#2c6fbb", "#d1662c", "#3f9b5f", "#8a4fb0", "#b03a5b"]
+
+
+def _color(proto: str, index: int) -> str:
+    return _COLORS.get(proto, _FALLBACK[index % len(_FALLBACK)])
+
+
+def _nice_ticks(low: float, high: float, n: int = 4) -> List[float]:
+    """A handful of round tick values spanning [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    raw = (high - low) / n
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    start = math.ceil(low / step) * step
+    ticks = []
+    t = start
+    while t <= high + 1e-9:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks or [low, high]
+
+
+def render_line_chart(result: SweepResult, metric: str,
+                      title: str = "", width: int = 420,
+                      height: int = 300,
+                      y_label: str = "") -> str:
+    """One metric of a sweep as a standalone SVG line chart."""
+    protos = sorted(result.series)
+    if not protos:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+    margin_l, margin_r, margin_t, margin_b = 52, 16, 28, 40
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    xs = result.xs(protos[0])
+    all_ys = [y for p in protos for y in result.metric_series(p, metric)
+              if not math.isnan(y)]
+    if not all_ys:
+        all_ys = [0.0, 1.0]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(0.0, min(all_ys))
+    y_hi = max(all_ys) * 1.08 or 1.0
+
+    def sx(x: float) -> float:
+        if x_hi == x_lo:
+            return margin_l + plot_w / 2
+        return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_t + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif">',
+        '<rect width="100%" height="100%" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13" fill="#222">{title}</text>',
+        # axes
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="#444"/>',
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{margin_l + plot_w}" y2="{margin_t + plot_h}" '
+        f'stroke="#444"/>',
+    ]
+    # ticks
+    for t in _nice_ticks(x_lo, x_hi):
+        parts.append(f'<text x="{sx(t):.1f}" y="{margin_t + plot_h + 16}" '
+                     f'text-anchor="middle" font-size="10" '
+                     f'fill="#333">{t:g}</text>')
+    for t in _nice_ticks(y_lo, y_hi):
+        parts.append(f'<text x="{margin_l - 6}" y="{sy(t) + 3:.1f}" '
+                     f'text-anchor="end" font-size="10" '
+                     f'fill="#333">{t:g}</text>')
+        parts.append(f'<line x1="{margin_l}" y1="{sy(t):.1f}" '
+                     f'x2="{margin_l + plot_w}" y2="{sy(t):.1f}" '
+                     f'stroke="#eee"/>')
+    parts.append(f'<text x="{margin_l + plot_w / 2:.0f}" '
+                 f'y="{height - 6}" text-anchor="middle" font-size="11" '
+                 f'fill="#333">{result.x_name}</text>')
+    if y_label:
+        parts.append(f'<text x="14" y="{margin_t + plot_h / 2:.0f}" '
+                     f'font-size="11" fill="#333" text-anchor="middle" '
+                     f'transform="rotate(-90 14 '
+                     f'{margin_t + plot_h / 2:.0f})">{y_label}</text>')
+    # series
+    for i, proto in enumerate(protos):
+        color = _color(proto, i)
+        pts = [(sx(x), sy(y)) for x, y in
+               zip(result.xs(proto), result.metric_series(proto, metric))
+               if not math.isnan(y)]
+        if len(pts) >= 2:
+            path = " ".join(f"{px:.1f},{py:.1f}" for px, py in pts)
+            parts.append(f'<polyline points="{path}" fill="none" '
+                         f'stroke="{color}" stroke-width="2"/>')
+        for px, py in pts:
+            parts.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3" '
+                         f'fill="{color}"/>')
+        # legend
+        ly = margin_t + 4 + 14 * i
+        parts.append(f'<rect x="{margin_l + plot_w - 84}" y="{ly - 8}" '
+                     f'width="10" height="10" fill="{color}"/>')
+        parts.append(f'<text x="{margin_l + plot_w - 70}" y="{ly + 1}" '
+                     f'font-size="10" fill="#222">{proto}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_figure_charts(result: SweepResult, figure_name: str,
+                         panels: Optional[Sequence[Tuple[str, str]]] = None
+                         ) -> Dict[str, str]:
+    """All four panels of a figure as SVG charts, keyed by metric."""
+    panels = panels or FIGURE_PANELS
+    return {metric: render_line_chart(result, metric,
+                                      title=f"{figure_name} — {label}",
+                                      y_label=label)
+            for metric, label in panels}
+
+
+def save_figure_charts(result: SweepResult, figure_name: str,
+                       directory: str) -> List[str]:
+    """Write one SVG per panel into ``directory``; returns the paths."""
+    import os
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    slug = figure_name.lower().replace(" ", "_")
+    for metric, svg in render_figure_charts(result, figure_name).items():
+        path = os.path.join(directory, f"{slug}_{metric}.svg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        paths.append(path)
+    return paths

@@ -1,0 +1,159 @@
+"""Simulation configuration and factory (paper §5.1 defaults).
+
+``SimulationConfig`` captures every knob of the paper's settings table;
+``build_simulation`` wires a ready-to-query simulation out of one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..core.base import QueryProtocol
+from ..deploy import (CaribouDeployment, ClusteredDeployment, Deployment,
+                      GridDeployment, UniformDeployment)
+from ..geometry import Rect, Vec2
+from ..mobility import RandomWaypointMobility, StaticMobility
+from ..net import MacConfig, Network, RadioModel, SensorNode
+from ..routing import GpsrConfig, GpsrRouter
+from ..sim import ConfigurationError, Simulator
+
+#: the paper's §5.1 default-parameter table, name -> (value, unit)
+PAPER_DEFAULTS: Dict[str, Tuple[object, str]] = {
+    "node_number": (200, "nodes"),
+    "network_size": ("115 x 115", "m^2"),
+    "node_degree": (20, "neighbors"),
+    "response_size": (10, "bytes"),
+    "channel_rate": (250, "kbps"),
+    "time_unit_m": (0.018, "s"),
+    "rendezvous": ("enabled", ""),
+    "radio_range_r": (20, "m"),
+    "sector_number": (8, "sectors"),
+    "mu_max": (10, "m/s"),
+    "beacon_interval": (0.5, "s"),
+    "rts_cts": ("off", ""),
+    "query_interval": (4, "s"),
+    "assurance_gain": (0.1, ""),
+}
+
+_DEPLOYMENTS = {
+    "uniform": UniformDeployment,
+    "clustered": ClusteredDeployment,
+    "caribou": CaribouDeployment,
+    "grid": GridDeployment,
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to build one simulation instance."""
+
+    n_nodes: int = 200
+    field_size: Tuple[float, float] = (115.0, 115.0)
+    radio_range: float = 20.0
+    channel_rate_bps: float = 250_000.0
+    max_speed: float = 10.0              # µmax of the RWP model
+    beacon_interval: float = 0.5
+    packet_loss_rate: float = 0.0
+    shadowing_sigma: float = 0.0         # log-normal link irregularity
+    seed: int = 0
+    deployment: str = "uniform"
+    sink_position: Optional[Tuple[float, float]] = None  # default: corner
+    warmup_s: float = 1.5
+    query_interval_mean: float = 4.0     # exponential inter-query time
+    assurance_gain: float = 0.1
+    query_margin_fraction: float = 0.15  # inset query points from the field
+                                         # edge (avoids KNN edge effects)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        if self.deployment not in _DEPLOYMENTS:
+            raise ConfigurationError(
+                f"unknown deployment {self.deployment!r}; "
+                f"choose from {sorted(_DEPLOYMENTS)}")
+        if self.max_speed < 0:
+            raise ConfigurationError("max_speed must be >= 0")
+
+    @property
+    def field(self) -> Rect:
+        return Rect.from_size(*self.field_size)
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """A modified copy (sweep helper)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class SimulationHandle:
+    """A built simulation: kernel, network, router, protocol, sink."""
+
+    config: SimulationConfig
+    sim: Simulator
+    network: Network
+    router: GpsrRouter
+    protocol: QueryProtocol
+    sink: SensorNode
+
+    def warm_up(self) -> None:
+        """Start beacons, let tables fill, then build protocol structures."""
+        self.network.warm_up(self.config.warmup_s)
+        self.protocol.setup()
+
+
+def make_deployment(name: str) -> Deployment:
+    """Deployment generator by name."""
+    return _DEPLOYMENTS[name]()
+
+
+def build_simulation(config: SimulationConfig,
+                     protocol: QueryProtocol,
+                     mac_config: Optional[MacConfig] = None,
+                     gpsr_config: Optional[GpsrConfig] = None
+                     ) -> SimulationHandle:
+    """Construct a full simulation per ``config`` and install ``protocol``.
+
+    The sink is a dedicated stationary node (a base station) placed at
+    ``config.sink_position`` (default: near the field corner); the
+    ``config.n_nodes`` sensor nodes follow the random waypoint model with
+    µmax = ``config.max_speed``.
+    """
+    sim = Simulator(seed=config.seed)
+    radio = RadioModel(range_m=config.radio_range,
+                       channel_rate_bps=config.channel_rate_bps,
+                       base_loss_rate=config.packet_loss_rate,
+                       shadowing_sigma=config.shadowing_sigma)
+    network = Network(sim, radio=radio, mac_config=mac_config,
+                      beacon_interval=config.beacon_interval)
+    field = config.field
+    deploy_rng = sim.rng.stream("deploy")
+    positions = make_deployment(config.deployment).generate(
+        config.n_nodes, field, deploy_rng)
+    reading_rng = sim.rng.stream("readings")
+    for i, pos in enumerate(positions):
+        if config.max_speed > 0:
+            mobility = RandomWaypointMobility(
+                pos, field, sim.rng.stream(f"mobility.{i}"),
+                max_speed=config.max_speed)
+        else:
+            mobility = StaticMobility(pos)
+        network.add_node(SensorNode(i, mobility,
+                                    reading=float(reading_rng.uniform(0, 100))))
+    sink_pos = (Vec2(*config.sink_position) if config.sink_position
+                else Vec2(field.x_min + 0.05 * field.width,
+                          field.y_min + 0.05 * field.height))
+    sink = SensorNode(config.n_nodes, StaticMobility(field.clamp(sink_pos)))
+    network.add_node(sink)
+    router = GpsrRouter(network, config=gpsr_config)
+    protocol.install(network, router)
+    return SimulationHandle(config=config, sim=sim, network=network,
+                            router=router, protocol=protocol, sink=sink)
+
+
+def defaults_table() -> str:
+    """The paper's §5.1 parameter table, formatted (experiment E0)."""
+    lines = ["Parameter            Value        Unit",
+             "-" * 42]
+    for name, (value, unit) in PAPER_DEFAULTS.items():
+        lines.append(f"{name:<20} {str(value):<12} {unit}")
+    return "\n".join(lines)

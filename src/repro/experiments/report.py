@@ -1,0 +1,162 @@
+"""Automated reproduction report.
+
+Runs the Figure 8 and Figure 9 sweeps and renders a self-contained
+markdown report with the same series tables and paper-claim checklist
+that EXPERIMENTS.md records — so anyone can regenerate the whole
+evaluation with one command (``python -m repro report``).
+
+Sweep results can also be persisted to / reloaded from JSON, letting the
+expensive simulation runs and the report rendering happen separately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from .config import SimulationConfig, defaults_table
+from .series import SeriesPoint, SweepResult
+from .sweeps import default_protocol_factories, fig8_sweep, fig9_sweep
+from .tables import figure_report
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """JSON-serializable form of a sweep."""
+    return {
+        "x_name": result.x_name,
+        "series": {proto: [asdict(point) for point in points]
+                   for proto, points in result.series.items()},
+    }
+
+
+def sweep_from_dict(data: dict) -> SweepResult:
+    """Inverse of :func:`sweep_to_dict`."""
+    result = SweepResult(x_name=data["x_name"])
+    for proto, points in data["series"].items():
+        for point in points:
+            result.add(proto, SeriesPoint(**point))
+    return result
+
+
+def save_sweep(path: str, result: SweepResult) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sweep_to_dict(result), handle, indent=2)
+
+
+def load_sweep(path: str) -> SweepResult:
+    with open(path, "r", encoding="utf-8") as handle:
+        return sweep_from_dict(json.load(handle))
+
+
+#: the paper's qualitative claims, evaluated against measured sweeps.
+#: name -> (description, predicate(fig8, fig9) -> bool)
+def _claims():
+    def mean(xs):
+        finite = [x for x in xs if x == x]  # drop NaN
+        return sum(finite) / len(finite) if finite else float("nan")
+
+    return [
+        ("Fig8: latency grows with k for every protocol",
+         lambda f8, f9: all(
+             f8.metric_series(p, "latency")[-1]
+             > f8.metric_series(p, "latency")[0]
+             for p in f8.series)),
+        ("Fig8: DIKNN has the lowest latency at every k",
+         lambda f8, f9: all(
+             f8.metric_series("diknn", "latency")[i]
+             <= min(f8.metric_series(p, "latency")[i]
+                    for p in f8.series) + 1e-9
+             for i in range(len(f8.xs("diknn"))))),
+        ("Fig8: KPT's energy overtakes DIKNN's at large k "
+         "(collision retransmissions)",
+         lambda f8, f9: f8.metric_series("kpt", "energy_j")[-1]
+         > f8.metric_series("diknn", "energy_j")[-1]),
+        ("Fig8: KPT accuracy degrades as k grows; DIKNN stays precise",
+         lambda f8, f9: (f8.metric_series("kpt", "pre_accuracy")[-1]
+                         < f8.metric_series("kpt", "pre_accuracy")[0]
+                         and f8.metric_series("diknn",
+                                              "pre_accuracy")[-1] >= 0.65)),
+        ("Fig8: Peer-tree post-accuracy below DIKNN (stale clusterheads)",
+         lambda f8, f9: mean(f8.metric_series("peertree", "post_accuracy"))
+         < mean(f8.metric_series("diknn", "post_accuracy"))),
+        ("Fig9: DIKNN latency stable under mobility",
+         lambda f8, f9: max(f9.metric_series("diknn", "latency"))
+         < 2.5 * min(f9.metric_series("diknn", "latency"))),
+        ("Fig9: Peer-tree energy rises with mobility (MBR updates)",
+         lambda f8, f9: f9.metric_series("peertree", "energy_j")[-1]
+         > 1.2 * f9.metric_series("peertree", "energy_j")[0]),
+        ("Fig9: Peer-tree accuracy collapses under mobility",
+         lambda f8, f9: f9.metric_series("peertree", "post_accuracy")[-1]
+         < f9.metric_series("peertree", "post_accuracy")[0] - 0.15),
+        ("Fig9: DIKNN most accurate at the highest speed",
+         lambda f8, f9: f9.metric_series("diknn", "pre_accuracy")[-1]
+         >= max(f9.metric_series(p, "pre_accuracy")[-1]
+                for p in f9.series) - 1e-9),
+    ]
+
+
+def claim_checklist(fig8: SweepResult, fig9: SweepResult) -> Dict[str, bool]:
+    """Evaluate every paper claim against the measured sweeps."""
+    out: Dict[str, bool] = {}
+    for name, predicate in _claims():
+        try:
+            out[name] = bool(predicate(fig8, fig9))
+        except (KeyError, IndexError, ZeroDivisionError):
+            out[name] = False
+    return out
+
+
+def render_report(fig8: SweepResult, fig9: SweepResult,
+                  title: str = "DIKNN reproduction report",
+                  chart_dir: Optional[str] = None) -> str:
+    """A self-contained markdown report for the two headline figures.
+
+    With ``chart_dir`` set, SVG line charts of every panel are written
+    there and referenced from the report (like the paper's figures).
+    """
+    checklist = claim_checklist(fig8, fig9)
+    chart_lines_8: list = []
+    chart_lines_9: list = []
+    if chart_dir is not None:
+        from .charts import save_figure_charts
+        import os
+        for sweep, name, bucket in ((fig8, "Figure 8", chart_lines_8),
+                                    (fig9, "Figure 9", chart_lines_9)):
+            for path in save_figure_charts(sweep, name, chart_dir):
+                rel = os.path.basename(path)
+                bucket.append(f"![{name}]({rel})")
+    lines = [f"# {title}", "",
+             "## Configuration (paper §5.1 defaults)", "",
+             "```", defaults_table(), "```", "",
+             "## Figure 8 — scalability in k", "", "```",
+             figure_report(fig8, "Figure 8"), "```", ""]
+    lines += chart_lines_8
+    lines += ["",
+              "## Figure 9 — impact of mobility", "", "```",
+              figure_report(fig9, "Figure 9"), "```", ""]
+    lines += chart_lines_9
+    lines += ["", "## Paper-claim checklist", ""]
+    for name, holds in checklist.items():
+        mark = "x" if holds else " "
+        lines.append(f"- [{mark}] {name}")
+    passed = sum(checklist.values())
+    lines += ["", f"**{passed}/{len(checklist)} claims hold.**", ""]
+    return "\n".join(lines)
+
+
+def generate_report(base: Optional[SimulationConfig] = None,
+                    repeats: int = 2, duration: float = 30.0,
+                    k_values=(20, 40, 60, 80, 100),
+                    speeds=(5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+                    chart_dir: Optional[str] = None) -> str:
+    """Run both sweeps and render the report (the expensive path)."""
+    base = base or SimulationConfig(seed=1)
+    factories = default_protocol_factories()
+    fig8 = fig8_sweep(base=base.with_(max_speed=10.0), k_values=k_values,
+                      factories=factories, repeats=repeats,
+                      duration=duration)
+    fig9 = fig9_sweep(base=base, speeds=speeds, k=40,
+                      factories=factories, repeats=repeats,
+                      duration=duration)
+    return render_report(fig8, fig9, chart_dir=chart_dir)

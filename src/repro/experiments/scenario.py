@@ -1,0 +1,138 @@
+"""Scenario files: complete experiment setups as JSON documents.
+
+A scenario pins everything a run needs — simulation config, protocol and
+its parameters, workload, k, duration — so an experiment can be shared,
+versioned and re-run exactly (`python -m repro run-scenario file.json`).
+The reproduction's equivalent of ns-2's TCL scenario scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..baselines import (FloodingConfig, FloodingProtocol, KPTConfig,
+                         KPTProtocol, PeerTreeConfig, PeerTreeProtocol)
+from ..core import DIKNNConfig, DIKNNProtocol
+from ..core.base import QueryProtocol
+from ..metrics import RunMetrics
+from ..sim.errors import ConfigurationError
+from .config import SimulationConfig
+from .runner import run_workload
+from .workloads import (HotspotWorkload, MovingTargetWorkload,
+                        QueryWorkload, UniformWorkload)
+
+_PROTOCOLS = {
+    "diknn": (DIKNNProtocol, DIKNNConfig),
+    "kpt": (KPTProtocol, KPTConfig),
+    "peertree": (PeerTreeProtocol, PeerTreeConfig),
+    "flooding": (FloodingProtocol, FloodingConfig),
+}
+
+_WORKLOADS = {
+    "uniform": UniformWorkload,
+    "hotspot": HotspotWorkload,
+    "moving_target": MovingTargetWorkload,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully pinned experiment."""
+
+    name: str
+    protocol: str
+    k: int
+    duration_s: float = 40.0
+    query_timeout_s: float = 10.0
+    simulation: Dict[str, Any] = field(default_factory=dict)
+    protocol_params: Dict[str, Any] = field(default_factory=dict)
+    workload: str = "uniform"
+    workload_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in _PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {sorted(_PROTOCOLS)}")
+        if self.workload not in _WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; "
+                f"choose from {sorted(_WORKLOADS)}")
+        if self.k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+
+    # -- construction ------------------------------------------------------
+
+    def build_config(self) -> SimulationConfig:
+        return SimulationConfig(**self.simulation)
+
+    def build_protocol(self, config: SimulationConfig) -> QueryProtocol:
+        cls, cfg_cls = _PROTOCOLS[self.protocol]
+        if self.protocol == "peertree":
+            params = cfg_cls(**self.protocol_params) \
+                if self.protocol_params else None
+            return cls(config.field, params)
+        params = cfg_cls(**self.protocol_params) \
+            if self.protocol_params else None
+        return cls(params)
+
+    def build_workload(self) -> QueryWorkload:
+        return _WORKLOADS[self.workload](**self.workload_params)
+
+    def run(self) -> RunMetrics:
+        """Execute the scenario once and return its metrics."""
+        config = self.build_config()
+        return run_workload(config,
+                            lambda cfg: self.build_protocol(cfg),
+                            k=self.k, duration=self.duration_s,
+                            query_timeout=self.query_timeout_s,
+                            workload=self.build_workload())
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "k": self.k,
+            "duration_s": self.duration_s,
+            "query_timeout_s": self.query_timeout_s,
+            "simulation": dict(self.simulation),
+            "protocol_params": dict(self.protocol_params),
+            "workload": self.workload,
+            "workload_params": dict(self.workload_params),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Scenario":
+        known = {"name", "protocol", "k", "duration_s", "query_timeout_s",
+                 "simulation", "protocol_params", "workload",
+                 "workload_params"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields: {sorted(unknown)}")
+        return Scenario(**data)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @staticmethod
+    def load(path: str) -> "Scenario":
+        with open(path, "r", encoding="utf-8") as handle:
+            return Scenario.from_dict(json.load(handle))
+
+
+def paper_default_scenario(protocol: str = "diknn", k: int = 40,
+                           seed: int = 1) -> Scenario:
+    """The paper's §5.1 setup as a scenario document."""
+    return Scenario(name=f"paper-default-{protocol}-k{k}",
+                    protocol=protocol, k=k, duration_s=40.0,
+                    simulation={"seed": seed, "max_speed": 10.0},
+                    workload="uniform",
+                    workload_params={"mean_interval": 4.0})

@@ -1,0 +1,77 @@
+"""Sweep results: aggregation over runs, paper-figure series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..metrics.outcome import RunMetrics, mean_ignoring_nan
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, metrics) point of a figure series, averaged over runs."""
+
+    x: float
+    latency: float
+    energy_j: float
+    pre_accuracy: float
+    post_accuracy: float
+    completion_rate: float
+    runs: int
+
+    @staticmethod
+    def from_runs(x: float, runs: Sequence[RunMetrics]) -> "SeriesPoint":
+        if not runs:
+            raise ValueError("cannot aggregate zero runs")
+        return SeriesPoint(
+            x=x,
+            latency=mean_ignoring_nan([r.mean_latency for r in runs]),
+            energy_j=sum(r.energy_j for r in runs) / len(runs),
+            pre_accuracy=mean_ignoring_nan(
+                [r.mean_pre_accuracy for r in runs]),
+            post_accuracy=mean_ignoring_nan(
+                [r.mean_post_accuracy for r in runs]),
+            completion_rate=sum(r.completion_rate for r in runs) / len(runs),
+            runs=len(runs))
+
+
+@dataclass
+class SweepResult:
+    """All series of one figure: protocol -> [SeriesPoint] over the x axis."""
+
+    x_name: str
+    series: Dict[str, List[SeriesPoint]] = field(default_factory=dict)
+
+    def add(self, protocol: str, point: SeriesPoint) -> None:
+        self.series.setdefault(protocol, []).append(point)
+
+    def metric_series(self, protocol: str, metric: str) -> List[float]:
+        return [getattr(p, metric) for p in self.series[protocol]]
+
+    def xs(self, protocol: str) -> List[float]:
+        return [p.x for p in self.series[protocol]]
+
+    def table(self, metric: str, title: str = "",
+              fmt: str = "{:8.3f}") -> str:
+        """Render one metric as a paper-style series table."""
+        protocols = sorted(self.series)
+        if not protocols:
+            return "(empty sweep)"
+        xs = self.xs(protocols[0])
+        lines = []
+        if title:
+            lines.append(title)
+        header = f"{self.x_name:>10} " + " ".join(
+            f"{p:>10}" for p in protocols)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, x in enumerate(xs):
+            cells = []
+            for p in protocols:
+                value = getattr(self.series[p][i], metric)
+                cells.append(f"{fmt.format(value):>10}"
+                             if not math.isnan(value) else f"{'nan':>10}")
+            lines.append(f"{x:>10g} " + " ".join(cells))
+        return "\n".join(lines)

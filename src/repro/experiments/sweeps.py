@@ -1,0 +1,82 @@
+"""Parameter sweeps regenerating the paper's figures.
+
+* :func:`fig8_sweep` — scalability in k (Figure 8 a–d): k from 20 to 100,
+  µmax = 10 m/s, exponential query interval with mean 4 s.
+* :func:`fig9_sweep` — impact of mobility (Figure 9 a–d): µmax from 5 to
+  30 m/s, k = 40.
+
+Each sweep runs every protocol at every x value over ``repeats`` seeds and
+returns a :class:`~repro.experiments.series.SweepResult` whose four metric
+series correspond to the figure's four panels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..baselines import FloodingProtocol, KPTProtocol, PeerTreeProtocol
+from ..core import DIKNNProtocol
+from ..core.base import QueryProtocol
+from .config import SimulationConfig
+from .runner import repeat_workload
+from .series import SeriesPoint, SweepResult
+
+ProtocolFactory = Callable[[SimulationConfig], QueryProtocol]
+
+FIG8_K_VALUES = (20, 40, 60, 80, 100)
+FIG9_SPEEDS = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+
+
+def default_protocol_factories(
+        include_flooding: bool = False) -> Dict[str, ProtocolFactory]:
+    """The paper's competitors: DIKNN, KPT(+KNNB), Peer-tree."""
+    factories: Dict[str, ProtocolFactory] = {
+        "diknn": lambda cfg: DIKNNProtocol(),
+        "kpt": lambda cfg: KPTProtocol(),
+        "peertree": lambda cfg: PeerTreeProtocol(cfg.field),
+    }
+    if include_flooding:
+        factories["flooding"] = lambda cfg: FloodingProtocol()
+    return factories
+
+
+def _sweep(base: SimulationConfig, x_name: str,
+           x_values: Sequence[float],
+           configure: Callable[[SimulationConfig, float], SimulationConfig],
+           k_of: Callable[[float], int],
+           factories: Dict[str, ProtocolFactory],
+           repeats: int, duration: float) -> SweepResult:
+    result = SweepResult(x_name=x_name)
+    for x in x_values:
+        cfg = configure(base, x)
+        for name, factory in factories.items():
+            runs = repeat_workload(cfg, factory, k_of(x), repeats=repeats,
+                                   duration=duration)
+            result.add(name, SeriesPoint.from_runs(float(x), runs))
+    return result
+
+
+def fig8_sweep(base: Optional[SimulationConfig] = None,
+               k_values: Sequence[int] = FIG8_K_VALUES,
+               factories: Optional[Dict[str, ProtocolFactory]] = None,
+               repeats: int = 3, duration: float = 40.0) -> SweepResult:
+    """Figure 8: vary k at µmax = 10 m/s."""
+    base = base or SimulationConfig(max_speed=10.0)
+    factories = factories or default_protocol_factories()
+    return _sweep(base, "k", list(k_values),
+                  configure=lambda cfg, x: cfg,
+                  k_of=lambda x: int(x),
+                  factories=factories, repeats=repeats, duration=duration)
+
+
+def fig9_sweep(base: Optional[SimulationConfig] = None,
+               speeds: Sequence[float] = FIG9_SPEEDS, k: int = 40,
+               factories: Optional[Dict[str, ProtocolFactory]] = None,
+               repeats: int = 3, duration: float = 40.0) -> SweepResult:
+    """Figure 9: vary µmax at k = 40."""
+    base = base or SimulationConfig()
+    factories = factories or default_protocol_factories()
+    return _sweep(base, "mobility", list(speeds),
+                  configure=lambda cfg, x: cfg.with_(max_speed=float(x)),
+                  k_of=lambda x: k,
+                  factories=factories, repeats=repeats, duration=duration)

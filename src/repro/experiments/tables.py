@@ -1,0 +1,53 @@
+"""Paper-style output formatting for figures and tables."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .series import SweepResult
+
+#: the four panels of Figures 8 and 9: metric attribute -> display label
+FIGURE_PANELS = (
+    ("latency", "Query Latency (s)"),
+    ("energy_j", "Energy Consumption (J)"),
+    ("post_accuracy", "Post-accuracy"),
+    ("pre_accuracy", "Pre-accuracy"),
+)
+
+
+def figure_report(result: SweepResult, figure_name: str) -> str:
+    """All four panels of a figure as aligned tables."""
+    sections = []
+    for metric, label in FIGURE_PANELS:
+        fmt = "{:8.3f}" if metric in ("latency", "energy_j") else "{:8.3f}"
+        sections.append(result.table(
+            metric, title=f"{figure_name} — {label}", fmt=fmt))
+    return "\n\n".join(sections)
+
+
+def shape_checks(result: SweepResult) -> Dict[str, bool]:
+    """Qualitative claims of the paper evaluated on a sweep (see DESIGN.md).
+
+    Keys are claim names; values say whether the sweep exhibits them.
+    Used by the benchmark harness to assert figure *shape* (who wins),
+    not absolute numbers.
+    """
+    checks: Dict[str, bool] = {}
+    protos = set(result.series)
+    if {"diknn", "kpt"} <= protos:
+        d_lat = result.metric_series("diknn", "latency")
+        k_lat = result.metric_series("kpt", "latency")
+        checks["diknn_latency_beats_kpt_at_max_x"] = d_lat[-1] < k_lat[-1]
+        d_en = result.metric_series("diknn", "energy_j")
+        k_en = result.metric_series("kpt", "energy_j")
+        checks["diknn_energy_beats_kpt_at_max_x"] = d_en[-1] < k_en[-1]
+    if {"diknn", "peertree"} <= protos:
+        d_post = result.metric_series("diknn", "post_accuracy")
+        p_post = result.metric_series("peertree", "post_accuracy")
+        checks["diknn_post_accuracy_beats_peertree"] = (
+            sum(d_post) / len(d_post) > sum(p_post) / len(p_post))
+        d_lat = result.metric_series("diknn", "latency")
+        p_lat = result.metric_series("peertree", "latency")
+        checks["diknn_latency_beats_peertree_at_max_x"] = (
+            d_lat[-1] < p_lat[-1])
+    return checks

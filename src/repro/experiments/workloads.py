@@ -1,0 +1,131 @@
+"""Query workload generators.
+
+The paper's workload is "queries at exponentially distributed intervals
+toward uniformly random points" (§5.1).  Real deployments rarely query
+uniformly, so the runner also supports:
+
+* ``UniformWorkload`` — the paper's default.
+* ``HotspotWorkload`` — a fraction of queries concentrate on a few
+  hotspots (e.g. monitoring stations); stresses the same region's nodes
+  repeatedly, which matters under batteries.
+* ``MovingTargetWorkload`` — the query point follows a moving trajectory
+  (e.g. tracking an animal); consecutive queries are spatially correlated.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+
+
+class QueryWorkload(abc.ABC):
+    """A source of (time, point) query events."""
+
+    @abc.abstractmethod
+    def generate(self, field: Rect, start: float, duration: float,
+                 rng: np.random.Generator) -> List[Tuple[float, Vec2]]:
+        """Query issue times and points within ``[start, start+duration)``."""
+
+
+def _exp_times(start: float, duration: float, mean_interval: float,
+               rng: np.random.Generator) -> List[float]:
+    times = []
+    t = start + float(rng.exponential(mean_interval))
+    while t < start + duration:
+        times.append(t)
+        t += float(rng.exponential(mean_interval))
+    return times
+
+
+class UniformWorkload(QueryWorkload):
+    """The paper's workload: exp(interval) arrivals, uniform points."""
+
+    def __init__(self, mean_interval: float = 4.0,
+                 margin_fraction: float = 0.15):
+        if mean_interval <= 0:
+            raise ValueError("mean interval must be positive")
+        self.mean_interval = mean_interval
+        self.margin_fraction = margin_fraction
+
+    def generate(self, field: Rect, start: float, duration: float,
+                 rng: np.random.Generator) -> List[Tuple[float, Vec2]]:
+        mx = self.margin_fraction * field.width
+        my = self.margin_fraction * field.height
+        out = []
+        for t in _exp_times(start, duration, self.mean_interval, rng):
+            point = Vec2(float(rng.uniform(field.x_min + mx,
+                                           field.x_max - mx)),
+                         float(rng.uniform(field.y_min + my,
+                                           field.y_max - my)))
+            out.append((t, point))
+        return out
+
+
+class HotspotWorkload(QueryWorkload):
+    """Most queries cluster around a few fixed hotspots."""
+
+    def __init__(self, mean_interval: float = 4.0, n_hotspots: int = 2,
+                 hotspot_fraction: float = 0.8,
+                 spread_fraction: float = 0.05,
+                 hotspots: Optional[Sequence[Tuple[float, float]]] = None):
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must lie in [0, 1]")
+        if n_hotspots < 1 and hotspots is None:
+            raise ValueError("need at least one hotspot")
+        self.mean_interval = mean_interval
+        self.n_hotspots = n_hotspots
+        self.hotspot_fraction = hotspot_fraction
+        self.spread_fraction = spread_fraction
+        self.hotspots = hotspots
+
+    def generate(self, field: Rect, start: float, duration: float,
+                 rng: np.random.Generator) -> List[Tuple[float, Vec2]]:
+        if self.hotspots is not None:
+            spots = [Vec2(x, y) for x, y in self.hotspots]
+        else:
+            spots = [Vec2(float(rng.uniform(field.x_min + 0.2 * field.width,
+                                            field.x_max - 0.2 * field.width)),
+                          float(rng.uniform(field.y_min + 0.2 * field.height,
+                                            field.y_max - 0.2 * field.height)))
+                     for _ in range(self.n_hotspots)]
+        spread = self.spread_fraction * min(field.width, field.height)
+        out = []
+        for t in _exp_times(start, duration, self.mean_interval, rng):
+            if rng.random() < self.hotspot_fraction:
+                spot = spots[int(rng.integers(0, len(spots)))]
+                point = field.clamp(Vec2(
+                    spot.x + float(rng.normal(0.0, spread)),
+                    spot.y + float(rng.normal(0.0, spread))))
+            else:
+                point = Vec2(float(rng.uniform(field.x_min, field.x_max)),
+                             float(rng.uniform(field.y_min, field.y_max)))
+            out.append((t, point))
+        return out
+
+
+class MovingTargetWorkload(QueryWorkload):
+    """The query point orbits the field (a tracked target)."""
+
+    def __init__(self, mean_interval: float = 4.0,
+                 angular_speed: float = 2 * math.pi / 60.0,
+                 radius_fraction: float = 0.3):
+        self.mean_interval = mean_interval
+        self.angular_speed = angular_speed
+        self.radius_fraction = radius_fraction
+
+    def generate(self, field: Rect, start: float, duration: float,
+                 rng: np.random.Generator) -> List[Tuple[float, Vec2]]:
+        center = field.center()
+        radius = self.radius_fraction * min(field.width, field.height)
+        phase = float(rng.uniform(0.0, 2 * math.pi))
+        out = []
+        for t in _exp_times(start, duration, self.mean_interval, rng):
+            angle = phase + self.angular_speed * (t - start)
+            out.append((t, field.clamp(
+                center + Vec2.from_polar(radius, angle))))
+        return out

@@ -1,0 +1,17 @@
+"""Geometry substrate: vectors, angles, shapes, spatial indexing, planarization."""
+
+from .angles import (TWO_PI, angle_between, angle_diff, arc_width, bisector,
+                     normalize_angle, normalize_signed)
+from .grid import SpatialGrid
+from .planar import gabriel_neighbors, planarize, rng_neighbors
+from .shapes import Circle, Rect, Sector
+from .vec import (ORIGIN, Vec2, as_vec, centroid, segment_point_distance,
+                  segments_intersect)
+
+__all__ = [
+    "TWO_PI", "angle_between", "angle_diff", "arc_width", "bisector",
+    "normalize_angle", "normalize_signed", "SpatialGrid", "gabriel_neighbors",
+    "planarize", "rng_neighbors", "Circle", "Rect", "Sector", "ORIGIN",
+    "Vec2", "as_vec", "centroid", "segment_point_distance",
+    "segments_intersect",
+]

@@ -1,0 +1,62 @@
+"""Angle arithmetic helpers.
+
+Sectors and itineraries in DIKNN are defined by angular ranges around the
+query point; these helpers keep all angle handling in one place so the
+wrap-around cases are dealt with exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(angle: float) -> float:
+    """Map ``angle`` into ``[0, 2*pi)``."""
+    a = math.fmod(angle, TWO_PI)
+    if a < 0.0:
+        a += TWO_PI
+    if a >= TWO_PI:  # -epsilon + 2*pi rounds up to exactly 2*pi
+        a = 0.0
+    return a
+
+
+def normalize_signed(angle: float) -> float:
+    """Map ``angle`` into ``(-pi, pi]``."""
+    a = math.fmod(angle + math.pi, TWO_PI)
+    if a <= 0.0:
+        a += TWO_PI
+    return a - math.pi
+
+
+def angle_diff(a: float, b: float) -> float:
+    """Signed smallest rotation from ``b`` to ``a``, in ``(-pi, pi]``."""
+    return normalize_signed(a - b)
+
+
+def angle_between(angle: float, start: float, end: float) -> bool:
+    """True when ``angle`` lies in the CCW arc from ``start`` to ``end``.
+
+    All angles are normalized first; the arc is closed at ``start`` and
+    open at ``end``.  A zero-width arc (``start == end``) contains only
+    ``start`` itself, while a full circle should be expressed by callers
+    as ``start`` to ``start + 2*pi`` *before* normalization — use
+    :func:`arc_width` if you need to distinguish the two.
+    """
+    a = normalize_angle(angle)
+    s = normalize_angle(start)
+    e = normalize_angle(end)
+    if s <= e:
+        return s <= a < e or (a == s == e)
+    return a >= s or a < e
+
+
+def arc_width(start: float, end: float) -> float:
+    """CCW angular width of the arc from ``start`` to ``end`` in [0, 2*pi)."""
+    return normalize_angle(end - start)
+
+
+def bisector(start: float, end: float) -> float:
+    """Angle of the CCW bisector of the arc ``start``→``end``."""
+    return normalize_angle(start + arc_width(start, end) / 2.0)

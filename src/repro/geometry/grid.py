@@ -1,0 +1,150 @@
+"""Spatial hash grid for fast range queries over moving points.
+
+The simulator asks "which nodes are within radio range of p" on every
+broadcast; a uniform bucket grid keyed by ``floor(x / cell)`` makes that an
+O(neighbourhood) operation instead of O(n).  Entries are re-bucketed lazily
+by the caller (the network refreshes the grid whenever node positions are
+materialized for the current simulation time).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from .vec import Vec2
+
+_Cell = Tuple[int, int]
+
+
+class SpatialGrid:
+    """Uniform bucket grid mapping item keys to 2-D positions."""
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0.0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._cells: Dict[_Cell, Set[Hashable]] = defaultdict(set)
+        self._positions: Dict[Hashable, Vec2] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._positions
+
+    def _cell_of(self, p: Vec2) -> _Cell:
+        return (math.floor(p.x / self.cell_size),
+                math.floor(p.y / self.cell_size))
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, key: Hashable, position: Vec2) -> None:
+        """Insert ``key`` at ``position``, replacing any previous entry."""
+        if key in self._positions:
+            self.remove(key)
+        self._positions[key] = position
+        self._cells[self._cell_of(position)].add(key)
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key``; raises ``KeyError`` if absent."""
+        position = self._positions.pop(key)
+        cell = self._cell_of(position)
+        bucket = self._cells[cell]
+        bucket.discard(key)
+        if not bucket:
+            del self._cells[cell]
+
+    def move(self, key: Hashable, position: Vec2) -> None:
+        """Update the position of an existing ``key`` (cheap if same cell)."""
+        old = self._positions[key]
+        old_cell = self._cell_of(old)
+        new_cell = self._cell_of(position)
+        self._positions[key] = position
+        if old_cell != new_cell:
+            bucket = self._cells[old_cell]
+            bucket.discard(key)
+            if not bucket:
+                del self._cells[old_cell]
+            self._cells[new_cell].add(key)
+
+    def clear(self) -> None:
+        self._cells.clear()
+        self._positions.clear()
+
+    def bulk_load(self, items: Iterable[Tuple[Hashable, Vec2]]) -> None:
+        """Replace all contents with ``(key, position)`` pairs."""
+        self.clear()
+        for key, position in items:
+            self._positions[key] = position
+            self._cells[self._cell_of(position)].add(key)
+
+    # -- queries ------------------------------------------------------------
+
+    def position_of(self, key: Hashable) -> Vec2:
+        return self._positions[key]
+
+    def within(self, center: Vec2, radius: float) -> Iterator[Hashable]:
+        """Yield keys whose positions lie within ``radius`` of ``center``."""
+        if radius < 0.0:
+            return
+        r_sq = radius * radius
+        c_min = self._cell_of(Vec2(center.x - radius, center.y - radius))
+        c_max = self._cell_of(Vec2(center.x + radius, center.y + radius))
+        positions = self._positions
+        for cx in range(c_min[0], c_max[0] + 1):
+            for cy in range(c_min[1], c_max[1] + 1):
+                bucket = self._cells.get((cx, cy))
+                if not bucket:
+                    continue
+                for key in bucket:
+                    if positions[key].distance_sq_to(center) <= r_sq:
+                        yield key
+
+    def nearest(self, center: Vec2,
+                exclude: "Set[Hashable] | None" = None) -> Hashable:
+        """Key of the closest entry to ``center``.
+
+        Expands the search ring outward so typical queries touch only a few
+        buckets.  Raises ``KeyError`` when the grid holds no eligible entry.
+        """
+        exclude = exclude or set()
+        best_key: Hashable = None
+        best_d = math.inf
+        ring = 1
+        # Expand until a hit is found whose distance is certainly minimal
+        # (i.e. smaller than the nearest possible point of the next ring).
+        max_ring_needed = None
+        while True:
+            radius = ring * self.cell_size
+            for key in self.within(center, radius):
+                if key in exclude:
+                    continue
+                d = self._positions[key].distance_sq_to(center)
+                if d < best_d:
+                    best_d = d
+                    best_key = key
+            if best_key is not None:
+                if max_ring_needed is None:
+                    # The found point guarantees the answer lies within
+                    # best distance; one more bounded pass suffices.
+                    max_ring_needed = math.ceil(
+                        math.sqrt(best_d) / self.cell_size) + 1
+                if ring >= max_ring_needed:
+                    return best_key
+            if best_key is None and radius > self._max_extent(center):
+                raise KeyError("spatial grid holds no eligible entries")
+            ring += 1
+
+    def _max_extent(self, center: Vec2) -> float:
+        """Upper bound on the distance from center to any stored point."""
+        if not self._positions:
+            return 0.0
+        far = 0.0
+        for p in self._positions.values():
+            far = max(far, abs(p.x - center.x) + abs(p.y - center.y))
+        return far + self.cell_size
+
+    def items(self) -> List[Tuple[Hashable, Vec2]]:
+        return list(self._positions.items())

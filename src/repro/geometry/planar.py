@@ -1,0 +1,105 @@
+"""Local graph planarization for geographic face routing.
+
+GPSR's perimeter mode requires each node to route on a *planar* subgraph of
+the radio connectivity graph.  Both planarizations GPSR proposes are
+implemented here; they are distributed-computable (each node decides which
+incident links to keep using only neighbor positions).
+
+* Gabriel Graph (GG): keep edge (u, v) iff no witness w lies inside the
+  circle whose diameter is uv.
+* Relative Neighborhood Graph (RNG): keep edge (u, v) iff no witness w is
+  simultaneously closer to u and to v than they are to each other.
+
+Both preserve connectivity of the unit-disk graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from .vec import Vec2
+
+
+def gabriel_neighbors(me: Hashable, pos: Vec2,
+                      neighbors: Iterable[Tuple[Hashable, Vec2]]
+                      ) -> List[Hashable]:
+    """Subset of ``neighbors`` retained by the Gabriel-graph criterion.
+
+    Args:
+        me: identifier of the deciding node (excluded as a witness).
+        pos: position of the deciding node.
+        neighbors: ``(id, position)`` pairs of all radio neighbors.
+
+    Returns:
+        Identifiers of neighbors whose link survives planarization.
+    """
+    nbrs = [(k, p) for k, p in neighbors if k != me]
+    kept = []
+    for v_id, v_pos in nbrs:
+        midpoint = pos.lerp(v_pos, 0.5)
+        limit_sq = pos.distance_sq_to(v_pos) / 4.0
+        blocked = False
+        for w_id, w_pos in nbrs:
+            if w_id == v_id:
+                continue
+            if w_pos.distance_sq_to(midpoint) < limit_sq:
+                blocked = True
+                break
+        if not blocked:
+            kept.append(v_id)
+    return kept
+
+
+def rng_neighbors(me: Hashable, pos: Vec2,
+                  neighbors: Iterable[Tuple[Hashable, Vec2]]
+                  ) -> List[Hashable]:
+    """Subset of ``neighbors`` retained by the RNG criterion."""
+    nbrs = [(k, p) for k, p in neighbors if k != me]
+    kept = []
+    for v_id, v_pos in nbrs:
+        d_uv_sq = pos.distance_sq_to(v_pos)
+        blocked = False
+        for w_id, w_pos in nbrs:
+            if w_id == v_id:
+                continue
+            if (w_pos.distance_sq_to(pos) < d_uv_sq
+                    and w_pos.distance_sq_to(v_pos) < d_uv_sq):
+                blocked = True
+                break
+        if not blocked:
+            kept.append(v_id)
+    return kept
+
+
+def planarize(positions: Dict[Hashable, Vec2], radius: float,
+              method: str = "gabriel") -> Dict[Hashable, List[Hashable]]:
+    """Planarize a whole unit-disk graph at once (testing / analysis aid).
+
+    Args:
+        positions: node id -> position.
+        radius: radio range defining connectivity.
+        method: ``"gabriel"`` or ``"rng"``.
+
+    Returns:
+        Adjacency mapping of the planar subgraph (symmetric).
+    """
+    if method == "gabriel":
+        rule = gabriel_neighbors
+    elif method == "rng":
+        rule = rng_neighbors
+    else:
+        raise ValueError(f"unknown planarization method: {method!r}")
+
+    r_sq = radius * radius
+    adjacency: Dict[Hashable, List[Hashable]] = {}
+    for u, u_pos in positions.items():
+        in_range = [(v, v_pos) for v, v_pos in positions.items()
+                    if v != u and u_pos.distance_sq_to(v_pos) <= r_sq]
+        adjacency[u] = rule(u, u_pos, in_range)
+    # Symmetrize: both planarizations are locally symmetric on unit-disk
+    # graphs, but guard against float-edge asymmetry anyway.
+    for u, vs in list(adjacency.items()):
+        for v in vs:
+            if u not in adjacency.get(v, []):
+                adjacency.setdefault(v, []).append(u)
+    return adjacency

@@ -1,0 +1,127 @@
+"""Planar shapes used by the protocols.
+
+``Circle`` models the KNN boundary, ``Sector`` the cone-shaped dissemination
+areas DIKNN partitions it into, and ``Rect`` the MBR cells of the Peer-tree
+baseline and the simulation field itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .angles import angle_between, arc_width, normalize_angle
+from .vec import Vec2
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle given by ``center`` and ``radius``."""
+
+    center: Vec2
+    radius: float
+
+    def contains(self, p: Vec2) -> bool:
+        """True when ``p`` lies inside or on the circle."""
+        return p.distance_sq_to(self.center) <= self.radius * self.radius
+
+    def area(self) -> float:
+        """Enclosed area."""
+        return math.pi * self.radius * self.radius
+
+    def expanded(self, delta: float) -> "Circle":
+        """A concentric circle with radius grown by ``delta`` (>= 0 result)."""
+        return Circle(self.center, max(0.0, self.radius + delta))
+
+
+@dataclass(frozen=True)
+class Sector:
+    """A circular sector: the slice of ``circle`` between two angles.
+
+    The sector spans counter-clockwise from ``start_angle`` to ``end_angle``
+    (radians, measured from +x at the circle center).
+    """
+
+    circle: Circle
+    start_angle: float
+    end_angle: float
+
+    def contains(self, p: Vec2) -> bool:
+        """True when ``p`` lies inside the sector (incl. boundary arcs)."""
+        if not self.circle.contains(p):
+            return False
+        if p == self.circle.center:
+            return True
+        return angle_between((p - self.circle.center).angle(),
+                             self.start_angle, self.end_angle)
+
+    def width(self) -> float:
+        """Angular width in radians."""
+        return arc_width(self.start_angle, self.end_angle)
+
+    def bisector_angle(self) -> float:
+        """Angle of the central axis of the sector."""
+        return normalize_angle(self.start_angle + self.width() / 2.0)
+
+    def area(self) -> float:
+        """Enclosed area."""
+        return 0.5 * self.width() * self.circle.radius ** 2
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @staticmethod
+    def from_size(width: float, height: float) -> "Rect":
+        """Rectangle anchored at the origin with the given dimensions."""
+        return Rect(0.0, 0.0, width, height)
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    def contains(self, p: Vec2) -> bool:
+        """True when ``p`` lies inside or on the rectangle."""
+        return (self.x_min <= p.x <= self.x_max
+                and self.y_min <= p.y <= self.y_max)
+
+    def clamp(self, p: Vec2) -> Vec2:
+        """The closest point of the rectangle to ``p``."""
+        return Vec2(min(max(p.x, self.x_min), self.x_max),
+                    min(max(p.y, self.y_min), self.y_max))
+
+    def center(self) -> Vec2:
+        return Vec2((self.x_min + self.x_max) / 2.0,
+                    (self.y_min + self.y_max) / 2.0)
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def grid_cells(self, rows: int, cols: int) -> "list[Rect]":
+        """Partition into ``rows x cols`` equal cells, row-major order."""
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        cw = self.width / cols
+        ch = self.height / rows
+        cells = []
+        for i in range(rows):
+            for j in range(cols):
+                cells.append(Rect(self.x_min + j * cw,
+                                  self.y_min + i * ch,
+                                  self.x_min + (j + 1) * cw,
+                                  self.y_min + (i + 1) * ch))
+        return cells

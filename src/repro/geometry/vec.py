@@ -1,0 +1,169 @@
+"""Lightweight 2-D vector algebra.
+
+Positions in the simulator are ``Vec2`` instances: immutable, hashable,
+tuple-backed points with the handful of operations the protocols need
+(distance, interpolation, rotation, projection).  Plain Python floats are
+used rather than numpy scalars because the simulator performs millions of
+scalar-sized operations on the event hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, NamedTuple
+
+
+class Vec2(NamedTuple):
+    """An immutable 2-D point / vector."""
+
+    x: float
+    y: float
+
+    # -- algebra -----------------------------------------------------------
+
+    def __add__(self, other: "Vec2") -> "Vec2":  # type: ignore[override]
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":  # type: ignore[override]
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    def __rmul__(self, scalar: float) -> "Vec2":  # type: ignore[override]
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    # -- metrics -----------------------------------------------------------
+
+    def dot(self, other: "Vec2") -> float:
+        """Dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z-component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (avoids the sqrt on hot paths)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_sq_to(self, other: "Vec2") -> float:
+        """Squared Euclidean distance to ``other``."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def from_polar(radius: float, angle: float) -> "Vec2":
+        """Vector of length ``radius`` at ``angle`` radians from +x axis."""
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: for the zero vector.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def angle(self) -> float:
+        """Angle from the +x axis in ``(-pi, pi]`` radians."""
+        return math.atan2(self.y, self.x)
+
+    def rotated(self, angle: float) -> "Vec2":
+        """This vector rotated counter-clockwise by ``angle`` radians."""
+        c, s = math.cos(angle), math.sin(angle)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def perp(self) -> "Vec2":
+        """The counter-clockwise perpendicular vector."""
+        return Vec2(-self.y, self.x)
+
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        """Linear interpolation: ``self`` at t=0, ``other`` at t=1."""
+        return Vec2(self.x + (other.x - self.x) * t,
+                    self.y + (other.y - self.y) * t)
+
+
+ORIGIN = Vec2(0.0, 0.0)
+
+
+def as_vec(point: "Vec2 | Iterable[float]") -> Vec2:
+    """Coerce a ``(x, y)`` pair (tuple, list, array) into a ``Vec2``."""
+    if isinstance(point, Vec2):
+        return point
+    it: Iterator[float] = iter(point)
+    x = float(next(it))
+    y = float(next(it))
+    return Vec2(x, y)
+
+
+def centroid(points: Iterable[Vec2]) -> Vec2:
+    """Arithmetic mean of a non-empty collection of points."""
+    sx = sy = 0.0
+    n = 0
+    for p in points:
+        sx += p.x
+        sy += p.y
+        n += 1
+    if n == 0:
+        raise ValueError("centroid of an empty point set is undefined")
+    return Vec2(sx / n, sy / n)
+
+
+def segment_point_distance(a: Vec2, b: Vec2, p: Vec2) -> float:
+    """Distance from point ``p`` to the closed segment ``a``–``b``."""
+    ab = b - a
+    denom = ab.norm_sq()
+    if denom == 0.0:
+        return p.distance_to(a)
+    t = (p - a).dot(ab) / denom
+    t = max(0.0, min(1.0, t))
+    return p.distance_to(a.lerp(b, t))
+
+
+def segments_intersect(p1: Vec2, p2: Vec2, p3: Vec2, p4: Vec2) -> bool:
+    """True when closed segments ``p1p2`` and ``p3p4`` intersect."""
+
+    def orient(a: Vec2, b: Vec2, c: Vec2) -> float:
+        return (b - a).cross(c - a)
+
+    def on_segment(a: Vec2, b: Vec2, c: Vec2) -> bool:
+        return (min(a.x, b.x) <= c.x <= max(a.x, b.x)
+                and min(a.y, b.y) <= c.y <= max(a.y, b.y))
+
+    d1 = orient(p3, p4, p1)
+    d2 = orient(p3, p4, p2)
+    d3 = orient(p1, p2, p3)
+    d4 = orient(p1, p2, p4)
+    if ((d1 > 0) != (d2 > 0) and d1 != 0 and d2 != 0
+            and (d3 > 0) != (d4 > 0) and d3 != 0 and d4 != 0):
+        return True
+    if d1 == 0 and on_segment(p3, p4, p1):
+        return True
+    if d2 == 0 and on_segment(p3, p4, p2):
+        return True
+    if d3 == 0 and on_segment(p1, p2, p3):
+        return True
+    if d4 == 0 and on_segment(p1, p2, p4):
+        return True
+    return False

@@ -1,0 +1,49 @@
+"""Query accuracy metrics (paper §3.1 and §5.1).
+
+Accuracy is the fraction of the *correct* KNNs (at the valid time T) that
+the protocol returned.  Two valid-time conventions are measured:
+
+* **pre-accuracy** — T is the time the query was issued (snapshot results
+  are better);
+* **post-accuracy** — T is the time the result set was received (newer
+  results are better).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.query import QueryResult
+from ..net.network import Network
+from .oracle import true_knn
+
+
+def accuracy_against(returned_ids: Iterable[int],
+                     truth_ids: List[int]) -> float:
+    """|returned ∩ truth| / |truth| (0.0 for an empty truth set)."""
+    truth = set(truth_ids)
+    if not truth:
+        return 0.0
+    hits = sum(1 for nid in set(returned_ids) if nid in truth)
+    return hits / len(truth)
+
+
+def pre_accuracy(network: Network, result: QueryResult) -> float:
+    """Accuracy with T = query issue time."""
+    truth = true_knn(network, result.query.point, result.query.k,
+                     t=result.query.issued_at)
+    return accuracy_against(result.top_k_ids(), truth)
+
+
+def post_accuracy(network: Network, result: QueryResult,
+                  at: Optional[float] = None) -> float:
+    """Accuracy with T = result receive time.
+
+    For an uncompleted (timed-out) query, pass ``at`` to evaluate the
+    partial answer at the give-up time.
+    """
+    t = result.completed_at if result.completed_at is not None else at
+    if t is None:
+        raise ValueError("result has no completion time; pass `at`")
+    truth = true_knn(network, result.query.point, result.query.k, t=t)
+    return accuracy_against(result.top_k_ids(), truth)

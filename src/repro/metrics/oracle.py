@@ -1,0 +1,38 @@
+"""Ground-truth KNN oracle.
+
+Because mobility models expose exact closed-form positions, the true k
+nearest neighbors at *any* timestamp are computable outside the protocol —
+this is the referee the paper's accuracy metrics are judged against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..geometry import Vec2
+from ..net.network import Network
+
+
+def true_knn(network: Network, point: Vec2, k: int,
+             t: Optional[float] = None,
+             exclude: Optional[Set[int]] = None) -> List[int]:
+    """Ids of the k nodes truly nearest ``point`` at time ``t``.
+
+    Args:
+        network: the simulated network.
+        point: query point.
+        k: neighbor count (clamped to the population size).
+        t: evaluation time (defaults to the simulation clock).
+        exclude: node ids to ignore (e.g. a dead node).
+
+    Returns:
+        Node ids sorted by exact distance (ties broken by id).
+    """
+    positions = network.true_positions(t)
+    if exclude:
+        positions = {nid: p for nid, p in positions.items()
+                     if nid not in exclude}
+    ranked = sorted(positions.items(),
+                    key=lambda item: (item[1].distance_sq_to(point),
+                                      item[0]))
+    return [nid for nid, _pos in ranked[:k]]

@@ -1,0 +1,67 @@
+"""Aggregated outcomes of queries and runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Metrics of a single query."""
+
+    query_id: int
+    k: int
+    completed: bool
+    latency: Optional[float]
+    pre_accuracy: float
+    post_accuracy: float
+    energy_j: float
+    meta: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunMetrics:
+    """Metrics of one simulation run (many queries, paper §5.1)."""
+
+    protocol: str
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    energy_j: float = 0.0          # protocol energy over the whole run
+    duration_s: float = 0.0
+    params: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def queries_issued(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.completed for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean latency over completed queries (NaN when none completed)."""
+        vals = [o.latency for o in self.outcomes
+                if o.completed and o.latency is not None]
+        return sum(vals) / len(vals) if vals else math.nan
+
+    @property
+    def mean_pre_accuracy(self) -> float:
+        if not self.outcomes:
+            return math.nan
+        return sum(o.pre_accuracy for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_post_accuracy(self) -> float:
+        if not self.outcomes:
+            return math.nan
+        return sum(o.post_accuracy for o in self.outcomes) / len(self.outcomes)
+
+
+def mean_ignoring_nan(values: List[float]) -> float:
+    """Average of the finite entries (NaN when there are none)."""
+    finite = [v for v in values if not math.isnan(v)]
+    return sum(finite) / len(finite) if finite else math.nan

@@ -1,0 +1,83 @@
+"""Small statistics helpers for experiment aggregation.
+
+The paper averages each point over 20 simulation runs; these helpers give
+the matching mean ± confidence-interval summaries without dragging a
+stats dependency in (the t-quantiles are tabulated for the small run
+counts experiments actually use; beyond the table the normal quantile is
+a fine approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: two-sided 95% Student-t quantiles by degrees of freedom
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+        13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+        19: 2.093, 20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000}
+
+
+def t_quantile_95(dof: int) -> float:
+    """Two-sided 95% t-quantile (normal limit beyond the table)."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if dof in _T95:
+        return _T95[dof]
+    keys = sorted(_T95)
+    if dof > keys[-1]:
+        return 1.96
+    below = max(k for k in keys if k < dof)
+    above = min(k for k in keys if k > dof)
+    frac = (dof - below) / (above - below)
+    return _T95[below] + frac * (_T95[above] - _T95[below])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with a 95% confidence half-width."""
+
+    mean: float
+    half_width_95: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width_95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width_95
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width_95:.3f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean ± 95% CI of finite values (NaN entries dropped)."""
+    finite = [v for v in values if not math.isnan(v)]
+    n = len(finite)
+    if n == 0:
+        return Summary(math.nan, math.nan, 0)
+    mean = sum(finite) / n
+    if n == 1:
+        return Summary(mean, math.inf, 1)
+    var = sum((v - mean) ** 2 for v in finite) / (n - 1)
+    half = t_quantile_95(n - 1) * math.sqrt(var / n)
+    return Summary(mean, half, n)
+
+
+def overlaps(a: Summary, b: Summary) -> bool:
+    """Whether two 95% intervals overlap (a cheap difference test)."""
+    if a.n == 0 or b.n == 0:
+        return True
+    return a.low <= b.high and b.low <= a.high
+
+
+def significantly_less(a: Summary, b: Summary) -> bool:
+    """True when ``a``'s whole interval sits below ``b``'s."""
+    if a.n == 0 or b.n == 0:
+        return False
+    return a.high < b.low

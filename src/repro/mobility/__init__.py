@@ -1,0 +1,11 @@
+"""Node mobility models: static, random waypoint (paper default), random
+walk, and Gauss-Markov."""
+
+from .base import MobilityModel
+from .gauss_markov import GaussMarkovMobility
+from .static import StaticMobility
+from .walk import RandomWalkMobility
+from .waypoint import RandomWaypointMobility
+
+__all__ = ["MobilityModel", "GaussMarkovMobility", "StaticMobility",
+           "RandomWalkMobility", "RandomWaypointMobility"]

@@ -1,0 +1,42 @@
+"""Mobility model interface.
+
+Models expose node kinematics as *closed-form functions of time* rather than
+being stepped on a timer: ``position_at(t)`` must be exact for any t >= 0.
+This lets the metrics oracle evaluate ground-truth KNN sets at arbitrary
+query timestamps, and keeps the event loop free of per-tick motion events.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..geometry import Vec2
+
+
+class MobilityModel(abc.ABC):
+    """Trajectory of a single node."""
+
+    @abc.abstractmethod
+    def position_at(self, t: float) -> Vec2:
+        """Exact position at simulated time ``t`` (t >= 0)."""
+
+    @abc.abstractmethod
+    def speed_at(self, t: float) -> float:
+        """Instantaneous speed (m/s) at time ``t``."""
+
+    @property
+    @abc.abstractmethod
+    def max_speed(self) -> float:
+        """Upper bound on the node's speed over its whole lifetime."""
+
+    def velocity_at(self, t: float) -> Vec2:
+        """Instantaneous velocity vector at time ``t``.
+
+        The default differentiates ``position_at`` numerically; models with
+        closed-form legs should override with the exact value.  Nodes put
+        this in their beacons so neighbors can dead-reckon between beacons.
+        """
+        h = 1e-3
+        a = self.position_at(t)
+        b = self.position_at(t + h)
+        return Vec2((b.x - a.x) / h, (b.y - a.y) / h)

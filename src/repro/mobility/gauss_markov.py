@@ -1,0 +1,141 @@
+"""Gauss-Markov mobility.
+
+A standard MANET evaluation model complementing random waypoint: velocity
+evolves as a mean-reverting AR(1) process
+
+    v_{n+1} = alpha * v_n + (1 - alpha) * mu + sigma * sqrt(1 - alpha^2) * w_n
+
+updated every ``step_s`` seconds, with straight-line motion between
+updates and reflection at the field borders.  ``alpha`` close to 1 gives
+smooth, correlated trajectories (vehicles); ``alpha`` close to 0
+approaches a memoryless random walk.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+from .base import MobilityModel
+
+
+@dataclass(frozen=True)
+class _GMLeg:
+    t_start: float
+    t_end: float
+    origin: Vec2
+    velocity: Vec2
+
+    def position_at(self, t: float) -> Vec2:
+        dt = max(0.0, min(t, self.t_end) - self.t_start)
+        return Vec2(self.origin.x + self.velocity.x * dt,
+                    self.origin.y + self.velocity.y * dt)
+
+
+class GaussMarkovMobility(MobilityModel):
+    """Mean-reverting correlated mobility with border reflection."""
+
+    def __init__(self, start: Vec2, field: Rect, rng: np.random.Generator,
+                 mean_speed: float, alpha: float = 0.85,
+                 speed_sigma: float = None, step_s: float = 1.0):
+        """
+        Args:
+            start: initial position inside ``field``.
+            field: movement area (borders reflect).
+            rng: dedicated random stream.
+            mean_speed: long-run speed the process reverts to.
+            alpha: memory parameter in [0, 1).
+            speed_sigma: per-axis velocity noise scale (default:
+                ``mean_speed / 2``).
+            step_s: velocity update interval.
+        """
+        if not field.contains(start):
+            raise ValueError(f"start {start} outside field {field}")
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must lie in [0, 1)")
+        if mean_speed < 0.0:
+            raise ValueError("mean_speed must be >= 0")
+        if step_s <= 0.0:
+            raise ValueError("step_s must be positive")
+        self._field = field
+        self._rng = rng
+        self._mean_speed = mean_speed
+        self._alpha = alpha
+        self._sigma = (speed_sigma if speed_sigma is not None
+                       else mean_speed / 2.0)
+        self._step = step_s
+        heading = float(rng.uniform(0.0, 2.0 * math.pi))
+        v0 = Vec2.from_polar(mean_speed, heading) if mean_speed > 0 \
+            else Vec2(0.0, 0.0)
+        self._mean_velocity = v0
+        self._legs: List[_GMLeg] = [_GMLeg(0.0, 0.0, start, v0)]
+        # Practical hard cap so max_speed is meaningful: the stationary
+        # distribution's 4-sigma envelope around the mean speed.
+        self._cap = mean_speed + 4.0 * self._sigma
+
+    @property
+    def max_speed(self) -> float:
+        return self._cap
+
+    def _next_velocity(self, v: Vec2) -> Vec2:
+        a = self._alpha
+        noise = math.sqrt(max(0.0, 1.0 - a * a)) * self._sigma
+        nx = a * v.x + (1 - a) * self._mean_velocity.x \
+            + noise * float(self._rng.normal())
+        ny = a * v.y + (1 - a) * self._mean_velocity.y \
+            + noise * float(self._rng.normal())
+        out = Vec2(nx, ny)
+        speed = out.norm()
+        if speed > self._cap:
+            out = out * (self._cap / speed)
+        return out
+
+    def _extend_until(self, t: float) -> None:
+        while self._legs[-1].t_end < t:
+            last = self._legs[-1]
+            here = last.position_at(last.t_end)
+            velocity = self._next_velocity(last.velocity)
+            # Reflect off borders the leg would cross.
+            end_free = Vec2(here.x + velocity.x * self._step,
+                            here.y + velocity.y * self._step)
+            vx, vy = velocity.x, velocity.y
+            if end_free.x < self._field.x_min or \
+                    end_free.x > self._field.x_max:
+                vx = -vx
+            if end_free.y < self._field.y_min or \
+                    end_free.y > self._field.y_max:
+                vy = -vy
+            velocity = Vec2(vx, vy)
+            self._mean_velocity = Vec2(
+                math.copysign(abs(self._mean_velocity.x), vx)
+                if vx != 0 else self._mean_velocity.x,
+                math.copysign(abs(self._mean_velocity.y), vy)
+                if vy != 0 else self._mean_velocity.y)
+            self._legs.append(_GMLeg(last.t_end, last.t_end + self._step,
+                                     here, velocity))
+
+    def _leg_at(self, t: float) -> _GMLeg:
+        if t < 0.0:
+            raise ValueError("time must be >= 0")
+        self._extend_until(t)
+        lo, hi = 0, len(self._legs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._legs[mid].t_end < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._legs[lo]
+
+    def position_at(self, t: float) -> Vec2:
+        return self._field.clamp(self._leg_at(t).position_at(t))
+
+    def speed_at(self, t: float) -> float:
+        return self._leg_at(t).velocity.norm()
+
+    def velocity_at(self, t: float) -> Vec2:
+        return self._leg_at(t).velocity

@@ -1,0 +1,26 @@
+"""Stationary "mobility": a node that never moves."""
+
+from __future__ import annotations
+
+from ..geometry import Vec2
+from .base import MobilityModel
+
+
+class StaticMobility(MobilityModel):
+    """A fixed node — the paper's baseline network condition for KPT et al."""
+
+    def __init__(self, position: Vec2):
+        self._position = position
+
+    def position_at(self, t: float) -> Vec2:
+        return self._position
+
+    def speed_at(self, t: float) -> float:
+        return 0.0
+
+    @property
+    def max_speed(self) -> float:
+        return 0.0
+
+    def velocity_at(self, t: float) -> Vec2:
+        return Vec2(0.0, 0.0)

@@ -1,0 +1,103 @@
+"""Random-direction walk mobility with boundary reflection.
+
+A secondary model (not used by the paper's headline experiments, but handy
+for ablations): the node picks a random heading and walks for an
+exponentially distributed epoch, reflecting off field edges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+from .base import MobilityModel
+
+
+@dataclass(frozen=True)
+class _WalkLeg:
+    t_start: float
+    t_end: float
+    origin: Vec2
+    velocity: Vec2
+
+    def position_at(self, t: float) -> Vec2:
+        dt = max(0.0, min(t, self.t_end) - self.t_start)
+        return Vec2(self.origin.x + self.velocity.x * dt,
+                    self.origin.y + self.velocity.y * dt)
+
+
+class RandomWalkMobility(MobilityModel):
+    """Reflective random-direction walk."""
+
+    def __init__(self, start: Vec2, field: Rect, rng: np.random.Generator,
+                 speed: float, mean_epoch: float = 10.0):
+        if not field.contains(start):
+            raise ValueError(f"start {start} outside field {field}")
+        if speed < 0.0:
+            raise ValueError("speed must be >= 0")
+        self._field = field
+        self._rng = rng
+        self._speed = speed
+        self._mean_epoch = mean_epoch
+        self._legs: List[_WalkLeg] = [_WalkLeg(0.0, 0.0, start, Vec2(0, 0))]
+
+    @property
+    def max_speed(self) -> float:
+        return self._speed
+
+    def _extend_until(self, t: float) -> None:
+        while self._legs[-1].t_end < t:
+            last = self._legs[-1]
+            here = last.position_at(last.t_end)
+            if self._speed <= 0.0:
+                self._legs[-1] = _WalkLeg(last.t_start, float("inf"),
+                                          last.origin, last.velocity)
+                return
+            heading = self._rng.uniform(0.0, 2.0 * math.pi)
+            epoch = self._rng.exponential(self._mean_epoch)
+            epoch = max(epoch, 1e-3)
+            velocity = Vec2.from_polar(self._speed, heading)
+            # Truncate the leg at the first wall hit, then reflect by
+            # starting a fresh leg from the wall (new random heading).
+            t_hit = self._time_to_wall(here, velocity)
+            duration = min(epoch, t_hit)
+            self._legs.append(_WalkLeg(last.t_end, last.t_end + duration,
+                                       here, velocity))
+
+    def _time_to_wall(self, p: Vec2, v: Vec2) -> float:
+        t_hit = math.inf
+        if v.x > 0:
+            t_hit = min(t_hit, (self._field.x_max - p.x) / v.x)
+        elif v.x < 0:
+            t_hit = min(t_hit, (self._field.x_min - p.x) / v.x)
+        if v.y > 0:
+            t_hit = min(t_hit, (self._field.y_max - p.y) / v.y)
+        elif v.y < 0:
+            t_hit = min(t_hit, (self._field.y_min - p.y) / v.y)
+        return max(t_hit, 0.0)
+
+    def _leg_at(self, t: float) -> _WalkLeg:
+        if t < 0.0:
+            raise ValueError("time must be >= 0")
+        self._extend_until(t)
+        lo, hi = 0, len(self._legs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._legs[mid].t_end < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._legs[lo]
+
+    def position_at(self, t: float) -> Vec2:
+        return self._field.clamp(self._leg_at(t).position_at(t))
+
+    def speed_at(self, t: float) -> float:
+        return self._leg_at(t).velocity.norm()
+
+    def velocity_at(self, t: float) -> Vec2:
+        return self._leg_at(t).velocity

@@ -1,0 +1,122 @@
+"""Random waypoint (RWP) mobility — the paper's mobility model (§5.1).
+
+Each node repeatedly picks a uniformly random destination inside the field
+and walks to it in a straight line at a speed drawn uniformly from
+``[min_speed, max_speed]``, optionally pausing on arrival.  Legs are
+materialized lazily and cached, so ``position_at(t)`` is exact for any t and
+two queries at the same time agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..geometry import Rect, Vec2
+from .base import MobilityModel
+
+
+@dataclass(frozen=True)
+class _Leg:
+    """One straight-line movement (or pause) segment."""
+
+    t_start: float
+    t_end: float
+    origin: Vec2
+    destination: Vec2
+    speed: float
+
+    def position_at(self, t: float) -> Vec2:
+        if self.t_end <= self.t_start:
+            return self.destination
+        frac = (t - self.t_start) / (self.t_end - self.t_start)
+        frac = max(0.0, min(1.0, frac))
+        return self.origin.lerp(self.destination, frac)
+
+
+class RandomWaypointMobility(MobilityModel):
+    """RWP trajectory over a rectangular field."""
+
+    def __init__(self, start: Vec2, field: Rect, rng: np.random.Generator,
+                 max_speed: float, min_speed: float = 0.1,
+                 pause_time: float = 0.0):
+        """
+        Args:
+            start: initial position (must lie inside ``field``).
+            field: movement area.
+            rng: dedicated random stream for this node's trajectory.
+            max_speed: µmax of the paper; 0 degenerates to a static node.
+            min_speed: lower speed bound (strictly positive to avoid the
+                classic RWP "stuck node" pathology of near-zero speeds).
+            pause_time: wait time at each waypoint before the next leg.
+        """
+        if not field.contains(start):
+            raise ValueError(f"start {start} outside field {field}")
+        if max_speed < 0.0:
+            raise ValueError("max_speed must be >= 0")
+        self._field = field
+        self._rng = rng
+        self._max_speed = max_speed
+        self._min_speed = min(min_speed, max_speed) if max_speed > 0 else 0.0
+        self._pause = pause_time
+        self._legs: List[_Leg] = [
+            _Leg(0.0, 0.0, start, start, 0.0)]
+
+    @property
+    def max_speed(self) -> float:
+        return self._max_speed
+
+    def _extend_until(self, t: float) -> None:
+        while self._legs[-1].t_end < t:
+            last = self._legs[-1]
+            here = last.destination
+            if self._max_speed <= 0.0:
+                # Degenerate static node: one leg that lasts forever.
+                self._legs[-1] = _Leg(last.t_start, float("inf"),
+                                      last.origin, last.destination, 0.0)
+                return
+            if self._pause > 0.0 and last.speed > 0.0:
+                self._legs.append(_Leg(last.t_end, last.t_end + self._pause,
+                                       here, here, 0.0))
+                continue
+            dest = Vec2(self._rng.uniform(self._field.x_min, self._field.x_max),
+                        self._rng.uniform(self._field.y_min, self._field.y_max))
+            speed = self._rng.uniform(self._min_speed, self._max_speed)
+            distance = here.distance_to(dest)
+            duration = distance / speed if speed > 0 else 0.0
+            if duration <= 0.0:
+                continue
+            self._legs.append(_Leg(last.t_end, last.t_end + duration,
+                                   here, dest, speed))
+
+    def _leg_at(self, t: float) -> _Leg:
+        if t < 0.0:
+            raise ValueError("time must be >= 0")
+        self._extend_until(t)
+        # Binary search over cached legs.
+        lo, hi = 0, len(self._legs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._legs[mid].t_end < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._legs[lo]
+
+    def position_at(self, t: float) -> Vec2:
+        return self._leg_at(t).position_at(t)
+
+    def speed_at(self, t: float) -> float:
+        return self._leg_at(t).speed
+
+    def velocity_at(self, t: float) -> Vec2:
+        leg = self._leg_at(t)
+        if leg.speed <= 0.0:
+            return Vec2(0.0, 0.0)
+        heading = leg.destination - leg.origin
+        norm = heading.norm()
+        if norm == 0.0:
+            return Vec2(0.0, 0.0)
+        return heading * (leg.speed / norm)

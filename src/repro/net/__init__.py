@@ -1,0 +1,15 @@
+"""Network substrate: radio, MAC, energy, nodes, beacons, delivery."""
+
+from .energy import EnergyAccount, EnergyLedger, EnergyModel
+from .mac import MacConfig, MacLayer, MacStats
+from .messages import BROADCAST, Message
+from .network import Network, NetworkStats
+from .node import NeighborEntry, SensorNode
+from .radio import RadioModel
+from .tracelog import TraceEntry, TraceLog
+
+__all__ = [
+    "EnergyAccount", "EnergyLedger", "EnergyModel", "MacConfig", "MacLayer",
+    "MacStats", "BROADCAST", "Message", "Network", "NetworkStats",
+    "NeighborEntry", "SensorNode", "RadioModel", "TraceEntry", "TraceLog",
+]

@@ -1,0 +1,130 @@
+"""First-order radio energy model and per-node accounting.
+
+Substitutes ns-2's energy model (see DESIGN.md §4): transmitting ``b`` bits
+over distance ``d`` costs ``E_elec*b + eps_amp*b*d^2``; receiving costs
+``E_elec*b``.  Idle listening is charged per simulated second.  The default
+constants are the widely used Heinzelman first-order values, which put whole
+run totals in the same sub-Joule to few-Joule band as the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy cost constants."""
+
+    e_elec_j_per_bit: float = 50e-9
+    eps_amp_j_per_bit_m2: float = 100e-12
+    idle_w: float = 0.0  # idle listening power; 0 isolates protocol cost
+
+    def tx_cost(self, bits: int, distance_m: float) -> float:
+        """Joules to transmit ``bits`` at amplifier reach ``distance_m``."""
+        return (self.e_elec_j_per_bit * bits
+                + self.eps_amp_j_per_bit_m2 * bits * distance_m ** 2)
+
+    def rx_cost(self, bits: int) -> float:
+        """Joules to receive ``bits``."""
+        return self.e_elec_j_per_bit * bits
+
+    def idle_cost(self, seconds: float) -> float:
+        """Joules spent idle-listening for ``seconds``."""
+        return self.idle_w * seconds
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulated energy use of one node, broken down by activity."""
+
+    tx_j: float = 0.0
+    rx_j: float = 0.0
+    idle_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.tx_j + self.rx_j + self.idle_j
+
+
+class EnergyLedger:
+    """Network-wide energy bookkeeping with checkpoint support.
+
+    Experiments measure "energy consumed by this query" by snapshotting the
+    ledger before issuing the query and diffing afterwards.
+
+    Optionally enforces a per-node battery: when an account's total
+    crosses ``capacity_j`` the ``on_depleted`` callback fires exactly once
+    for that node (the network uses this to kill the node).
+    """
+
+    def __init__(self, model: EnergyModel,
+                 capacity_j: "float | None" = None,
+                 on_depleted: "object | None" = None):
+        self.model = model
+        self._accounts: Dict[int, EnergyAccount] = {}
+        self.capacity_j = capacity_j
+        self.on_depleted = on_depleted
+        self._depleted: set = set()
+
+    def set_battery(self, capacity_j: float, on_depleted) -> None:
+        """Arm per-node battery enforcement."""
+        if capacity_j <= 0:
+            raise ValueError("battery capacity must be positive")
+        self.capacity_j = capacity_j
+        self.on_depleted = on_depleted
+
+    def account(self, node_id: int) -> EnergyAccount:
+        acct = self._accounts.get(node_id)
+        if acct is None:
+            acct = EnergyAccount()
+            self._accounts[node_id] = acct
+        return acct
+
+    def remaining_j(self, node_id: int) -> float:
+        """Battery charge left (inf without battery enforcement)."""
+        if self.capacity_j is None:
+            return float("inf")
+        return max(0.0, self.capacity_j - self.account(node_id).total_j)
+
+    def is_depleted(self, node_id: int) -> bool:
+        return node_id in self._depleted
+
+    def _check_battery(self, node_id: int) -> None:
+        if self.capacity_j is None or node_id in self._depleted:
+            return
+        if self.account(node_id).total_j >= self.capacity_j:
+            self._depleted.add(node_id)
+            if self.on_depleted is not None:
+                self.on_depleted(node_id)
+
+    def charge_tx(self, node_id: int, bits: int, distance_m: float) -> float:
+        cost = self.model.tx_cost(bits, distance_m)
+        self.account(node_id).tx_j += cost
+        self._check_battery(node_id)
+        return cost
+
+    def charge_rx(self, node_id: int, bits: int) -> float:
+        cost = self.model.rx_cost(bits)
+        self.account(node_id).rx_j += cost
+        self._check_battery(node_id)
+        return cost
+
+    def charge_idle(self, node_id: int, seconds: float) -> float:
+        cost = self.model.idle_cost(seconds)
+        self.account(node_id).idle_j += cost
+        self._check_battery(node_id)
+        return cost
+
+    def total_j(self) -> float:
+        """Energy consumed by the whole network so far."""
+        return sum(acct.total_j for acct in self._accounts.values())
+
+    def snapshot(self) -> float:
+        """Checkpoint value; pass to :meth:`since` for a delta."""
+        return self.total_j()
+
+    def since(self, checkpoint: float) -> float:
+        """Energy consumed since ``checkpoint`` was taken."""
+        return self.total_j() - checkpoint

@@ -1,0 +1,309 @@
+"""Abstract CSMA-style MAC layer.
+
+Substitutes the ns-2 802.11/802.15.4 MAC (DESIGN.md §4).  What the paper's
+evaluation actually exercises at this layer is:
+
+* frame serialization delay (airtime at 250 kbps),
+* contention backoff that grows with local channel load,
+* collision-induced loss when transmissions overlap in space and time,
+* link-layer ARQ for unicast frames (retries cost time and energy).
+
+All four are modeled; 802.11 frame formats, virtual carrier sense and exact
+binary exponential backoff are not, since no compared quantity depends on
+them.  Loss is sampled per receiver: a reception fails with the base channel
+loss rate, or if any concurrent transmission from within interference range
+of the receiver overlaps the frame (each such interferer corrupts the frame
+independently with ``collision_coeff``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..geometry import Vec2
+from ..sim.engine import Simulator
+from .energy import EnergyLedger
+from .messages import Message
+from .radio import RadioModel
+
+DeliverFn = Callable[[int, Message], None]
+FailFn = Callable[[Message], None]
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Tunable MAC behaviour."""
+
+    slot_time_s: float = 0.00032       # 802.15.4 unit backoff period
+    base_cw_slots: int = 8             # contention window in slots
+    cw_per_interferer: int = 8         # extra window per concurrent local tx
+    collision_coeff: float = 0.6       # P(one overlapping interferer corrupts)
+    ack_bytes: int = 11
+    max_retries: int = 7       # 802.11 default retry limit
+    retry_timeout_s: float = 0.004
+    overhear_header_only: bool = True  # non-addressed receivers decode header
+    contention_free: bool = False      # LR-WPAN CFP (paper §3.3): slots are
+                                       # scheduled, so no backoff and no
+                                       # collision loss (channel loss stays)
+
+
+@dataclass
+class MacStats:
+    """Counters of MAC activity, for diagnostics and tests."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_lost_channel: int = 0
+    frames_lost_collision: int = 0
+    unicast_retries: int = 0
+    unicast_failures: int = 0
+    bytes_sent: int = 0
+
+
+@dataclass
+class _ActiveTx:
+    start: float
+    end: float
+    pos: Vec2
+    sender: int
+
+
+class MacLayer:
+    """Shared-medium MAC simulation.
+
+    The MAC does not know about nodes; callers hand it sender/receiver
+    positions captured at transmission time, and a delivery callback.
+    """
+
+    def __init__(self, sim: Simulator, radio: RadioModel,
+                 ledger: EnergyLedger, config: Optional[MacConfig] = None,
+                 rng_stream: str = "mac"):
+        self.sim = sim
+        self.radio = radio
+        self.ledger = ledger
+        self.config = config or MacConfig()
+        self.stats = MacStats()
+        self._rng = sim.rng.stream(rng_stream)
+        self._active: List[_ActiveTx] = []
+        # A node has one radio: its frames serialize. Tracks when each
+        # sender's queue drains so bursts (e.g. one node unicasting to many
+        # destinations at once) go out one frame at a time.
+        self._sender_busy_until: dict = {}
+
+    # -- channel state -------------------------------------------------------
+
+    def _prune_active(self) -> None:
+        now = self.sim.now
+        if self._active and any(tx.end <= now for tx in self._active):
+            self._active = [tx for tx in self._active if tx.end > now]
+
+    def _interferers_near(self, pos: Vec2, start: float, end: float,
+                          exclude_sender: int) -> int:
+        """Concurrent transmissions overlapping [start, end] whose sender is
+        within interference range of ``pos``."""
+        r_sq = self.radio.interference_range_m ** 2
+        count = 0
+        for tx in self._active:
+            if tx.sender == exclude_sender:
+                continue
+            if tx.end <= start or tx.start >= end:
+                continue
+            if tx.pos.distance_sq_to(pos) <= r_sq:
+                count += 1
+        return count
+
+    def local_load(self, pos: Vec2) -> int:
+        """Transmissions currently audible (interference range) around pos."""
+        self._prune_active()
+        now = self.sim.now
+        # Probe a tiny forward window so a frame starting exactly now is
+        # counted (a zero-width interval would overlap nothing).
+        return self._interferers_near(pos, now, now + 1e-9,
+                                      exclude_sender=-2)
+
+    # -- transmission --------------------------------------------------------
+
+    def backoff_delay(self, pos: Vec2) -> float:
+        """Random CSMA backoff scaled by current local channel load."""
+        if self.config.contention_free:
+            return 0.0
+        load = self.local_load(pos)
+        window = self.config.base_cw_slots + load * self.config.cw_per_interferer
+        slots = int(self._rng.integers(0, max(window, 1)))
+        # While the channel is busy the sender also waits out the residual
+        # airtime of the loudest overlapping frame.
+        residual = 0.0
+        if load:
+            now = self.sim.now
+            r_sq = self.radio.interference_range_m ** 2
+            for tx in self._active:
+                if tx.start <= now < tx.end and tx.pos.distance_sq_to(pos) <= r_sq:
+                    residual = max(residual, tx.end - now)
+        return residual + slots * self.config.slot_time_s
+
+    def transmit(self, sender: int, sender_pos: Vec2, message: Message,
+                 receivers: Sequence[Tuple[int, Vec2]],
+                 deliver: DeliverFn,
+                 on_unicast_fail: Optional[FailFn] = None,
+                 lightweight: bool = False) -> None:
+        """Send ``message`` from ``sender`` to the PHY neighborhood.
+
+        Args:
+            sender: transmitting node id.
+            sender_pos: its position at transmission time.
+            message: the frame; ``message.dst`` selects broadcast vs unicast.
+            receivers: all nodes in radio range with their positions.
+            deliver: callback invoked per successful reception.
+            on_unicast_fail: invoked when a unicast exhausts its retries.
+            lightweight: beacon fast path — single delivery event, no
+                contention bookkeeping or ARQ (loss still applies).
+        """
+        if lightweight:
+            self._transmit_lightweight(sender, sender_pos, message,
+                                       receivers, deliver)
+            return
+        # Serialize this sender's queue: a burst of frames from one node
+        # goes out back-to-back, not simultaneously.
+        now = self.sim.now
+        queue_delay = max(0.0,
+                          self._sender_busy_until.get(sender, 0.0) - now)
+        airtime = self.radio.airtime(message.size_bytes)
+        self._sender_busy_until[sender] = now + queue_delay + airtime
+
+        if queue_delay > 0.0:
+            self.sim.schedule_in(
+                queue_delay,
+                lambda: self._transmit_attempt(sender, sender_pos, message,
+                                               receivers, deliver,
+                                               on_unicast_fail, attempt=0))
+        else:
+            self._transmit_attempt(sender, sender_pos, message, receivers,
+                                   deliver, on_unicast_fail, attempt=0)
+
+    def _transmit_lightweight(self, sender: int, sender_pos: Vec2,
+                              message: Message,
+                              receivers: Sequence[Tuple[int, Vec2]],
+                              deliver: DeliverFn) -> None:
+        airtime = self.radio.airtime(message.size_bytes)
+        bits = (message.size_bytes + self.radio.header_bytes) * 8
+        self.ledger.charge_tx(sender, bits, self.radio.range_m)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        loss = self.radio.base_loss_rate
+        survivors = [rid for rid, _pos in receivers
+                     if loss <= 0.0 or self._rng.random() >= loss]
+        for rid in survivors:
+            self.ledger.charge_rx(rid, bits)
+        if not survivors:
+            return
+        delay = airtime + self.radio.propagation_delay_s
+
+        def _deliver_all() -> None:
+            for rid in survivors:
+                deliver(rid, message)
+
+        self.sim.schedule_in(delay, _deliver_all)
+
+    def _transmit_attempt(self, sender: int, sender_pos: Vec2,
+                          message: Message,
+                          receivers: Sequence[Tuple[int, Vec2]],
+                          deliver: DeliverFn,
+                          on_unicast_fail: Optional[FailFn],
+                          attempt: int) -> None:
+        self._prune_active()
+        backoff = self.backoff_delay(sender_pos)
+
+        def _begin() -> None:
+            self._do_transmit(sender, sender_pos, message, receivers,
+                              deliver, on_unicast_fail, attempt)
+
+        self.sim.schedule_in(backoff, _begin)
+
+    def _do_transmit(self, sender: int, sender_pos: Vec2, message: Message,
+                     receivers: Sequence[Tuple[int, Vec2]],
+                     deliver: DeliverFn, on_unicast_fail: Optional[FailFn],
+                     attempt: int) -> None:
+        cfg = self.config
+        airtime = self.radio.airtime(message.size_bytes)
+        start = self.sim.now
+        end = start + airtime
+        bits = (message.size_bytes + self.radio.header_bytes) * 8
+        header_bits = self.radio.header_bytes * 8
+
+        self._prune_active()
+        self._active.append(_ActiveTx(start, end, sender_pos, sender))
+        self.ledger.charge_tx(sender, bits, self.radio.range_m)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += message.size_bytes
+
+        delivered_to: List[int] = []
+        unicast_ok = False
+        for rid, rpos in receivers:
+            addressed = message.is_broadcast or rid == message.dst
+            lost_channel = (self.radio.base_loss_rate > 0.0
+                            and self._rng.random() < self.radio.base_loss_rate)
+            n_intf = (0 if cfg.contention_free
+                      else self._interferers_near(rpos, start, end, sender))
+            lost_collision = False
+            if n_intf and not lost_channel:
+                p_survive = (1.0 - cfg.collision_coeff) ** n_intf
+                lost_collision = self._rng.random() >= p_survive
+            if lost_channel:
+                if addressed:
+                    self.stats.frames_lost_channel += 1
+                continue
+            if lost_collision:
+                if addressed:
+                    self.stats.frames_lost_collision += 1
+                continue
+            if addressed:
+                self.ledger.charge_rx(rid, bits)
+                delivered_to.append(rid)
+                if rid == message.dst:
+                    unicast_ok = True
+            elif cfg.overhear_header_only:
+                self.ledger.charge_rx(rid, header_bits)
+            else:
+                self.ledger.charge_rx(rid, bits)
+
+        delay = airtime + self.radio.propagation_delay_s
+
+        if message.is_broadcast:
+            if delivered_to:
+                self.stats.frames_delivered += len(delivered_to)
+
+                def _deliver_bcast() -> None:
+                    for rid in delivered_to:
+                        deliver(rid, message)
+
+                self.sim.schedule_in(delay, _deliver_bcast)
+            return
+
+        # Unicast with ARQ.
+        if unicast_ok:
+            self.stats.frames_delivered += 1
+            ack_bits = (cfg.ack_bytes + self.radio.header_bytes) * 8
+            self.ledger.charge_tx(message.dst, ack_bits, self.radio.range_m)
+            self.ledger.charge_rx(sender, ack_bits)
+            ack_delay = delay + self.radio.airtime(cfg.ack_bytes)
+            self.sim.schedule_in(
+                ack_delay, lambda: deliver(message.dst, message))
+            return
+
+        if attempt < cfg.max_retries:
+            self.stats.unicast_retries += 1
+            retry_wait = delay + cfg.retry_timeout_s
+
+            def _retry() -> None:
+                self._transmit_attempt(sender, sender_pos, message,
+                                       receivers, deliver, on_unicast_fail,
+                                       attempt + 1)
+
+            self.sim.schedule_in(retry_wait, _retry)
+            return
+
+        self.stats.unicast_failures += 1
+        if on_unicast_fail is not None:
+            self.sim.schedule_in(delay + cfg.retry_timeout_s,
+                                 lambda: on_unicast_fail(message))

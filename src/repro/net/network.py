@@ -1,0 +1,306 @@
+"""The network: nodes + radio + MAC + beacons + spatial index.
+
+Delivery uses *true* node positions (the physics), while protocols see the
+world through beacon-maintained neighbor tables (the paper's network model,
+§3.1).  The gap between the two — staleness under mobility — is what makes
+infrastructure-heavy baselines degrade, so it is modeled faithfully.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..geometry import SpatialGrid, Vec2
+from ..sim.engine import PeriodicTask, Simulator
+from ..sim.errors import ConfigurationError
+from .energy import EnergyLedger, EnergyModel
+from .mac import MacConfig, MacLayer
+from .messages import Message
+from .node import SensorNode
+from .radio import RadioModel
+
+
+@dataclass
+class NetworkStats:
+    """Application-level traffic counters (beacons tracked separately)."""
+
+    messages_sent: int = 0
+    beacons_sent: int = 0
+    deliveries: int = 0
+
+
+class Network:
+    """Container wiring nodes to the simulated radio medium."""
+
+    BEACON_BYTES = 8
+
+    def __init__(self, sim: Simulator, radio: Optional[RadioModel] = None,
+                 energy: Optional[EnergyModel] = None,
+                 mac_config: Optional[MacConfig] = None,
+                 beacon_interval: float = 0.5,
+                 neighbor_timeout: Optional[float] = None,
+                 position_epsilon: float = 0.05):
+        """
+        Args:
+            sim: the event kernel.
+            radio: PHY parameters (defaults to the paper's LR-WPAN setup).
+            energy: energy cost model.
+            mac_config: MAC tunables.
+            beacon_interval: seconds between a node's location beacons
+                (paper default 0.5 s).
+            neighbor_timeout: staleness bound for neighbor entries
+                (default 2.5 beacon intervals).
+            position_epsilon: how stale (seconds) the PHY spatial index may
+                be before being refreshed; bounds position error by
+                epsilon * max_speed, far below the radio range.
+        """
+        self.sim = sim
+        self.radio = radio or RadioModel()
+        self.energy_model = energy or EnergyModel()
+        self.ledger = EnergyLedger(self.energy_model)          # protocol traffic
+        self.beacon_ledger = EnergyLedger(self.energy_model)   # beacon traffic
+        self.mac = MacLayer(sim, self.radio, self.ledger, mac_config)
+        self._beacon_mac = MacLayer(sim, self.radio, self.beacon_ledger,
+                                    mac_config, rng_stream="mac.beacon")
+        self.beacon_interval = beacon_interval
+        self.neighbor_timeout = (neighbor_timeout
+                                 if neighbor_timeout is not None
+                                 else 2.5 * beacon_interval)
+        self.position_epsilon = position_epsilon
+        self.nodes: Dict[int, SensorNode] = {}
+        self.stats = NetworkStats()
+        self._grid = SpatialGrid(cell_size=self.radio.range_m)
+        self._link_factor_cache: Dict[tuple, float] = {}
+        self._grid_time = -math.inf
+        self._beacon_tasks: List[PeriodicTask] = []
+        self._trace_hooks: List[Callable[[str, Message, int], None]] = []
+
+    # -- population ----------------------------------------------------------
+
+    def add_node(self, node: SensorNode) -> None:
+        if node.id in self.nodes:
+            raise ConfigurationError(f"duplicate node id {node.id}")
+        node.network = self
+        self.nodes[node.id] = node
+        self._grid_time = -math.inf  # force re-sync
+
+    def add_nodes(self, nodes: Iterable[SensorNode]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def node(self, node_id: int) -> SensorNode:
+        return self.nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- positions -----------------------------------------------------------
+
+    def _sync_grid(self) -> None:
+        now = self.sim.now
+        if now - self._grid_time < self.position_epsilon and len(self._grid) == len(self.nodes):
+            return
+        self._grid.bulk_load(
+            (node.id, node.mobility.position_at(now))
+            for node in self.nodes.values() if node.alive)
+        self._grid_time = now
+
+    def in_range_of(self, position: Vec2,
+                    radius: Optional[float] = None) -> List[Tuple[int, Vec2]]:
+        """Nodes within ``radius`` (default: radio range) of ``position``.
+
+        Positions come from the PHY spatial index (near-exact; see
+        ``position_epsilon``).
+        """
+        self._sync_grid()
+        r = radius if radius is not None else self.radio.range_m
+        return [(nid, self._grid.position_of(nid))
+                for nid in self._grid.within(position, r)]
+
+    def link_range(self, a: int, b: int) -> float:
+        """Effective radio reach of the link a -> b.
+
+        With shadowing enabled, each unordered node pair gets a fixed
+        log-normal range factor (deterministic per seed), making
+        connectivity irregular but stable — the slow-fading regime.
+        """
+        sigma = self.radio.shadowing_sigma
+        if sigma == 0.0:
+            return self.radio.range_m
+        key = (a, b) if a <= b else (b, a)
+        factor = self._link_factor_cache.get(key)
+        if factor is None:
+            import zlib
+            # Deterministic per (seed, pair): hash into a unit draw.
+            h = zlib.crc32(f"{self.sim.rng.seed}:{key[0]}:{key[1]}"
+                           .encode()) / 0xFFFFFFFF
+            # Inverse-transform an approximate standard normal (via the
+            # logistic approximation, fine for a fading factor).
+            h = min(max(h, 1e-6), 1 - 1e-6)
+            z = math.log(h / (1 - h)) / 1.702
+            factor = math.exp(sigma * z)
+            self._link_factor_cache[key] = factor
+        return self.radio.range_m * factor
+
+    def _receivers_for(self, sender_id: int,
+                       position: Vec2) -> List[Tuple[int, Vec2]]:
+        """PHY receivers of a frame sent by ``sender_id`` at ``position``,
+        honoring per-link shadowing and node liveness."""
+        if self.radio.shadowing_sigma == 0.0:
+            return [(nid, p) for nid, p in self.in_range_of(position)
+                    if nid != sender_id and self.nodes[nid].alive]
+        out = []
+        for nid, p in self.in_range_of(position,
+                                       self.radio.max_range_m):
+            if nid == sender_id or not self.nodes[nid].alive:
+                continue
+            if p.distance_to(position) <= self.link_range(sender_id, nid):
+                out.append((nid, p))
+        return out
+
+    def nearest_node(self, position: Vec2,
+                     exclude: Optional[set] = None) -> SensorNode:
+        """The alive node whose true current position is closest to
+        ``position``."""
+        self._sync_grid()
+        nid = self._grid.nearest(position, exclude=exclude)
+        return self.nodes[nid]
+
+    # -- tracing -------------------------------------------------------------
+
+    def add_trace_hook(self,
+                       hook: Callable[[str, Message, int], None]) -> None:
+        """Register a hook called as ``hook(event, message, node_id)`` for
+        ``"send"`` and ``"deliver"`` events (used by the visualizer)."""
+        self._trace_hooks.append(hook)
+
+    def _trace(self, event: str, message: Message, node_id: int) -> None:
+        for hook in self._trace_hooks:
+            hook(event, message, node_id)
+
+    # -- beacons -------------------------------------------------------------
+
+    def start_beacons(self) -> None:
+        """Begin periodic location beaconing on every node."""
+        if self._beacon_tasks:
+            raise ConfigurationError("beacons already started")
+        stagger_rng = self.sim.rng.stream("beacon.stagger")
+        for node in self.nodes.values():
+            task = PeriodicTask(self.sim, self.beacon_interval,
+                                self._make_beacon_fn(node),
+                                jitter=0.05 * self.beacon_interval,
+                                rng_stream=f"beacon.jitter.{node.id}")
+            task.start(initial_delay=float(
+                stagger_rng.uniform(0.0, self.beacon_interval)))
+            self._beacon_tasks.append(task)
+
+    def stop_beacons(self) -> None:
+        for task in self._beacon_tasks:
+            task.stop()
+        self._beacon_tasks.clear()
+
+    def _make_beacon_fn(self, node: SensorNode) -> Callable[[], None]:
+        def _beacon() -> None:
+            if not node.alive:
+                return
+            now = self.sim.now
+            pos = node.mobility.position_at(now)
+            speed = node.mobility.speed_at(now)
+            velocity = node.mobility.velocity_at(now)
+            self.stats.beacons_sent += 1
+            receivers = self._receivers_for(node.id, pos)
+            message = Message(kind="beacon", src=node.id, dst=-1,
+                              size_bytes=self.BEACON_BYTES,
+                              payload={"pos": pos, "speed": speed,
+                                       "vel": velocity},
+                              created_at=now)
+            self._beacon_mac.transmit(
+                node.id, pos, message, receivers,
+                deliver=self._deliver_beacon, lightweight=True)
+
+        return _beacon
+
+    def _deliver_beacon(self, receiver_id: int, message: Message) -> None:
+        node = self.nodes.get(receiver_id)
+        if node is None or not node.alive:
+            return
+        node.observe_beacon(message.src, message.payload["pos"],
+                            message.payload["speed"], self.sim.now,
+                            velocity=message.payload["vel"])
+
+    def warm_up(self, duration: Optional[float] = None) -> None:
+        """Run beacons for ``duration`` (default: enough to fill every
+        neighbor table, i.e. two beacon intervals)."""
+        if not self._beacon_tasks:
+            self.start_beacons()
+        if duration is None:
+            duration = 2.0 * self.beacon_interval
+        self.sim.run(until=self.sim.now + duration)
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, sender: SensorNode, message: Message,
+             on_fail: Optional[Callable[[Message], None]] = None) -> None:
+        """Transmit ``message`` from ``sender`` over the MAC."""
+        if not sender.alive:
+            return
+        if message.created_at is None:
+            message.created_at = self.sim.now
+        pos = sender.position()
+        # A node that just died may linger in the (epsilon-stale) spatial
+        # index; it cannot receive or ACK, so liveness (and per-link
+        # shadowing) are applied here.
+        receivers = self._receivers_for(sender.id, pos)
+        self.stats.messages_sent += 1
+        self._trace("send", message, sender.id)
+        self.mac.transmit(sender.id, pos, message, receivers,
+                          deliver=self._deliver, on_unicast_fail=on_fail)
+
+    def _deliver(self, receiver_id: int, message: Message) -> None:
+        node = self.nodes.get(receiver_id)
+        if node is None or not node.alive:
+            return
+        self.stats.deliveries += 1
+        self._trace("deliver", message, receiver_id)
+        node.handle(message)
+
+    # -- protocol helpers ----------------------------------------------------
+
+    def register_handler(self, kind: str,
+                         handler: Callable[[SensorNode, Message], None]
+                         ) -> None:
+        """Register the same handler for ``kind`` on every node."""
+        for node in self.nodes.values():
+            node.on(kind, handler)
+
+    def enable_batteries(self, capacity_j: float) -> None:
+        """Arm per-node batteries: a node whose protocol-plus-beacon
+        energy use reaches ``capacity_j`` dies (``alive = False``) and
+        stops participating.  Useful for lifetime / failure studies."""
+
+        def _totals(node_id: int) -> float:
+            return (self.ledger.account(node_id).total_j
+                    + self.beacon_ledger.account(node_id).total_j)
+
+        def _kill(node_id: int) -> None:
+            node = self.nodes.get(node_id)
+            if node is not None and node.alive and \
+                    _totals(node_id) >= capacity_j:
+                node.alive = False
+
+        # Both ledgers watch the shared budget; each check re-verifies the
+        # combined total so whichever ledger crosses the line kills once.
+        self.ledger.set_battery(capacity_j, _kill)
+        self.beacon_ledger.set_battery(capacity_j, _kill)
+
+    def alive_count(self) -> int:
+        """Number of nodes still alive."""
+        return sum(1 for node in self.nodes.values() if node.alive)
+
+    def true_positions(self, t: Optional[float] = None) -> Dict[int, Vec2]:
+        """Exact positions of all alive nodes at time ``t`` (ground truth)."""
+        time = t if t is not None else self.sim.now
+        return {node.id: node.mobility.position_at(time)
+                for node in self.nodes.values() if node.alive}

@@ -1,0 +1,55 @@
+"""PHY-layer radio parameters.
+
+Models the LR-WPAN-style channel the paper simulates (§5.1): 250 kbps,
+radio range 20 m, RTS/CTS disabled.  Airtime is computed from payload +
+header size at the channel rate; the interference range (within which a
+concurrent transmission can corrupt a reception) defaults to twice the
+communication range, the usual two-ray abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Static radio/channel characteristics shared by all nodes."""
+
+    range_m: float = 20.0
+    channel_rate_bps: float = 250_000.0
+    header_bytes: int = 32   # 802.11 MAC+PHY+LLC framing overhead
+    base_loss_rate: float = 0.0
+    interference_factor: float = 2.0
+    propagation_delay_s: float = 2e-6
+    #: log-normal shadowing: per-link range factor exp(N(0, sigma)).
+    #: 0 = the ideal unit disc; ~0.2 gives the irregular, asymmetric
+    #: connectivity real deployments show (Ganesan et al., the paper's [8]).
+    shadowing_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.range_m <= 0:
+            raise ValueError("radio range must be positive")
+        if self.channel_rate_bps <= 0:
+            raise ValueError("channel rate must be positive")
+        if not 0.0 <= self.base_loss_rate < 1.0:
+            raise ValueError("base loss rate must lie in [0, 1)")
+        if self.shadowing_sigma < 0.0:
+            raise ValueError("shadowing sigma must be >= 0")
+
+    @property
+    def interference_range_m(self) -> float:
+        return self.range_m * self.interference_factor
+
+    @property
+    def max_range_m(self) -> float:
+        """Upper envelope of per-link ranges (3-sigma shadowing gain)."""
+        if self.shadowing_sigma == 0.0:
+            return self.range_m
+        import math
+        return self.range_m * math.exp(3.0 * self.shadowing_sigma)
+
+    def airtime(self, size_bytes: int) -> float:
+        """Seconds the channel is occupied by a frame of ``size_bytes``."""
+        bits = (size_bytes + self.header_bytes) * 8
+        return bits / self.channel_rate_bps

@@ -1,0 +1,6 @@
+"""Geographic routing: GPSR (greedy + perimeter mode)."""
+
+from .base import Router
+from .gpsr import GpsrConfig, GpsrRouter
+
+__all__ = ["Router", "GpsrConfig", "GpsrRouter"]

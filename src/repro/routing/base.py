@@ -1,0 +1,34 @@
+"""Routing service interface."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, Optional
+
+from ..geometry import Vec2
+from ..net.node import SensorNode
+
+DeliveryFn = Callable[[SensorNode, Dict[str, Any]], None]
+HopFn = Callable[[SensorNode, Dict[str, Any]], Optional[int]]
+DropFn = Callable[[Dict[str, Any], Optional["SensorNode"]], None]
+
+
+class Router(abc.ABC):
+    """A multi-hop routing service over the network."""
+
+    @abc.abstractmethod
+    def on_deliver(self, inner_kind: str, handler: DeliveryFn) -> None:
+        """Register the callback fired when a routed payload arrives."""
+
+    @abc.abstractmethod
+    def send(self, src: SensorNode, dst_pos: Vec2, inner_kind: str,
+             payload: Dict[str, Any], size_bytes: int,
+             dst_id: Optional[int] = None,
+             on_drop: Optional[DropFn] = None,
+             ttl: Optional[int] = None) -> None:
+        """Route ``payload`` from ``src`` toward ``dst_pos``.
+
+        With ``dst_id`` set, delivery requires reaching that node; without
+        it, the payload is delivered to the node closest to ``dst_pos``
+        (the "home node" semantics of the paper's routing phase).
+        """

@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel: scheduler, RNG streams, errors."""
+
+from .engine import EventHandle, PeriodicTask, Simulator
+from .errors import (ConfigurationError, QueryError, ReproError,
+                     RoutingError, SimulationError)
+from .rng import RngRegistry
+
+__all__ = [
+    "EventHandle", "PeriodicTask", "Simulator", "ConfigurationError",
+    "QueryError", "ReproError", "RoutingError", "SimulationError",
+    "RngRegistry",
+]

@@ -1,0 +1,185 @@
+"""Discrete-event simulation kernel.
+
+A classic event-list kernel: callbacks scheduled at absolute simulated times,
+executed in (time, sequence) order so simultaneous events run in scheduling
+order.  This is the substrate everything else (MAC, beacons, protocol
+timers) is built on — the reproduction's stand-in for ns-2's scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .errors import SimulationError
+from .rng import RngRegistry
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran or was cancelled."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Event-driven simulation clock and scheduler."""
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.rng = RngRegistry(seed)
+        self._queue: List[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at NaN time")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self.now}")
+        event = _ScheduledEvent(time, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0.0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or the
+        event budget ``max_events`` is exhausted.
+
+        When stopped by ``until``, the clock is advanced to ``until`` so a
+        subsequent ``run`` continues from there.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self.now = event.time
+                self._events_executed += 1
+                executed += 1
+                event.callback()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or None if the queue is empty."""
+        for event in sorted(self._queue)[:]:
+            if not event.cancelled:
+                return event.time
+        return None
+
+
+class PeriodicTask:
+    """Re-schedules a callback every ``period`` seconds until stopped."""
+
+    def __init__(self, sim: Simulator, period: float,
+                 callback: EventCallback, jitter: float = 0.0,
+                 rng_stream: str = "periodic"):
+        if period <= 0.0:
+            raise SimulationError("period must be positive")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._rng_stream = rng_stream
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin firing. Default initial delay is one (jittered) period."""
+        if initial_delay is None:
+            initial_delay = self._next_delay()
+        self._handle = self._sim.schedule_in(initial_delay, self._fire)
+
+    def _next_delay(self) -> float:
+        if self._jitter <= 0.0:
+            return self._period
+        gen = self._sim.rng.stream(self._rng_stream)
+        return max(1e-9,
+                   self._period + gen.uniform(-self._jitter, self._jitter))
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._sim.schedule_in(self._next_delay(),
+                                                 self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

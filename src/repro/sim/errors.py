@@ -1,0 +1,23 @@
+"""Exception hierarchy for the simulator and protocols."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised on kernel misuse (scheduling into the past, reuse after stop)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulation or protocol is configured inconsistently."""
+
+
+class RoutingError(ReproError):
+    """Raised when a routing operation cannot proceed (e.g. empty network)."""
+
+
+class QueryError(ReproError):
+    """Raised when a KNN query is malformed (k < 1, point outside field...)."""

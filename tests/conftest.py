@@ -1,0 +1,63 @@
+"""Shared fixtures: prebuilt networks of various shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy import UniformDeployment
+from repro.geometry import Rect, Vec2
+from repro.mobility import RandomWaypointMobility, StaticMobility
+from repro.net import Network, SensorNode
+from repro.routing import GpsrRouter
+from repro.sim import Simulator
+
+FIELD = Rect.from_size(115.0, 115.0)
+
+
+def build_static_network(n=200, seed=3, field=FIELD, warm=True,
+                         radio=None, mac_config=None):
+    """A paper-sized static network with warmed-up neighbor tables."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, radio=radio, mac_config=mac_config)
+    rng = np.random.default_rng(seed)
+    for i, pos in enumerate(UniformDeployment().generate(n, field, rng)):
+        net.add_node(SensorNode(i, StaticMobility(pos), reading=float(i)))
+    if warm:
+        net.warm_up()
+    return sim, net
+
+
+def build_mobile_network(n=200, seed=3, field=FIELD, max_speed=10.0,
+                         warm=True):
+    """A paper-sized RWP network plus a static sink (id = n)."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    rng = np.random.default_rng(seed)
+    for i, pos in enumerate(UniformDeployment().generate(n, field, rng)):
+        net.add_node(SensorNode(
+            i, RandomWaypointMobility(pos, field, sim.rng.stream(f"m{i}"),
+                                      max_speed=max_speed),
+            reading=float(i)))
+    sink = SensorNode(n, StaticMobility(Vec2(8.0, 8.0)))
+    net.add_node(sink)
+    if warm:
+        net.warm_up()
+    return sim, net, sink
+
+
+@pytest.fixture
+def static_net():
+    sim, net = build_static_network()
+    return sim, net
+
+
+@pytest.fixture
+def static_net_router():
+    sim, net = build_static_network()
+    return sim, net, GpsrRouter(net)
+
+
+@pytest.fixture
+def mobile_net():
+    return build_mobile_network()

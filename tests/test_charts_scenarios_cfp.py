@@ -1,0 +1,130 @@
+"""Tests for SVG charts, scenario files, and the CFP MAC mode."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (Scenario, paper_default_scenario,
+                               render_figure_charts, render_line_chart,
+                               save_figure_charts)
+from repro.experiments.series import SeriesPoint, SweepResult
+from repro.net import MacConfig
+from repro.sim import ConfigurationError
+
+
+def sample_sweep():
+    sweep = SweepResult(x_name="k")
+    for proto, base in (("diknn", 1.0), ("kpt", 2.0)):
+        for x in (20, 60, 100):
+            sweep.add(proto, SeriesPoint(
+                x=float(x), latency=base * x / 50, energy_j=base,
+                pre_accuracy=0.9, post_accuracy=0.8,
+                completion_rate=1.0, runs=2))
+    return sweep
+
+
+class TestCharts:
+    def test_line_chart_structure(self):
+        svg = render_line_chart(sample_sweep(), "latency", title="L")
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == 2       # one per protocol
+        assert svg.count("<circle") == 6         # one dot per point
+        assert "diknn" in svg and "kpt" in svg   # legend
+
+    def test_empty_sweep_does_not_crash(self):
+        svg = render_line_chart(SweepResult(x_name="k"), "latency")
+        assert svg.startswith("<svg")
+
+    def test_figure_charts_all_panels(self):
+        charts = render_figure_charts(sample_sweep(), "Figure X")
+        assert set(charts) == {"latency", "energy_j", "post_accuracy",
+                               "pre_accuracy"}
+        for svg in charts.values():
+            assert "Figure X" in svg
+
+    def test_save_figure_charts(self, tmp_path):
+        paths = save_figure_charts(sample_sweep(), "Figure 8",
+                                   str(tmp_path))
+        assert len(paths) == 4
+        for path in paths:
+            assert os.path.exists(path)
+            with open(path) as handle:
+                assert handle.read().startswith("<svg")
+
+    def test_nan_points_skipped(self):
+        sweep = SweepResult(x_name="k")
+        sweep.add("diknn", SeriesPoint(20.0, float("nan"), 0.4, 0.9, 0.9,
+                                       1.0, 1))
+        sweep.add("diknn", SeriesPoint(40.0, 1.0, 0.4, 0.9, 0.9, 1.0, 1))
+        svg = render_line_chart(sweep, "latency")
+        assert svg.count("<circle") == 1
+
+
+class TestScenario:
+    def test_paper_default_roundtrip(self, tmp_path):
+        scenario = paper_default_scenario(protocol="kpt", k=25, seed=9)
+        path = str(tmp_path / "s.json")
+        scenario.save(path)
+        again = Scenario.load(path)
+        assert again == scenario
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert raw["protocol"] == "kpt"
+        assert raw["k"] == 25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", protocol="quantum", k=5)
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", protocol="diknn", k=0)
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", protocol="diknn", k=5, workload="bursty")
+        with pytest.raises(ConfigurationError):
+            Scenario.from_dict({"name": "x", "protocol": "diknn", "k": 5,
+                                "bogus_field": 1})
+
+    def test_builds_each_protocol(self):
+        for protocol in ("diknn", "kpt", "peertree", "flooding"):
+            scenario = Scenario(name="t", protocol=protocol, k=5)
+            config = scenario.build_config()
+            proto = scenario.build_protocol(config)
+            assert proto.name in (protocol, "window") or \
+                proto.name == protocol
+
+    def test_protocol_params_threaded(self):
+        scenario = Scenario(name="t", protocol="diknn", k=5,
+                            protocol_params={"sectors": 4})
+        proto = scenario.build_protocol(scenario.build_config())
+        assert proto.config.sectors == 4
+
+    def test_run_small_scenario(self):
+        scenario = Scenario(
+            name="mini", protocol="diknn", k=10, duration_s=8.0,
+            simulation={"seed": 3, "max_speed": 5.0},
+            workload="uniform", workload_params={"mean_interval": 3.0})
+        metrics = scenario.run()
+        assert metrics.protocol == "diknn"
+        assert metrics.queries_issued >= 1
+
+
+class TestContentionFreePeriod:
+    def test_cfp_eliminates_collisions(self):
+        """§3.3: under CFP no interference can ever occur."""
+        from repro.core import DIKNNConfig, DIKNNProtocol
+        from repro.experiments import (SimulationConfig, build_simulation,
+                                       run_query)
+        from repro.geometry import Vec2
+        stats = {}
+        for cfp in (False, True):
+            handle = build_simulation(
+                SimulationConfig(seed=7),
+                DIKNNProtocol(DIKNNConfig(sectors=16)),
+                mac_config=MacConfig(contention_free=cfp))
+            handle.warm_up()
+            outcome = run_query(handle, Vec2(60, 60), k=40)
+            stats[cfp] = (outcome,
+                          handle.network.mac.stats.frames_lost_collision)
+        assert stats[True][1] == 0          # zero collision losses
+        assert stats[False][1] > 0          # CSMA does collide
+        assert stats[True][0].latency < stats[False][0].latency

@@ -1,0 +1,132 @@
+"""Tests for the CLI and the closed-form analysis models."""
+
+import os
+
+import pytest
+
+from repro import analysis
+from repro.cli import main
+from repro.experiments import SimulationConfig, build_simulation, run_query
+from repro.core import DIKNNProtocol
+from repro.geometry import Vec2
+
+
+class TestCli:
+    def test_defaults(self, capsys):
+        assert main(["defaults"]) == 0
+        out = capsys.readouterr().out
+        assert "node_number" in out
+
+    def test_query(self, capsys):
+        code = main(["query", "-k", "10", "--seed", "3", "--speed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pre-accuracy" in out
+
+    def test_query_scheme_flag(self, capsys):
+        code = main(["query", "-k", "8", "--seed", "3", "--speed", "0",
+                     "--scheme", "token_ring"])
+        assert code == 0
+
+    def test_fig8_tiny(self, capsys):
+        code = main(["fig8", "--k", "10", "--repeats", "1",
+                     "--duration", "6", "--only", "diknn", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 8" in out and "diknn" in out
+
+    def test_fig9_tiny(self, capsys):
+        code = main(["fig9", "--speeds", "5", "-k", "10", "--repeats", "1",
+                     "--duration", "6", "--only", "diknn", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 9" in out
+
+    def test_viz(self, tmp_path, capsys):
+        out_file = str(tmp_path / "t.svg")
+        code = main(["viz", "-k", "10", "--seed", "3", "--speed", "0",
+                     "--out", out_file])
+        assert code == 0
+        assert os.path.exists(out_file)
+        with open(out_file) as fh:
+            assert fh.read().startswith("<svg")
+
+    def test_window(self, capsys):
+        code = main(["window", "--seed", "3", "--speed", "0",
+                     "--x", "45", "--y", "45", "--w", "30", "--h", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recall" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+PROFILE = analysis.NetworkProfile(density=200 / (115.0 * 115.0))
+
+
+class TestAnalysisModels:
+    def test_node_degree_matches_paper(self):
+        # Paper table: node degree ~20 at the default density and range.
+        assert PROFILE.node_degree == pytest.approx(19.0, rel=0.1)
+
+    def test_boundary_radius_grows_with_k(self):
+        radii = [analysis.knn_boundary_radius(PROFILE, k)
+                 for k in (5, 20, 80)]
+        assert radii == sorted(radii)
+
+    def test_itinerary_length_grows_with_k(self):
+        lengths = [analysis.itinerary_length(PROFILE, k)
+                   for k in (10, 40, 100)]
+        assert lengths == sorted(lengths)
+
+    def test_latency_model_tracks_simulation(self):
+        """The closed form must land within ~3x of the simulator."""
+        handle = build_simulation(SimulationConfig(seed=3, max_speed=0.0),
+                                  DIKNNProtocol())
+        handle.warm_up()
+        for k in (20, 60):
+            outcome = run_query(handle, Vec2(60, 60), k=k, timeout=25.0)
+            model = analysis.expected_latency_s(PROFILE, k)
+            assert outcome.latency is not None
+            assert model / 3.0 <= outcome.latency <= model * 3.0
+
+    def test_energy_model_tracks_simulation(self):
+        handle = build_simulation(SimulationConfig(seed=5, max_speed=0.0),
+                                  DIKNNProtocol())
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(60, 60), k=40, timeout=25.0)
+        model = analysis.expected_energy_j(PROFILE, 40)
+        assert model / 4 <= outcome.energy_j <= model * 4
+
+    def test_message_model_positive_and_monotone(self):
+        msgs = [analysis.expected_messages(PROFILE, k)
+                for k in (10, 40, 100)]
+        assert all(m > 0 for m in msgs)
+        assert msgs == sorted(msgs)
+
+
+class TestCliReportAndScenario:
+    def test_report_tiny(self, tmp_path, capsys):
+        out = str(tmp_path / "rep.md")
+        charts = str(tmp_path / "charts")
+        code = main(["report", "--k", "10", "--speeds", "5",
+                     "--repeats", "1", "--duration", "5",
+                     "--seed", "2", "--out", out, "--charts", charts])
+        assert code == 0
+        with open(out) as handle:
+            text = handle.read()
+        assert "Paper-claim checklist" in text
+        assert "![Figure 8]" in text
+        import os
+        assert len(os.listdir(charts)) == 8
+
+    def test_run_scenario_save_and_run(self, tmp_path, capsys):
+        path = str(tmp_path / "scn.json")
+        assert main(["run-scenario", "--save", path, "--protocol",
+                     "diknn", "-k", "8", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["run-scenario", "--file", path]) == 0
+        out = capsys.readouterr().out
+        assert "queries issued" in out

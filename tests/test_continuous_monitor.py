@@ -1,0 +1,110 @@
+"""Tests for continuous KNN monitoring."""
+
+import pytest
+
+from repro.core import ContinuousKNNMonitor, DIKNNProtocol
+from repro.geometry import Vec2
+from repro.metrics import accuracy_against, true_knn
+from repro.routing import GpsrRouter
+
+from tests.conftest import build_mobile_network, build_static_network
+
+
+def installed_protocol(net):
+    proto = DIKNNProtocol()
+    proto.install(net, GpsrRouter(net))
+    return proto
+
+
+class TestMonitorLifecycle:
+    def test_requires_installed_protocol(self):
+        with pytest.raises(ValueError):
+            ContinuousKNNMonitor(DIKNNProtocol(), None, Vec2(0, 0), 5)
+
+    def test_invalid_period(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed_protocol(net)
+        with pytest.raises(ValueError):
+            ContinuousKNNMonitor(proto, net.nodes[0], Vec2(60, 60), 5,
+                                 period_s=0.0)
+
+    def test_double_start_rejected(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed_protocol(net)
+        monitor = ContinuousKNNMonitor(proto, net.nodes[0], Vec2(60, 60),
+                                       k=10)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.start()
+        monitor.stop()
+
+    def test_stop_halts_rounds(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed_protocol(net)
+        monitor = ContinuousKNNMonitor(proto, net.nodes[0], Vec2(60, 60),
+                                       k=10, period_s=3.0)
+        monitor.start()
+        sim.run(until=sim.now + 7)
+        monitor.stop()
+        rounds = monitor.state.rounds_issued
+        sim.run(until=sim.now + 10)
+        assert monitor.state.rounds_issued == rounds
+
+
+class TestMonitoring:
+    def test_rounds_answer_on_static_field(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed_protocol(net)
+        updates = []
+        monitor = ContinuousKNNMonitor(proto, net.nodes[0], Vec2(60, 60),
+                                       k=15, period_s=3.0,
+                                       on_update=updates.append)
+        monitor.start()
+        sim.run(until=sim.now + 10)
+        monitor.stop()
+        assert monitor.state.rounds_issued >= 3
+        assert monitor.state.answer_rate >= 0.66
+        assert updates
+        assert monitor.state.current_ids()
+        assert monitor.state.staleness(sim.now) is not None
+
+    def test_static_field_answers_are_exact(self):
+        sim, net = build_static_network(seed=5)
+        proto = installed_protocol(net)
+        monitor = ContinuousKNNMonitor(proto, net.nodes[0], Vec2(60, 60),
+                                       k=10, period_s=3.0)
+        monitor.start()
+        sim.run(until=sim.now + 8)
+        monitor.stop()
+        truth = true_knn(net, Vec2(60, 60), 10)
+        assert accuracy_against(monitor.state.current_ids(), truth) >= 0.9
+
+    def test_tracks_changes_under_mobility(self):
+        """The freshest answer must beat the first-round answer against
+        the current truth (the monitor actually refreshes)."""
+        sim, net, sink = build_mobile_network(seed=6, max_speed=20.0)
+        proto = installed_protocol(net)
+        monitor = ContinuousKNNMonitor(proto, sink, Vec2(60, 60), k=15,
+                                       period_s=4.0)
+        monitor.start()
+        sim.run(until=sim.now + 22)
+        monitor.stop()
+        answered = [r for r in monitor.state.rounds if r.answered]
+        assert len(answered) >= 3
+        truth_now = true_knn(net, Vec2(60, 60), 15, t=sim.now)
+        acc_first = accuracy_against(answered[0].result.top_k_ids(),
+                                     truth_now)
+        acc_latest = accuracy_against(monitor.state.current_ids(),
+                                      truth_now)
+        assert acc_latest >= acc_first
+
+    def test_state_before_first_answer(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed_protocol(net)
+        monitor = ContinuousKNNMonitor(proto, net.nodes[0], Vec2(60, 60),
+                                       k=10, period_s=5.0)
+        monitor.start()
+        assert monitor.state.current_ids() == []
+        assert monitor.state.staleness(sim.now) is None
+        assert monitor.state.answer_rate == 0.0
+        monitor.stop()

@@ -1,0 +1,108 @@
+"""Tests for the contention-based data collection scheme (§3.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (CollectionPlan, expected_new_responders,
+                        reply_delay, should_reply)
+from repro.geometry import TWO_PI, Vec2
+
+QNODE = Vec2(50, 50)
+M = 0.018
+
+
+class TestReplyDelay:
+    def test_delay_proportional_to_angle(self):
+        d_small = reply_delay(0.0, 10, M, QNODE, QNODE + Vec2(1, 0.01))
+        d_large = reply_delay(0.0, 10, M, QNODE, QNODE + Vec2(-1, -0.01))
+        assert d_small < d_large
+
+    def test_max_delay_bounded_by_window(self):
+        plan = CollectionPlan(reference_angle=0.3, expected_responders=12,
+                              time_unit_s=M)
+        for angle in (0.0, 1.0, 2.0, 3.0, 4.5, 6.0):
+            d = reply_delay(plan.reference_angle, plan.expected_responders,
+                            plan.time_unit_s, QNODE,
+                            QNODE + Vec2.from_polar(5.0, angle))
+            assert 0.0 <= d < plan.window_s
+
+    def test_zero_expected_zero_delay(self):
+        assert reply_delay(0.0, 0, M, QNODE, QNODE + Vec2(1, 1)) == 0.0
+
+    def test_colocated_dnode_gets_zero_slot(self):
+        assert reply_delay(1.0, 10, M, QNODE, QNODE) == 0.0
+
+    @given(st.floats(0, TWO_PI), st.integers(1, 40),
+           st.floats(0, TWO_PI))
+    def test_property_delays_spread_over_window(self, ref, expected, ang):
+        d = reply_delay(ref, expected, M, QNODE,
+                        QNODE + Vec2.from_polar(3.0, ang))
+        assert 0.0 <= d <= expected * M
+
+    def test_distinct_angles_distinct_slots(self):
+        """Angle-ordered timers separate geographically spread D-nodes."""
+        delays = [reply_delay(0.0, 8, M, QNODE,
+                              QNODE + Vec2.from_polar(4.0, a))
+                  for a in (0.5, 1.5, 2.5, 3.5, 4.5, 5.5)]
+        assert delays == sorted(delays)
+        gaps = [b - a for a, b in zip(delays, delays[1:])]
+        assert all(g > M / 2 for g in gaps)
+
+
+class TestCollectionPlan:
+    def test_window_scales_with_expected(self):
+        small = CollectionPlan(0.0, 2, time_unit_s=M)
+        big = CollectionPlan(0.0, 20, time_unit_s=M)
+        assert big.window_s > small.window_s
+        assert small.window_s == pytest.approx((2 + 2.0) * M)
+
+
+class TestExpectedNewResponders:
+    def test_counts_in_boundary_only(self):
+        q = Vec2(0, 0)
+        neighbors = [Vec2(5, 0), Vec2(50, 0)]
+        assert expected_new_responders(neighbors, q, 20.0, None, 20.0) == 1
+
+    def test_excludes_previous_qnode_coverage(self):
+        q = Vec2(0, 0)
+        prev = Vec2(10, 0)
+        neighbors = [Vec2(12, 0),   # near prev: silent
+                     Vec2(-15, 0)]  # fresh
+        assert expected_new_responders(neighbors, q, 20.0, prev, 20.0) == 1
+
+    def test_empty(self):
+        assert expected_new_responders([], Vec2(0, 0), 20.0, None, 20.0) == 0
+
+
+class TestShouldReply:
+    def test_basic_qualification(self):
+        q = Vec2(0, 0)
+        assert should_reply(Vec2(5, 5), q, 20.0, None, 20.0,
+                            already_responded=False)
+
+    def test_no_reply_outside_boundary(self):
+        q = Vec2(0, 0)
+        assert not should_reply(Vec2(30, 0), q, 20.0, None, 20.0, False)
+
+    def test_no_reply_if_already_responded(self):
+        q = Vec2(0, 0)
+        assert not should_reply(Vec2(5, 5), q, 20.0, None, 20.0, True)
+
+    def test_no_reply_if_covered_by_previous_qnode(self):
+        q = Vec2(0, 0)
+        prev = Vec2(10, 0)
+        assert not should_reply(Vec2(15, 0), q, 20.0, prev, 20.0, False)
+        assert should_reply(Vec2(-15, 0), q, 20.0, prev, 20.0, False)
+
+    def test_mirror_of_expected_estimate(self):
+        """Whatever the Q-node counts as expected must actually reply."""
+        q = Vec2(0, 0)
+        prev = Vec2(8, 3)
+        neighbors = [Vec2(x, y) for x in range(-18, 19, 6)
+                     for y in range(-18, 19, 6)]
+        expected = expected_new_responders(neighbors, q, 20.0, prev, 20.0)
+        replying = sum(1 for p in neighbors
+                       if should_reply(p, q, 20.0, prev, 20.0, False))
+        assert expected == replying

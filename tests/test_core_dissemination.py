@@ -1,0 +1,161 @@
+"""Tests for Q-node forwarding decisions and token state."""
+
+import pytest
+
+from repro.core import (TokenState, advance_past_reached, choose_next_qnode,
+                        full_coverage_width)
+from repro.geometry import Vec2
+from repro.net import NeighborEntry
+
+W = full_coverage_width(20.0)
+
+
+def entry(node_id, x, y):
+    return NeighborEntry(node_id, Vec2(x, y), 0.0, 0.0)
+
+
+class TestAdvancePastReached:
+    def test_skips_reached_waypoints(self):
+        wps = [Vec2(0, 0), Vec2(5, 0), Vec2(40, 0)]
+        assert advance_past_reached(Vec2(1, 0), wps, 0, W) == 2
+
+    def test_no_skip_when_far(self):
+        wps = [Vec2(40, 0)]
+        assert advance_past_reached(Vec2(0, 0), wps, 0, W) == 0
+
+    def test_index_past_end(self):
+        wps = [Vec2(0, 0)]
+        assert advance_past_reached(Vec2(0, 0), wps, 1, W) == 1
+
+
+class TestChooseNextQnode:
+    def test_finished_when_all_waypoints_reached(self):
+        hop = choose_next_qnode(Vec2(0, 0), [entry(1, 5, 5)],
+                                [Vec2(1, 0)], 0, W, visited=[])
+        assert hop.node_id is None
+        assert not hop.dead_end
+
+    def test_picks_neighbor_closest_to_next_waypoint(self):
+        wps = [Vec2(40, 0)]
+        nbrs = [entry(1, 15, 0), entry(2, 10, 10), entry(3, -5, 0)]
+        hop = choose_next_qnode(Vec2(0, 0), nbrs, wps, 0, W, visited=[])
+        assert hop.node_id == 1
+        assert not hop.void_detour
+
+    def test_excludes_visited(self):
+        wps = [Vec2(40, 0)]
+        nbrs = [entry(1, 15, 0), entry(2, 10, 5)]
+        hop = choose_next_qnode(Vec2(0, 0), nbrs, wps, 0, W, visited=[1])
+        assert hop.node_id == 2
+
+    def test_dead_end_when_all_visited(self):
+        hop = choose_next_qnode(Vec2(0, 0), [entry(1, 5, 0)],
+                                [Vec2(40, 0)], 0, W, visited=[1])
+        assert hop.node_id is None
+        assert hop.dead_end
+
+    def test_lookahead_skips_unreachable_waypoint(self):
+        """No neighbor makes progress toward waypoint 0, but one sits on
+        waypoint 1: the lookahead skips ahead and flags the detour."""
+        wps = [Vec2(-100, 0), Vec2(16, 0)]
+        nbrs = [entry(1, 15, 0)]
+        hop = choose_next_qnode(Vec2(0, 0), nbrs, wps, 0, W, visited=[],
+                                lookahead=3)
+        assert hop.node_id == 1
+        assert hop.void_detour
+        assert hop.waypoint_index == 1
+
+    def test_any_progress_toward_waypoint_is_not_a_detour(self):
+        wps = [Vec2(100, 100)]
+        nbrs = [entry(1, 15, 0)]
+        hop = choose_next_qnode(Vec2(0, 0), nbrs, wps, 0, W, visited=[])
+        assert hop.node_id == 1
+        assert not hop.void_detour
+
+    def test_detour_when_nothing_progresses(self):
+        wps = [Vec2(100, 0)]
+        nbrs = [entry(1, -10, 0)]  # behind us
+        hop = choose_next_qnode(Vec2(0, 0), nbrs, wps, 0, W, visited=[])
+        assert hop.node_id == 1
+        assert hop.void_detour
+
+    def test_link_margin_prefers_safe_neighbors(self):
+        wps = [Vec2(40, 0)]
+        nbrs = [entry(1, 19.5, 0),   # at the radio edge: fragile
+                entry(2, 14, 0)]     # safe
+        hop = choose_next_qnode(Vec2(0, 0), nbrs, wps, 0, W, visited=[],
+                                max_reach=18.0)
+        assert hop.node_id == 2
+
+    def test_link_margin_falls_back_to_edge_neighbor(self):
+        wps = [Vec2(40, 0)]
+        nbrs = [entry(1, 19.5, 0)]
+        hop = choose_next_qnode(Vec2(0, 0), nbrs, wps, 0, W, visited=[],
+                                max_reach=18.0)
+        assert hop.node_id == 1
+
+    def test_neighbor_on_waypoint_is_chosen_even_if_not_closer(self):
+        wps = [Vec2(5, 0)]
+        nbrs = [entry(1, 6, 1)]  # within w/2 of the waypoint
+        hop = choose_next_qnode(Vec2(5, 1), nbrs, wps, 0, W, visited=[])
+        # current position is within... ensure no crash and valid decision
+        assert hop.node_id in (None, 1)
+
+
+class TestTokenState:
+    def make(self):
+        return TokenState(
+            query_id=7, sink_id=200, sink_pos=Vec2(5, 5),
+            point=Vec2(60, 60), k=20, assurance_gain=0.1, sectors_total=8,
+            sector=3, width=W, spacing=16.0, inverted=True,
+            radius_history=[30.0], started_at=12.5)
+
+    def test_payload_roundtrip(self):
+        token = self.make()
+        token.candidates = [(1, 2.0, 3.0, 0.5, 9.0, 1.0)]
+        token.stats = {3: (4, 22.5)}
+        token.record_visit(42)
+        token.voids = 2
+        token.consecutive_detours = 1
+        again = TokenState.from_payload(token.to_payload())
+        assert again.query_id == 7
+        assert again.sector == 3
+        assert again.radius == 30.0
+        assert again.candidates == [(1, 2.0, 3.0, 0.5, 9.0, 1.0)]
+        assert again.stats == {3: (4, 22.5)}
+        assert again.visited == [42]
+        assert again.voids == 2
+        assert again.consecutive_detours == 1
+        assert again.inverted is True
+
+    def test_radius_tracks_history(self):
+        token = self.make()
+        assert token.radius == 30.0
+        token.radius_history.append(45.0)
+        assert token.radius == 45.0
+
+    def test_wire_bytes_grow_with_content(self):
+        token = self.make()
+        empty = token.wire_bytes()
+        token.candidates = [(i, 0.0, 0.0, 0.0, 0.0, 0.0) for i in range(5)]
+        token.stats = {0: (1, 2.0)}
+        token.record_visit(1)
+        assert token.wire_bytes() == (empty
+                                      + 5 * TokenState.CANDIDATE_BYTES
+                                      + TokenState.STAT_BYTES
+                                      + TokenState.VISITED_BYTES)
+
+    def test_visited_list_bounded(self):
+        token = self.make()
+        for i in range(100):
+            token.record_visit(i)
+        assert len(token.visited) == TokenState.MAX_VISITED
+        assert token.visited[-1] == 99
+
+    def test_build_itinerary_deterministic_with_extensions(self):
+        token = self.make()
+        token.radius_history = [30.0, 45.0]
+        a = token.build_itinerary()
+        b = TokenState.from_payload(token.to_payload()).build_itinerary()
+        assert a.waypoints == b.waypoints
+        assert a.radius == 45.0

@@ -1,0 +1,187 @@
+"""Tests for itinerary geometry: segments, coverage, extension."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (adj_segments_length, build_itineraries,
+                        build_sector_itinerary, extend_sector_itinerary,
+                        full_coverage_width, init_segment_length,
+                        peri_segments_length)
+from repro.geometry import Vec2
+
+R_RADIO = 20.0
+W = full_coverage_width(R_RADIO)
+Q = Vec2(60.0, 60.0)
+
+
+class TestAnalyticLengths:
+    def test_full_coverage_width(self):
+        assert W == pytest.approx(math.sqrt(3) / 2 * 20.0)
+
+    def test_init_segment_formula(self):
+        # l_init = w / (2 sin(pi/S)) capped at R.
+        s = 8
+        expected = W / (2 * math.sin(math.pi / s))
+        assert init_segment_length(W, s, 100.0) == pytest.approx(expected)
+        assert init_segment_length(W, s, 10.0) == 10.0
+
+    def test_large_s_degenerates_to_straight_line(self):
+        """§3.3: with S large enough the sub-itinerary is a straight line."""
+        assert init_segment_length(W, 64, 40.0) == 40.0
+        it = build_sector_itinerary(Q, 40.0, 64, 0, W, spacing=16.0)
+        # All waypoints lie on the bisector ray.
+        bisect = (2 * math.pi / 64) * 0.5
+        for p in it.waypoints:
+            if p == Q:
+                continue
+            assert abs((p - Q).angle() - bisect) < 1e-6
+
+    def test_single_sector_supported(self):
+        assert init_segment_length(W, 1, 100.0) == pytest.approx(W / 2)
+        it = build_sector_itinerary(Q, 35.0, 1, 0, W, spacing=16.0)
+        assert it.length() > 0
+
+    def test_peri_length_formula(self):
+        s, radius = 8, 60.0
+        l_init = init_segment_length(W, s, radius)
+        n = int((radius - l_init) / W)
+        expected = sum(2 * math.pi * i * W / s for i in range(1, n + 1))
+        assert peri_segments_length(W, s, radius) == pytest.approx(expected)
+
+    def test_adj_length_formula(self):
+        s, radius = 8, 60.0
+        l_init = init_segment_length(W, s, radius)
+        assert adj_segments_length(W, s, radius) == \
+            pytest.approx(int((radius - l_init) / W) * W)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            init_segment_length(W, 0, 10.0)
+        with pytest.raises(ValueError):
+            build_sector_itinerary(Q, -1.0, 8, 0, W, spacing=16.0)
+        with pytest.raises(ValueError):
+            build_sector_itinerary(Q, 10.0, 8, 9, W, spacing=16.0)
+        with pytest.raises(ValueError):
+            build_sector_itinerary(Q, 10.0, 8, 0, W, spacing=0.0)
+
+
+def path_distance(itinerary, p):
+    """Absolute distance from ``p`` to the waypoint polyline."""
+    from repro.geometry import segment_point_distance
+    pts = itinerary.waypoints
+    if len(pts) == 1:
+        return p.distance_to(pts[0])
+    return min(segment_point_distance(pts[i], pts[i + 1], p)
+               for i in range(len(pts) - 1))
+
+
+def coverage_fraction(itineraries, radius, samples=2000, limit=None):
+    """Fraction of boundary points within ``limit`` of some sub-itinerary.
+
+    Default limit is the w/2 band guarantee (plus discretization slack).
+    """
+    rng = random.Random(7)
+    if limit is None:
+        limit = itineraries[0].width / 2.0 + 0.06 * W
+    covered = 0
+    for _ in range(samples):
+        a = rng.uniform(0, 2 * math.pi)
+        rho = radius * math.sqrt(rng.random())
+        p = Q + Vec2.from_polar(rho, a)
+        if any(path_distance(it, p) <= limit for it in itineraries):
+            covered += 1
+    return covered / samples
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("sectors", [2, 4, 8])
+    @pytest.mark.parametrize("radius", [25.0, 40.0, 60.0])
+    def test_full_coverage_at_paper_width(self, sectors, radius):
+        """w = sqrt(3)r/2 must cover the whole boundary (within polyline
+        discretization tolerance)."""
+        its = build_itineraries(Q, radius, sectors, W, spacing=6.0)
+        assert coverage_fraction(its, radius) > 0.97
+
+    def test_probe_reach_coverage_at_paper_width(self):
+        """Every boundary point is within radio reach of the path when
+        w = sqrt(3)r/2 (the actual D-node audibility criterion)."""
+        its = build_itineraries(Q, 60.0, 8, W, spacing=0.8 * R_RADIO)
+        frac = coverage_fraction(its, 60.0, limit=0.9 * R_RADIO)
+        assert frac > 0.999
+
+    def test_oversized_width_loses_probe_coverage(self):
+        """E12 ablation backstop: w far above sqrt(3)r/2 leaves points
+        beyond radio reach of the path."""
+        its = build_itineraries(Q, 60.0, 8, 2.8 * W, spacing=0.8 * R_RADIO)
+        frac = coverage_fraction(its, 60.0, limit=0.9 * R_RADIO)
+        assert frac < 0.99
+
+    def test_rendezvous_inverts_interseptal_sectors(self):
+        its = build_itineraries(Q, 50.0, 8, W, spacing=16.0,
+                                rendezvous=True)
+        assert [it.inverted for it in its] == [False, True] * 4
+        plain = build_itineraries(Q, 50.0, 8, W, spacing=16.0,
+                                  rendezvous=False)
+        assert not any(it.inverted for it in plain)
+
+    def test_waypoints_stay_within_boundary(self):
+        for it in build_itineraries(Q, 45.0, 8, W, spacing=16.0):
+            for p in it.waypoints:
+                assert p.distance_to(Q) <= 45.0 + 1e-6
+
+    def test_itinerary_length_close_to_analytic(self):
+        radius, s = 60.0, 8
+        it = build_sector_itinerary(Q, radius, s, 0, W, spacing=4.0)
+        analytic = (init_segment_length(W, s, radius)
+                    + peri_segments_length(W, s, radius)
+                    + adj_segments_length(W, s, radius))
+        # Discretized path length within ~35% of the closed form (the
+        # closed form floors the ring count; the path walks partial rings).
+        assert it.length() == pytest.approx(analytic, rel=0.35)
+
+
+class TestExtension:
+    def test_extension_preserves_walked_prefix(self):
+        it = build_sector_itinerary(Q, 30.0, 8, 2, W, spacing=16.0)
+        ext = extend_sector_itinerary(it, 48.0, spacing=16.0)
+        assert ext.radius == 48.0
+        assert ext.waypoints[:len(it.waypoints)] == it.waypoints
+        assert len(ext.waypoints) > len(it.waypoints)
+
+    def test_extension_covers_annulus(self):
+        its = [extend_sector_itinerary(
+            build_sector_itinerary(Q, 30.0, 8, j, W, spacing=16.0,
+                                   invert=j % 2 == 1),
+            55.0, spacing=16.0) for j in range(8)]
+        rng = random.Random(3)
+        covered = 0
+        samples = 800
+        for _ in range(samples):
+            a = rng.uniform(0, 2 * math.pi)
+            rho = rng.uniform(31.0, 54.0)  # the new annulus only
+            p = Q + Vec2.from_polar(rho, a)
+            if any(it.covers(p, tolerance=0.06 * W) for it in its):
+                covered += 1
+        assert covered / samples > 0.97
+
+    def test_no_op_extension(self):
+        it = build_sector_itinerary(Q, 30.0, 8, 0, W, spacing=16.0)
+        assert extend_sector_itinerary(it, 25.0, spacing=16.0) is it
+        assert extend_sector_itinerary(it, 30.0, spacing=16.0) is it
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=22.0, max_value=50.0),
+           st.floats(min_value=1.0, max_value=40.0),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=11))
+    def test_property_extension_monotone(self, r0, delta, sectors, idx):
+        if idx >= sectors:
+            idx = idx % sectors
+        it = build_sector_itinerary(Q, r0, sectors, idx, W, spacing=16.0)
+        ext = extend_sector_itinerary(it, r0 + delta, spacing=16.0)
+        assert len(ext.waypoints) >= len(it.waypoints)
+        for p in ext.waypoints:
+            assert p.distance_to(Q) <= r0 + delta + 1e-6

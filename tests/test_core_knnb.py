@@ -1,0 +1,162 @@
+"""Tests for the KNNB boundary-estimation algorithm (paper Algorithm 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (InfoList, conservative_radius, count_new_neighbors,
+                        knnb_radius, optimal_radius)
+from repro.geometry import Vec2
+
+R = 20.0  # radio range used throughout
+
+
+def synthetic_route(q, density, hops=8, hop_len=14.0, start_dist=None):
+    """An info list matching a uniform field of the given density: a
+    straight route toward q, enc_i proportional to the fresh strip area."""
+    if start_dist is None:
+        start_dist = hops * hop_len
+    info = InfoList()
+    strip_area = R * hop_len
+    enc = density * strip_area
+    for i in range(hops):
+        d = start_dist - i * hop_len
+        info.append(Vec2(q.x - d, q.y), max(1, round(enc)))
+    # Home-node entry (semicircle around it):
+    info.append(Vec2(q.x - 1.0, q.y),
+                max(1, round(density * math.pi * R * R / 2)))
+    return info
+
+
+class TestKnnbRadius:
+    def test_matches_optimal_radius_on_uniform_field(self):
+        """Algorithm 1 returns the distance of the first *hop location*
+        whose estimated count reaches k, so its granularity is one hop
+        length: the estimate brackets the optimal radius from above by at
+        most ~one hop, and never falls far below it."""
+        density = 0.015  # paper's 200 / 115^2
+        hop_len = 14.0
+        q = Vec2(200, 50)
+        info = synthetic_route(q, density, hop_len=hop_len)
+        for k in (10, 20, 40):
+            est = knnb_radius(info, q, R, k)
+            opt = optimal_radius(density, k)
+            assert opt * 0.75 <= est <= opt + 1.3 * hop_len
+
+    def test_monotone_in_k(self):
+        q = Vec2(200, 50)
+        info = synthetic_route(q, density=0.015)
+        radii = [knnb_radius(info, q, R, k) for k in (5, 10, 20, 40, 80)]
+        assert radii == sorted(radii)
+
+    def test_denser_field_gives_smaller_radius(self):
+        q = Vec2(200, 50)
+        sparse = knnb_radius(synthetic_route(q, 0.005), q, R, 20)
+        dense = knnb_radius(synthetic_route(q, 0.05), q, R, 20)
+        assert dense < sparse
+
+    def test_floor_at_radio_range(self):
+        q = Vec2(200, 50)
+        info = synthetic_route(q, density=10.0)  # absurdly dense
+        assert knnb_radius(info, q, R, 1) >= R
+
+    def test_max_radius_cap(self):
+        q = Vec2(200, 50)
+        info = synthetic_route(q, density=0.0001)
+        assert knnb_radius(info, q, R, 100, max_radius=70.0) == 70.0
+
+    def test_empty_list_fallback(self):
+        est = knnb_radius(InfoList(), Vec2(0, 0), R, 16)
+        assert est == pytest.approx(R * 4 / 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            knnb_radius(InfoList(), Vec2(0, 0), R, 0)
+
+    def test_extrapolates_when_route_too_short(self):
+        """A 2-hop route cannot reach k by walking L; the density
+        extrapolation must still give a sane radius."""
+        q = Vec2(40, 50)
+        info = synthetic_route(q, density=0.015, hops=2, start_dist=28.0)
+        est = knnb_radius(info, q, R, 60)
+        opt = optimal_radius(0.015, 60)
+        assert 0.4 * opt < est < 2.5 * opt
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=0.003, max_value=0.1),
+           st.integers(min_value=1, max_value=60))
+    def test_property_radius_positive_and_bounded(self, density, k):
+        q = Vec2(300, 50)
+        info = synthetic_route(q, density, hops=12)
+        est = knnb_radius(info, q, R, k)
+        assert est >= R
+        assert est < 10 * optimal_radius(density, max(k, 4)) + R
+
+    def test_paper_claim_much_smaller_than_conservative(self):
+        """§4.2: KNNB radii are generally ~1/sqrt(k*pi) of KPT's."""
+        q = Vec2(200, 50)
+        info = synthetic_route(q, density=0.015)
+        for k in (10, 20, 40):
+            est = knnb_radius(info, q, R, k)
+            cons = conservative_radius(k, max_hop_distance=15.0)
+            assert est < cons / 3
+
+
+class TestConservativeRadius:
+    def test_paper_example(self):
+        # k=20, MHD=15 -> R=300 (exceeds twice the 115 m field edge).
+        assert conservative_radius(20, 15.0) == 300.0
+
+    def test_quadratic_boundary_area_growth(self):
+        r1 = conservative_radius(10, 15.0)
+        r2 = conservative_radius(20, 15.0)
+        assert (r2 / r1) ** 2 == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conservative_radius(0, 15.0)
+        with pytest.raises(ValueError):
+            conservative_radius(5, 0.0)
+
+
+class TestCountNewNeighbors:
+    def test_no_previous_hop_counts_all(self):
+        pts = [Vec2(1, 0), Vec2(2, 0)]
+        assert count_new_neighbors(pts, None, R) == 2
+
+    def test_filters_neighbors_near_previous_hop(self):
+        prev = Vec2(0, 0)
+        pts = [Vec2(5, 0), Vec2(25, 0), Vec2(19, 0), Vec2(21, 0)]
+        assert count_new_neighbors(pts, prev, R) == 2
+
+    def test_empty(self):
+        assert count_new_neighbors([], Vec2(0, 0), R) == 0
+
+
+class TestInfoList:
+    def test_roundtrip(self):
+        info = InfoList()
+        info.append(Vec2(1.5, 2.5), 7)
+        info.append(Vec2(3.0, 4.0), 2)
+        again = InfoList.from_payload(info.to_payload())
+        assert again.locs == info.locs
+        assert again.encs == info.encs
+
+    def test_wire_bytes(self):
+        info = InfoList()
+        assert info.wire_bytes == 0
+        info.append(Vec2(0, 0), 1)
+        assert info.wire_bytes == InfoList.ENTRY_BYTES
+
+
+class TestOptimalRadius:
+    def test_inverts_count_model(self):
+        density = 0.02
+        r = optimal_radius(density, 25)
+        assert math.pi * r * r * density == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_radius(0.0, 5)

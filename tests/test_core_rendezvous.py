@@ -1,0 +1,111 @@
+"""Tests for rendezvous gossip and dynamic boundary adjustment (§4.3)."""
+
+import pytest
+
+from repro.core import (BoundaryDecision, SectorStats, evaluate_boundary,
+                        merge_stats)
+
+
+def stats_for(counts, progress=30.0):
+    return {i: SectorStats(explored=c, progress_radius=progress)
+            for i, c in enumerate(counts)}
+
+
+class TestSectorStats:
+    def test_wire_roundtrip(self):
+        s = SectorStats(explored=17, progress_radius=33.333)
+        again = SectorStats.from_wire(s.to_wire())
+        assert again.explored == 17
+        assert again.progress_radius == pytest.approx(33.33, abs=0.01)
+
+
+class TestMergeStats:
+    def test_keeps_most_advanced_report(self):
+        mine = {0: SectorStats(5, 10.0)}
+        theirs = {0: SectorStats(9, 20.0), 1: SectorStats(3, 15.0)}
+        merge_stats(mine, theirs)
+        assert mine[0].explored == 9
+        assert mine[1].explored == 3
+
+    def test_does_not_regress(self):
+        mine = {0: SectorStats(9, 20.0)}
+        merge_stats(mine, {0: SectorStats(2, 5.0)})
+        assert mine[0].explored == 9
+
+    def test_same_progress_higher_count_wins(self):
+        mine = {0: SectorStats(3, 20.0)}
+        merge_stats(mine, {0: SectorStats(7, 20.0)})
+        assert mine[0].explored == 7
+
+
+class TestEvaluateBoundary:
+    def test_stop_when_k_found(self):
+        # 8 sectors each explored 10 nodes within rho=30; k=40 covered.
+        decision = evaluate_boundary(stats_for([10] * 8), 8, k=40,
+                                     current_radius=40.0,
+                                     progress_radius=30.0, extend_cap=100.0)
+        assert decision.action == "stop"
+        assert decision.estimated_total == pytest.approx(80.0)
+
+    def test_continue_midway(self):
+        decision = evaluate_boundary(stats_for([3] * 8, progress=15.0), 8,
+                                     k=40, current_radius=40.0,
+                                     progress_radius=15.0, extend_cap=100.0)
+        assert decision.action == "continue"
+
+    def test_extend_when_density_too_low(self):
+        # Walked 95% of R=40 but found far fewer than k.
+        decision = evaluate_boundary(stats_for([2] * 8, progress=38.0), 8,
+                                     k=40, current_radius=40.0,
+                                     progress_radius=38.0, extend_cap=100.0)
+        assert decision.action == "extend"
+        assert decision.new_radius > 40.0
+        assert decision.new_radius <= 100.0
+
+    def test_no_extend_before_min_progress(self):
+        """Early density samples are noisy: no extension until the walk
+        nears the current boundary."""
+        decision = evaluate_boundary(stats_for([1] * 8, progress=10.0), 8,
+                                     k=40, current_radius=40.0,
+                                     progress_radius=10.0, extend_cap=100.0)
+        assert decision.action == "continue"
+
+    def test_extend_capped(self):
+        decision = evaluate_boundary(stats_for([1] * 8, progress=39.0), 8,
+                                     k=400, current_radius=40.0,
+                                     progress_radius=39.0, extend_cap=55.0)
+        assert decision.action == "extend"
+        assert decision.new_radius == 55.0
+
+    def test_interpolates_unheard_sectors(self):
+        # Only 2 of 8 sectors known: est_total = mean * 8.
+        stats = {0: SectorStats(10, 30.0), 1: SectorStats(10, 30.0)}
+        decision = evaluate_boundary(stats, 8, k=40, current_radius=40.0,
+                                     progress_radius=30.0,
+                                     extend_cap=100.0)
+        assert decision.estimated_total == pytest.approx(80.0)
+        assert decision.action == "stop"
+
+    def test_empty_region_extends_at_boundary_end(self):
+        stats = stats_for([0] * 4, progress=40.0)
+        decision = evaluate_boundary(stats, 4, k=10, current_radius=40.0,
+                                     progress_radius=40.0, extend_cap=100.0)
+        assert decision.action == "extend"
+        assert decision.new_radius == pytest.approx(60.0)
+
+    def test_empty_region_continues_midway(self):
+        stats = stats_for([0] * 4, progress=20.0)
+        decision = evaluate_boundary(stats, 4, k=10, current_radius=40.0,
+                                     progress_radius=20.0, extend_cap=100.0)
+        assert decision.action == "continue"
+
+    def test_no_stats_continues(self):
+        decision = evaluate_boundary({}, 8, k=10, current_radius=40.0,
+                                     progress_radius=10.0, extend_cap=100.0)
+        assert decision.action == "continue"
+
+    def test_extend_at_cap_already_continues(self):
+        decision = evaluate_boundary(stats_for([1] * 8, progress=54.0), 8,
+                                     k=400, current_radius=55.0,
+                                     progress_radius=54.0, extend_cap=55.0)
+        assert decision.action == "continue"

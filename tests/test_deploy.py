@@ -1,0 +1,132 @@
+"""Tests for deployment generators."""
+
+import numpy as np
+import pytest
+
+from repro.deploy import (CaribouDeployment, ClusteredDeployment,
+                          GridDeployment, UniformDeployment)
+from repro.geometry import Rect, Vec2
+
+FIELD = Rect.from_size(115.0, 115.0)
+
+
+def gen(deployment, n=200, seed=1, field=FIELD):
+    return deployment.generate(n, field, np.random.default_rng(seed))
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        pts = gen(UniformDeployment())
+        assert len(pts) == 200
+        assert all(FIELD.contains(p) for p in pts)
+
+    def test_zero_nodes(self):
+        assert gen(UniformDeployment(), n=0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gen(UniformDeployment(), n=-1)
+
+    def test_reproducible(self):
+        assert gen(UniformDeployment(), seed=9) == \
+            gen(UniformDeployment(), seed=9)
+
+    def test_roughly_uniform_quadrants(self):
+        pts = gen(UniformDeployment(), n=4000, seed=2)
+        cx, cy = FIELD.center()
+        counts = [0, 0, 0, 0]
+        for p in pts:
+            counts[(p.x > cx) * 2 + (p.y > cy)] += 1
+        for c in counts:
+            assert 800 < c < 1200
+
+
+class TestClustered:
+    def test_count_and_bounds(self):
+        pts = gen(ClusteredDeployment(n_clusters=3))
+        assert len(pts) == 200
+        assert all(FIELD.contains(p) for p in pts)
+
+    def test_explicit_centers_attract_mass(self):
+        dep = ClusteredDeployment(cluster_fraction=1.0,
+                                  spread_fraction=0.03,
+                                  centers=[(20.0, 20.0)])
+        pts = gen(dep, n=300, seed=4)
+        near = sum(1 for p in pts if p.distance_to(Vec2(20, 20)) < 25)
+        assert near > 250
+
+    def test_is_more_irregular_than_uniform(self):
+        """Clustered fields show higher cell-count variance."""
+
+        def cell_variance(pts):
+            cells = FIELD.grid_cells(5, 5)
+            counts = [sum(1 for p in pts if c.contains(p)) for c in cells]
+            return np.var(counts)
+
+        clustered = gen(ClusteredDeployment(n_clusters=3,
+                                            cluster_fraction=0.9), n=400)
+        uniform = gen(UniformDeployment(), n=400)
+        assert cell_variance(clustered) > 2 * cell_variance(uniform)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ClusteredDeployment(cluster_fraction=1.5)
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            ClusteredDeployment(n_clusters=0)
+
+
+class TestCaribou:
+    def test_count_and_bounds(self):
+        pts = gen(CaribouDeployment(), n=500)
+        assert len(pts) == 500
+        assert all(FIELD.contains(p) for p in pts)
+
+    def test_reproducible(self):
+        assert gen(CaribouDeployment(), seed=5) == \
+            gen(CaribouDeployment(), seed=5)
+
+    def test_contains_empty_regions(self):
+        """The herd structure must leave genuine voids (Figure 7 needs
+        itinerary voids to exist)."""
+        pts = gen(CaribouDeployment(n_voids=3), n=800, seed=6)
+        cells = FIELD.grid_cells(8, 8)
+        counts = [sum(1 for p in pts if c.contains(p)) for c in cells]
+        expected_uniform = 800 / 64
+        assert min(counts) < expected_uniform / 4
+        assert max(counts) > expected_uniform * 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CaribouDeployment(n_herds=0)
+        with pytest.raises(ValueError):
+            CaribouDeployment(straggler_fraction=-0.1)
+
+
+class TestGrid:
+    def test_exact_lattice(self):
+        pts = gen(GridDeployment(), n=25, field=Rect.from_size(50, 50))
+        assert len(pts) == 25
+        xs = sorted({round(p.x, 6) for p in pts})
+        assert len(xs) == 5  # 5 distinct columns
+
+    def test_jitter_moves_points(self):
+        lattice = gen(GridDeployment(), n=25)
+        jittered = gen(GridDeployment(jitter_fraction=0.3), n=25)
+        assert lattice != jittered
+        assert all(FIELD.contains(p) for p in jittered)
+
+    def test_zero_nodes(self):
+        assert gen(GridDeployment(), n=0) == []
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            GridDeployment(jitter_fraction=-1.0)
+
+    def test_nonsquare_field_covered(self):
+        field = Rect.from_size(200, 50)
+        pts = gen(GridDeployment(), n=60, field=field)
+        assert len(pts) == 60
+        assert all(field.contains(p) for p in pts)
+        assert max(p.x for p in pts) > 150

@@ -1,0 +1,51 @@
+"""Reproducibility: identical seeds must give identical runs."""
+
+import pytest
+
+from repro.baselines import KPTProtocol, PeerTreeProtocol
+from repro.core import DIKNNProtocol
+from repro.experiments import (SimulationConfig, build_simulation,
+                               run_query, run_workload)
+from repro.geometry import Vec2
+
+
+def outcome_signature(outcome):
+    return (outcome.completed, outcome.latency, outcome.pre_accuracy,
+            outcome.post_accuracy, round(outcome.energy_j, 12))
+
+
+class TestDeterminism:
+    def test_single_query_bit_identical(self):
+        sigs = []
+        for _ in range(2):
+            handle = build_simulation(SimulationConfig(seed=31),
+                                      DIKNNProtocol())
+            handle.warm_up()
+            sigs.append(outcome_signature(
+                run_query(handle, Vec2(60, 60), k=20)))
+        assert sigs[0] == sigs[1]
+
+    def test_workload_metrics_identical(self):
+        runs = [run_workload(SimulationConfig(seed=33),
+                             lambda c: DIKNNProtocol(), k=20,
+                             duration=8.0) for _ in range(2)]
+        assert runs[0].energy_j == runs[1].energy_j
+        a = [outcome_signature(o) for o in runs[0].outcomes]
+        b = [outcome_signature(o) for o in runs[1].outcomes]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        metrics = [run_workload(SimulationConfig(seed=s),
+                                lambda c: DIKNNProtocol(), k=20,
+                                duration=8.0).energy_j
+                   for s in (1, 2)]
+        assert metrics[0] != metrics[1]
+
+    @pytest.mark.parametrize("factory", [
+        lambda c: KPTProtocol(),
+        lambda c: PeerTreeProtocol(c.field),
+    ], ids=["kpt", "peertree"])
+    def test_baselines_deterministic(self, factory):
+        runs = [run_workload(SimulationConfig(seed=35), factory, k=15,
+                             duration=8.0) for _ in range(2)]
+        assert runs[0].energy_j == runs[1].energy_j

@@ -1,0 +1,184 @@
+"""Tests for the experiment harness: config, runner, sweeps, tables, viz."""
+
+import math
+
+import pytest
+
+from repro.baselines import KPTProtocol
+from repro.core import DIKNNProtocol
+from repro.experiments import (PAPER_DEFAULTS, SimulationConfig,
+                               TraversalRecorder, build_simulation,
+                               defaults_table, figure_report, fig8_sweep,
+                               make_deployment, render_svg, run_query,
+                               run_workload, shape_checks)
+from repro.experiments.series import SeriesPoint, SweepResult
+from repro.geometry import Vec2
+from repro.metrics import RunMetrics
+from repro.sim import ConfigurationError
+
+
+class TestSimulationConfig:
+    def test_defaults_match_paper(self):
+        cfg = SimulationConfig()
+        assert cfg.n_nodes == PAPER_DEFAULTS["node_number"][0]
+        assert cfg.radio_range == PAPER_DEFAULTS["radio_range_r"][0]
+        assert cfg.max_speed == PAPER_DEFAULTS["mu_max"][0]
+        assert cfg.query_interval_mean == PAPER_DEFAULTS["query_interval"][0]
+
+    def test_with_copy(self):
+        cfg = SimulationConfig().with_(max_speed=25.0)
+        assert cfg.max_speed == 25.0
+        assert SimulationConfig().max_speed == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(deployment="hexagonal")
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(max_speed=-1.0)
+
+    def test_defaults_table_renders(self):
+        text = defaults_table()
+        assert "node_number" in text
+        assert "250" in text
+
+    def test_make_deployment(self):
+        for name in ("uniform", "clustered", "caribou", "grid"):
+            assert make_deployment(name) is not None
+
+
+class TestBuildSimulation:
+    def test_builds_complete_handle(self):
+        handle = build_simulation(SimulationConfig(seed=2),
+                                  DIKNNProtocol())
+        assert len(handle.network) == 201  # 200 sensors + sink
+        assert handle.sink.id == 200
+        assert handle.sink.mobility.max_speed == 0.0
+        assert handle.protocol.network is handle.network
+
+    def test_static_config(self):
+        handle = build_simulation(SimulationConfig(seed=2, max_speed=0.0),
+                                  DIKNNProtocol())
+        node = handle.network.nodes[0]
+        assert node.mobility.max_speed == 0.0
+
+    def test_same_seed_same_deployment(self):
+        h1 = build_simulation(SimulationConfig(seed=9), DIKNNProtocol())
+        h2 = build_simulation(SimulationConfig(seed=9), DIKNNProtocol())
+        for nid in (0, 50, 150):
+            assert h1.network.nodes[nid].position(0.0) == \
+                h2.network.nodes[nid].position(0.0)
+
+
+class TestRunQuery:
+    def test_single_query_outcome(self):
+        handle = build_simulation(SimulationConfig(seed=7),
+                                  DIKNNProtocol())
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(60, 60), k=20)
+        assert outcome.completed
+        assert outcome.latency is not None and outcome.latency > 0
+        assert outcome.pre_accuracy >= 0.7
+        assert outcome.energy_j > 0
+
+    def test_timeout_gives_partial_outcome(self):
+        handle = build_simulation(SimulationConfig(seed=7),
+                                  DIKNNProtocol())
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(60, 60), k=20, timeout=0.05)
+        assert not outcome.completed
+        assert outcome.latency is None
+
+
+class TestRunWorkload:
+    def test_workload_produces_metrics(self):
+        cfg = SimulationConfig(seed=5, query_interval_mean=3.0)
+        metrics = run_workload(cfg, lambda c: DIKNNProtocol(), k=20,
+                               duration=10.0)
+        assert metrics.protocol == "diknn"
+        assert metrics.queries_issued >= 1
+        assert metrics.energy_j > 0
+        assert 0.0 <= metrics.mean_pre_accuracy <= 1.0
+        assert metrics.params["k"] == 20
+
+    def test_workload_respects_protocol_factory(self):
+        cfg = SimulationConfig(seed=5)
+        metrics = run_workload(cfg, lambda c: KPTProtocol(), k=10,
+                               duration=8.0)
+        assert metrics.protocol == "kpt"
+
+
+class TestSweepResultAndTables:
+    def make_sweep(self):
+        sweep = SweepResult(x_name="k")
+        for proto, base in (("diknn", 1.0), ("kpt", 2.0)):
+            for x in (20, 40):
+                runs = [RunMetrics(protocol=proto, energy_j=base * x / 20)]
+                runs[0].outcomes = []
+                sweep.add(proto, SeriesPoint(
+                    x=float(x), latency=base * x / 40, energy_j=base,
+                    pre_accuracy=0.9, post_accuracy=0.8,
+                    completion_rate=1.0, runs=1))
+        return sweep
+
+    def test_table_rendering(self):
+        text = self.make_sweep().table("latency", title="latency")
+        assert "diknn" in text and "kpt" in text
+        assert "20" in text and "40" in text
+
+    def test_metric_series(self):
+        sweep = self.make_sweep()
+        assert sweep.metric_series("diknn", "latency") == [0.5, 1.0]
+        assert sweep.xs("kpt") == [20.0, 40.0]
+
+    def test_figure_report_has_four_panels(self):
+        report = figure_report(self.make_sweep(), "Figure X")
+        assert report.count("Figure X") == 4
+        assert "Pre-accuracy" in report and "Energy" in report
+
+    def test_shape_checks(self):
+        checks = shape_checks(self.make_sweep())
+        assert checks["diknn_latency_beats_kpt_at_max_x"] is True
+        assert checks["diknn_energy_beats_kpt_at_max_x"] is True
+
+    def test_series_point_from_runs_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeriesPoint.from_runs(1.0, [])
+
+
+class TestMiniSweepIntegration:
+    def test_tiny_fig8_sweep_runs(self):
+        result = fig8_sweep(
+            base=SimulationConfig(seed=3),
+            k_values=(10,),
+            factories={"diknn": lambda c: DIKNNProtocol()},
+            repeats=1, duration=6.0)
+        assert "diknn" in result.series
+        point = result.series["diknn"][0]
+        assert point.x == 10.0
+        assert point.energy_j > 0
+
+
+class TestVisualization:
+    def test_recorder_and_svg(self):
+        handle = build_simulation(SimulationConfig(seed=7),
+                                  DIKNNProtocol())
+        handle.warm_up()
+        recorder = TraversalRecorder(handle.network)
+        outcome = run_query(handle, Vec2(60, 60), k=20)
+        assert recorder.trace.hop_count() > 0
+        assert recorder.trace.boundary_radius > 0
+        svg = render_svg(handle.network, handle.config.field,
+                         recorder.trace)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<circle") > 200  # all the node dots
+        assert "<line" in svg              # traversal segments
+
+    def test_svg_without_trace(self):
+        handle = build_simulation(SimulationConfig(seed=7),
+                                  DIKNNProtocol())
+        svg = render_svg(handle.network, handle.config.field)
+        assert "<line" not in svg
+        assert svg.count("<circle") >= 200

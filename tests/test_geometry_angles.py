@@ -1,0 +1,78 @@
+"""Unit + property tests for angle arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (TWO_PI, angle_between, angle_diff, arc_width,
+                            bisector, normalize_angle, normalize_signed)
+
+angles = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestNormalization:
+    def test_normalize_angle_basic(self):
+        assert normalize_angle(0.0) == 0.0
+        assert normalize_angle(TWO_PI) == pytest.approx(0.0)
+        assert normalize_angle(-math.pi / 2) == pytest.approx(1.5 * math.pi)
+
+    def test_normalize_signed_basic(self):
+        assert normalize_signed(math.pi) == pytest.approx(math.pi)
+        assert normalize_signed(1.5 * math.pi) == pytest.approx(-math.pi / 2)
+        assert normalize_signed(-math.pi) == pytest.approx(math.pi)
+
+    @given(angles)
+    def test_normalize_angle_range(self, a):
+        n = normalize_angle(a)
+        assert 0.0 <= n < TWO_PI
+
+    @given(angles)
+    def test_normalize_signed_range(self, a):
+        n = normalize_signed(a)
+        assert -math.pi < n <= math.pi
+
+    @given(angles)
+    def test_normalizations_agree_mod_two_pi(self, a):
+        diff = normalize_angle(a) - normalize_angle(normalize_signed(a))
+        assert min(abs(diff), abs(diff - TWO_PI),
+                   abs(diff + TWO_PI)) < 1e-9
+
+
+class TestArcOperations:
+    def test_angle_diff_shortest_rotation(self):
+        assert angle_diff(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+        assert angle_diff(TWO_PI - 0.1, 0.1) == pytest.approx(-0.2)
+
+    def test_angle_between_simple_arc(self):
+        assert angle_between(0.5, 0.0, 1.0)
+        assert not angle_between(1.5, 0.0, 1.0)
+
+    def test_angle_between_wrapping_arc(self):
+        # Arc from 350deg to 10deg contains 0deg.
+        start = math.radians(350)
+        end = math.radians(10)
+        assert angle_between(0.0, start, end)
+        assert not angle_between(math.radians(180), start, end)
+
+    def test_angle_between_closed_start_open_end(self):
+        assert angle_between(0.0, 0.0, 1.0)
+        assert not angle_between(1.0, 0.0, 1.0)
+
+    def test_arc_width(self):
+        assert arc_width(0.0, math.pi) == pytest.approx(math.pi)
+        assert arc_width(math.pi, 0.0) == pytest.approx(math.pi)
+        assert arc_width(1.0, 1.0) == 0.0
+
+    def test_bisector(self):
+        assert bisector(0.0, math.pi) == pytest.approx(math.pi / 2)
+        # Wrapping arc: 350deg -> 10deg bisects at 0deg.
+        b = bisector(math.radians(350), math.radians(10))
+        assert min(b, TWO_PI - b) == pytest.approx(0.0, abs=1e-9)
+
+    @given(angles, angles)
+    def test_bisector_inside_arc(self, start, width_raw):
+        width = abs(width_raw) % (TWO_PI - 1e-3) + 1e-4
+        end = start + width
+        b = bisector(start, end)
+        assert angle_between(b, start, end)

@@ -1,0 +1,125 @@
+"""Unit + property tests for the spatial hash grid."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import SpatialGrid, Vec2
+
+coords = st.floats(min_value=-500, max_value=500, allow_nan=False)
+points = st.lists(st.tuples(coords, coords), min_size=0, max_size=60)
+
+
+def brute_within(items, center, radius):
+    return {k for k, p in items
+            if p.distance_to(center) <= radius + 1e-12}
+
+
+class TestSpatialGridBasics:
+    def test_insert_query(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(5, 5))
+        g.insert("b", Vec2(50, 50))
+        assert set(g.within(Vec2(0, 0), 10)) == {"a"}
+        assert len(g) == 2
+        assert "a" in g and "c" not in g
+
+    def test_insert_replaces(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(5, 5))
+        g.insert("a", Vec2(100, 100))
+        assert set(g.within(Vec2(0, 0), 20)) == set()
+        assert g.position_of("a") == Vec2(100, 100)
+        assert len(g) == 1
+
+    def test_remove(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(5, 5))
+        g.remove("a")
+        assert len(g) == 0
+        with pytest.raises(KeyError):
+            g.remove("a")
+
+    def test_move_across_cells(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(5, 5))
+        g.move("a", Vec2(95, 95))
+        assert set(g.within(Vec2(100, 100), 10)) == {"a"}
+        assert set(g.within(Vec2(0, 0), 10)) == set()
+
+    def test_negative_coordinates(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(-15, -15))
+        assert set(g.within(Vec2(-10, -10), 10)) == {"a"}
+
+    def test_bulk_load_replaces_all(self):
+        g = SpatialGrid(10.0)
+        g.insert("old", Vec2(1, 1))
+        g.bulk_load([("x", Vec2(0, 0)), ("y", Vec2(3, 3))])
+        assert "old" not in g
+        assert set(g.within(Vec2(0, 0), 5)) == {"x", "y"}
+
+    def test_negative_radius_yields_nothing(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(0, 0))
+        assert list(g.within(Vec2(0, 0), -1.0)) == []
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(0.0)
+
+
+class TestNearest:
+    def test_nearest_simple(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(0, 0))
+        g.insert("b", Vec2(100, 0))
+        assert g.nearest(Vec2(30, 0)) == "a"
+        assert g.nearest(Vec2(70, 0)) == "b"
+
+    def test_nearest_with_exclusion(self):
+        g = SpatialGrid(10.0)
+        g.insert("a", Vec2(0, 0))
+        g.insert("b", Vec2(100, 0))
+        assert g.nearest(Vec2(5, 0), exclude={"a"}) == "b"
+
+    def test_nearest_far_away(self):
+        g = SpatialGrid(1.0)
+        g.insert("a", Vec2(1000, 1000))
+        assert g.nearest(Vec2(0, 0)) == "a"
+
+    def test_nearest_empty_raises(self):
+        g = SpatialGrid(10.0)
+        with pytest.raises(KeyError):
+            g.nearest(Vec2(0, 0))
+
+
+class TestGridAgainstBruteForce:
+    @settings(max_examples=60)
+    @given(points, coords, coords,
+           st.floats(min_value=0.1, max_value=200, allow_nan=False))
+    def test_within_matches_brute_force(self, pts, cx, cy, radius):
+        g = SpatialGrid(17.0)
+        items = [(i, Vec2(x, y)) for i, (x, y) in enumerate(pts)]
+        g.bulk_load(items)
+        center = Vec2(cx, cy)
+        got = set(g.within(center, radius))
+        want = brute_within(items, center, radius)
+        # Allow boundary-epsilon differences only.
+        sym = got ^ want
+        for key in sym:
+            d = dict(items)[key].distance_to(center)
+            assert abs(d - radius) < 1e-6
+
+    @settings(max_examples=40)
+    @given(points.filter(lambda p: len(p) > 0), coords, coords)
+    def test_nearest_matches_brute_force(self, pts, cx, cy):
+        g = SpatialGrid(17.0)
+        items = [(i, Vec2(x, y)) for i, (x, y) in enumerate(pts)]
+        g.bulk_load(items)
+        center = Vec2(cx, cy)
+        got = g.nearest(center)
+        best = min(items, key=lambda kv: kv[1].distance_to(center))
+        assert dict(items)[got].distance_to(center) == pytest.approx(
+            best[1].distance_to(center))

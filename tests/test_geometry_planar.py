@@ -1,0 +1,119 @@
+"""Tests for Gabriel / RNG planarization used by GPSR perimeter mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (Vec2, gabriel_neighbors, planarize,
+                            rng_neighbors, segments_intersect)
+
+
+def unit_disk_adjacency(positions, radius):
+    r_sq = radius * radius
+    return {u: [v for v, q in positions.items()
+                if v != u and q.distance_sq_to(p) <= r_sq]
+            for u, p in positions.items()}
+
+
+def connected_components(adj):
+    seen, comps = set(), []
+    for start in adj:
+        if start in seen:
+            continue
+        stack, comp = [start], set()
+        while stack:
+            u = stack.pop()
+            if u in comp:
+                continue
+            comp.add(u)
+            stack.extend(adj[u])
+        seen |= comp
+        comps.append(comp)
+    return comps
+
+
+def random_positions(n, seed, size=100.0):
+    rng = np.random.default_rng(seed)
+    return {i: Vec2(float(rng.uniform(0, size)),
+                    float(rng.uniform(0, size))) for i in range(n)}
+
+
+class TestLocalRules:
+    def test_gabriel_removes_blocked_edge(self):
+        # w sits at the midpoint of uv: edge uv must go.
+        pos = Vec2(0, 0)
+        nbrs = [("v", Vec2(10, 0)), ("w", Vec2(5, 0.1))]
+        kept = gabriel_neighbors("u", pos, nbrs)
+        assert "v" not in kept
+        assert "w" in kept
+
+    def test_gabriel_keeps_unblocked_edge(self):
+        pos = Vec2(0, 0)
+        nbrs = [("v", Vec2(10, 0)), ("w", Vec2(5, 20))]
+        assert "v" in gabriel_neighbors("u", pos, nbrs)
+
+    def test_rng_removes_lune_blocked_edge(self):
+        pos = Vec2(0, 0)
+        nbrs = [("v", Vec2(10, 0)), ("w", Vec2(5, 2))]
+        kept = rng_neighbors("u", pos, nbrs)
+        assert "v" not in kept
+
+    def test_rng_subset_of_gabriel(self):
+        positions = random_positions(30, seed=5)
+        for u, p in positions.items():
+            nbrs = [(v, q) for v, q in positions.items()
+                    if v != u and p.distance_to(q) <= 30.0]
+            gg = set(gabriel_neighbors(u, p, nbrs))
+            rng_set = set(rng_neighbors(u, p, nbrs))
+            assert rng_set <= gg
+
+    def test_self_excluded(self):
+        pos = Vec2(0, 0)
+        kept = gabriel_neighbors("u", pos, [("u", pos), ("v", Vec2(1, 0))])
+        assert kept == ["v"]
+
+
+class TestPlanarize:
+    @pytest.mark.parametrize("method", ["gabriel", "rng"])
+    def test_planar_graph_has_no_crossing_edges(self, method):
+        positions = random_positions(40, seed=7)
+        adj = planarize(positions, radius=30.0, method=method)
+        edges = {tuple(sorted((u, v))) for u, vs in adj.items() for v in vs}
+        edges = list(edges)
+        for i in range(len(edges)):
+            for j in range(i + 1, len(edges)):
+                a, b = edges[i]
+                c, d = edges[j]
+                if {a, b} & {c, d}:
+                    continue  # sharing an endpoint is not a crossing
+                assert not segments_intersect(
+                    positions[a], positions[b], positions[c], positions[d]
+                ), f"{edges[i]} crosses {edges[j]}"
+
+    @pytest.mark.parametrize("method", ["gabriel", "rng"])
+    def test_planarization_preserves_connectivity(self, method):
+        positions = random_positions(60, seed=11)
+        radius = 30.0
+        udg = unit_disk_adjacency(positions, radius)
+        planar = planarize(positions, radius, method=method)
+        assert len(connected_components(planar)) == \
+            len(connected_components(udg))
+
+    def test_planar_subgraph_of_udg(self):
+        positions = random_positions(40, seed=13)
+        radius = 25.0
+        udg = unit_disk_adjacency(positions, radius)
+        planar = planarize(positions, radius)
+        for u, vs in planar.items():
+            assert set(vs) <= set(udg[u])
+
+    def test_planar_adjacency_symmetric(self):
+        positions = random_positions(50, seed=17)
+        adj = planarize(positions, radius=28.0)
+        for u, vs in adj.items():
+            for v in vs:
+                assert u in adj[v]
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            planarize({0: Vec2(0, 0)}, radius=1.0, method="delaunay")

@@ -1,0 +1,91 @@
+"""Unit tests for circles, sectors and rectangles."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Circle, Rect, Sector, Vec2
+
+
+class TestCircle:
+    def test_contains(self):
+        c = Circle(Vec2(0, 0), 5.0)
+        assert c.contains(Vec2(3, 4))
+        assert not c.contains(Vec2(3.1, 4))
+
+    def test_area(self):
+        assert Circle(Vec2(0, 0), 2.0).area() == pytest.approx(4 * math.pi)
+
+    def test_expanded(self):
+        c = Circle(Vec2(1, 1), 5.0)
+        assert c.expanded(2.0).radius == 7.0
+        assert c.expanded(-10.0).radius == 0.0
+        assert c.expanded(2.0).center == c.center
+
+
+class TestSector:
+    def setup_method(self):
+        self.sector = Sector(Circle(Vec2(0, 0), 10.0), 0.0, math.pi / 2)
+
+    def test_contains_inside(self):
+        assert self.sector.contains(Vec2(3, 3))
+
+    def test_rejects_outside_angle(self):
+        assert not self.sector.contains(Vec2(-3, 3))
+
+    def test_rejects_outside_radius(self):
+        assert not self.sector.contains(Vec2(8, 8))
+
+    def test_contains_center(self):
+        assert self.sector.contains(Vec2(0, 0))
+
+    def test_width_and_bisector(self):
+        assert self.sector.width() == pytest.approx(math.pi / 2)
+        assert self.sector.bisector_angle() == pytest.approx(math.pi / 4)
+
+    def test_area_quarter(self):
+        assert self.sector.area() == pytest.approx(math.pi * 100 / 4)
+
+    def test_wrapping_sector(self):
+        s = Sector(Circle(Vec2(0, 0), 10.0), 7 * math.pi / 4, math.pi / 4)
+        assert s.contains(Vec2(5, 0))
+        assert not s.contains(Vec2(0, 5))
+
+
+class TestRect:
+    def test_from_size_and_props(self):
+        r = Rect.from_size(10, 20)
+        assert (r.width, r.height) == (10, 20)
+        assert r.center() == Vec2(5, 10)
+        assert r.area() == 200
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 4, 10)
+
+    def test_contains_and_clamp(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Vec2(10, 10))
+        assert not r.contains(Vec2(10.01, 5))
+        assert r.clamp(Vec2(15, -3)) == Vec2(10, 0)
+        assert r.clamp(Vec2(5, 5)) == Vec2(5, 5)
+
+    def test_grid_cells_partition(self):
+        r = Rect.from_size(10, 10)
+        cells = r.grid_cells(2, 5)
+        assert len(cells) == 10
+        assert sum(c.area() for c in cells) == pytest.approx(r.area())
+        # Row-major: first cell is bottom-left.
+        assert cells[0].x_min == 0 and cells[0].y_min == 0
+        assert cells[1].x_min == pytest.approx(2.0)
+
+    def test_grid_cells_invalid(self):
+        with pytest.raises(ValueError):
+            Rect.from_size(1, 1).grid_cells(0, 3)
+
+    @given(st.floats(0.1, 100), st.floats(0.1, 100),
+           st.floats(-200, 200), st.floats(-200, 200))
+    def test_clamped_point_always_inside(self, w, h, px, py):
+        r = Rect.from_size(w, h)
+        assert r.contains(r.clamp(Vec2(px, py)))

@@ -1,0 +1,143 @@
+"""Unit + property tests for 2-D vector algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (Vec2, as_vec, centroid, segment_point_distance,
+                            segments_intersect)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+vecs = st.builds(Vec2, finite, finite)
+
+
+class TestVec2Algebra:
+    def test_add_sub(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_mul_div(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+        assert Vec2(2, 4) / 2 == Vec2(1, 2)
+
+    def test_neg(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_dot_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0
+        assert Vec2(2, 3).dot(Vec2(4, 5)) == 23
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_norm_and_distance(self):
+        assert Vec2(3, 4).norm() == 5.0
+        assert Vec2(3, 4).norm_sq() == 25.0
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == 5.0
+        assert Vec2(0, 0).distance_sq_to(Vec2(3, 4)) == 25.0
+
+    def test_from_polar(self):
+        v = Vec2.from_polar(2.0, math.pi / 2)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(2.0)
+
+    def test_normalized(self):
+        assert Vec2(0, 5).normalized() == Vec2(0, 1)
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0, 0).normalized()
+
+    def test_angle(self):
+        assert Vec2(1, 0).angle() == pytest.approx(0.0)
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+        assert Vec2(-1, 0).angle() == pytest.approx(math.pi)
+
+    def test_rotated_quarter_turn(self):
+        v = Vec2(1, 0).rotated(math.pi / 2)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(1.0)
+
+    def test_perp_is_ccw_quarter_turn(self):
+        assert Vec2(1, 0).perp() == Vec2(0, 1)
+        assert Vec2(0, 1).perp() == Vec2(-1, 0)
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Vec2(0, 0), Vec2(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(5, 10)
+
+
+class TestHelpers:
+    def test_as_vec_accepts_pairs(self):
+        assert as_vec((1, 2)) == Vec2(1.0, 2.0)
+        assert as_vec([3, 4]) == Vec2(3.0, 4.0)
+        v = Vec2(5, 6)
+        assert as_vec(v) is v
+
+    def test_centroid(self):
+        assert centroid([Vec2(0, 0), Vec2(2, 0), Vec2(1, 3)]) == Vec2(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_segment_point_distance_inside_projection(self):
+        assert segment_point_distance(Vec2(0, 0), Vec2(10, 0),
+                                      Vec2(5, 3)) == pytest.approx(3.0)
+
+    def test_segment_point_distance_clamps_to_endpoints(self):
+        assert segment_point_distance(Vec2(0, 0), Vec2(10, 0),
+                                      Vec2(14, 3)) == pytest.approx(5.0)
+
+    def test_segment_point_distance_degenerate_segment(self):
+        assert segment_point_distance(Vec2(1, 1), Vec2(1, 1),
+                                      Vec2(4, 5)) == pytest.approx(5.0)
+
+    def test_segments_intersect_crossing(self):
+        assert segments_intersect(Vec2(0, 0), Vec2(2, 2),
+                                  Vec2(0, 2), Vec2(2, 0))
+
+    def test_segments_intersect_disjoint(self):
+        assert not segments_intersect(Vec2(0, 0), Vec2(1, 0),
+                                      Vec2(0, 1), Vec2(1, 1))
+
+    def test_segments_intersect_touching_endpoint(self):
+        assert segments_intersect(Vec2(0, 0), Vec2(1, 1),
+                                  Vec2(1, 1), Vec2(2, 0))
+
+
+class TestVecProperties:
+    @given(vecs, vecs)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(vecs, vecs, vecs)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(vecs)
+    def test_norm_sq_consistency(self, v):
+        assert v.norm_sq() == pytest.approx(v.norm() ** 2, rel=1e-9,
+                                            abs=1e-9)
+
+    @given(vecs, st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_rotation_preserves_norm(self, v, angle):
+        assert v.rotated(angle).norm() == pytest.approx(v.norm(), rel=1e-9,
+                                                        abs=1e-6)
+
+    @given(vecs, vecs)
+    def test_dot_commutes(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    @given(vecs, vecs)
+    def test_cross_antisymmetric(self, a, b):
+        assert a.cross(b) == pytest.approx(-b.cross(a))
+
+    @given(vecs, vecs, st.floats(min_value=0, max_value=1,
+                                 allow_nan=False))
+    def test_lerp_stays_on_segment(self, a, b, t):
+        p = a.lerp(b, t)
+        # distance from p to segment ab is ~0
+        assert segment_point_distance(a, b, p) < 1e-3

@@ -1,0 +1,131 @@
+"""Tests for mobility models: kinematics, bounds, continuity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, Vec2
+from repro.mobility import (RandomWalkMobility, RandomWaypointMobility,
+                            StaticMobility)
+
+FIELD = Rect.from_size(100.0, 100.0)
+
+
+class TestStatic:
+    def test_never_moves(self):
+        m = StaticMobility(Vec2(3, 4))
+        for t in (0.0, 1.5, 1e6):
+            assert m.position_at(t) == Vec2(3, 4)
+            assert m.speed_at(t) == 0.0
+        assert m.max_speed == 0.0
+        assert m.velocity_at(5.0) == Vec2(0.0, 0.0)
+
+
+def make_rwp(seed=1, max_speed=10.0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return RandomWaypointMobility(Vec2(50, 50), FIELD, rng,
+                                  max_speed=max_speed, **kwargs)
+
+
+class TestRandomWaypoint:
+    def test_starts_at_start(self):
+        assert make_rwp().position_at(0.0) == Vec2(50, 50)
+
+    def test_stays_in_field(self):
+        m = make_rwp(seed=2)
+        for t in np.linspace(0, 300, 400):
+            assert FIELD.contains(m.position_at(float(t)))
+
+    def test_speed_bounded(self):
+        m = make_rwp(seed=3, max_speed=7.0)
+        for t in np.linspace(0, 100, 150):
+            assert 0.0 <= m.speed_at(float(t)) <= 7.0 + 1e-9
+        assert m.max_speed == 7.0
+
+    def test_zero_speed_degenerates_to_static(self):
+        m = make_rwp(seed=4, max_speed=0.0)
+        assert m.position_at(1000.0) == Vec2(50, 50)
+        assert m.speed_at(123.0) == 0.0
+
+    def test_repeated_queries_agree(self):
+        m = make_rwp(seed=5)
+        p1 = m.position_at(77.7)
+        _ = m.position_at(500.0)  # extends the leg cache
+        assert m.position_at(77.7) == p1
+
+    def test_continuity(self):
+        m = make_rwp(seed=6, max_speed=10.0)
+        dt = 0.01
+        prev = m.position_at(0.0)
+        for i in range(1, 2000):
+            cur = m.position_at(i * dt)
+            assert prev.distance_to(cur) <= 10.0 * dt + 1e-9
+            prev = cur
+
+    def test_velocity_consistent_with_positions(self):
+        m = make_rwp(seed=7)
+        for t in (3.0, 11.0, 40.0):
+            v = m.velocity_at(t)
+            h = 1e-4
+            p0, p1 = m.position_at(t), m.position_at(t + h)
+            fd = (p1 - p0) / h
+            # Equal unless a leg boundary falls inside [t, t+h].
+            if fd.distance_to(v) > 1e-3:
+                continue
+            assert v.x == pytest.approx(fd.x, abs=1e-3)
+            assert v.y == pytest.approx(fd.y, abs=1e-3)
+
+    def test_pause_time_inserts_stationary_legs(self):
+        m = make_rwp(seed=8, pause_time=5.0)
+        # Sample densely; the node must be exactly still somewhere.
+        samples = [m.speed_at(float(t)) for t in np.linspace(0, 200, 800)]
+        assert any(s == 0.0 for s in samples)
+        assert any(s > 0.0 for s in samples)
+
+    def test_start_outside_field_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(Vec2(-1, 0), FIELD, rng, max_speed=1.0)
+
+    def test_negative_speed_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(Vec2(1, 1), FIELD, rng, max_speed=-1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            make_rwp().position_at(-0.1)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.floats(min_value=0, max_value=500, allow_nan=False))
+    def test_property_in_field_any_seed_time(self, seed, t):
+        m = make_rwp(seed=seed)
+        assert FIELD.contains(m.position_at(t))
+
+
+class TestRandomWalk:
+    def make(self, seed=1, speed=5.0):
+        rng = np.random.default_rng(seed)
+        return RandomWalkMobility(Vec2(50, 50), FIELD, rng, speed=speed)
+
+    def test_stays_in_field(self):
+        m = self.make(seed=2)
+        for t in np.linspace(0, 300, 500):
+            assert FIELD.contains(m.position_at(float(t)))
+
+    def test_constant_speed_while_moving(self):
+        m = self.make(seed=3, speed=4.0)
+        for t in np.linspace(0.5, 50, 60):
+            assert m.speed_at(float(t)) == pytest.approx(4.0)
+
+    def test_zero_speed_static(self):
+        m = self.make(seed=4, speed=0.0)
+        assert m.position_at(500.0) == Vec2(50, 50)
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWalkMobility(Vec2(-1, 0), FIELD, rng, speed=1.0)
+        with pytest.raises(ValueError):
+            RandomWalkMobility(Vec2(1, 1), FIELD, rng, speed=-2.0)

@@ -1,0 +1,77 @@
+"""Tests for the radio model and energy accounting."""
+
+import pytest
+
+from repro.net import EnergyLedger, EnergyModel, RadioModel
+
+
+class TestRadioModel:
+    def test_airtime_scales_with_size(self):
+        radio = RadioModel(channel_rate_bps=250_000.0, header_bytes=32)
+        assert radio.airtime(0) == pytest.approx(32 * 8 / 250_000.0)
+        assert radio.airtime(100) == pytest.approx(132 * 8 / 250_000.0)
+
+    def test_interference_range(self):
+        radio = RadioModel(range_m=20.0, interference_factor=2.0)
+        assert radio.interference_range_m == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioModel(range_m=0.0)
+        with pytest.raises(ValueError):
+            RadioModel(channel_rate_bps=0.0)
+        with pytest.raises(ValueError):
+            RadioModel(base_loss_rate=1.0)
+
+
+class TestEnergyModel:
+    def test_tx_cost_components(self):
+        model = EnergyModel(e_elec_j_per_bit=1e-9,
+                            eps_amp_j_per_bit_m2=1e-12)
+        assert model.tx_cost(1000, 0.0) == pytest.approx(1e-6)
+        assert model.tx_cost(1000, 10.0) == pytest.approx(1e-6 + 1e-7)
+
+    def test_rx_cost(self):
+        model = EnergyModel(e_elec_j_per_bit=2e-9)
+        assert model.rx_cost(500) == pytest.approx(1e-6)
+
+    def test_tx_grows_quadratically_with_distance(self):
+        model = EnergyModel()
+        near = model.tx_cost(1000, 10.0)
+        far = model.tx_cost(1000, 20.0)
+        amp_near = near - model.tx_cost(1000, 0.0)
+        amp_far = far - model.tx_cost(1000, 0.0)
+        assert amp_far == pytest.approx(4 * amp_near)
+
+    def test_idle_cost(self):
+        assert EnergyModel(idle_w=0.5).idle_cost(4.0) == pytest.approx(2.0)
+        assert EnergyModel().idle_cost(100.0) == 0.0
+
+
+class TestEnergyLedger:
+    def test_charges_accumulate_per_node(self):
+        ledger = EnergyLedger(EnergyModel(e_elec_j_per_bit=1e-9,
+                                          eps_amp_j_per_bit_m2=0.0))
+        ledger.charge_tx(1, 1000, 20.0)
+        ledger.charge_tx(1, 1000, 20.0)
+        ledger.charge_rx(2, 1000)
+        acct1 = ledger.account(1)
+        assert acct1.tx_j == pytest.approx(2e-6)
+        assert acct1.rx_j == 0.0
+        assert ledger.account(2).rx_j == pytest.approx(1e-6)
+
+    def test_total_and_snapshot_delta(self):
+        ledger = EnergyLedger(EnergyModel())
+        ledger.charge_tx(1, 1000, 20.0)
+        checkpoint = ledger.snapshot()
+        ledger.charge_rx(2, 1000)
+        delta = ledger.since(checkpoint)
+        assert delta == pytest.approx(
+            EnergyModel().rx_cost(1000))
+        assert ledger.total_j() > delta
+
+    def test_idle_charging(self):
+        ledger = EnergyLedger(EnergyModel(idle_w=0.1))
+        ledger.charge_idle(5, 10.0)
+        assert ledger.account(5).idle_j == pytest.approx(1.0)
+        assert ledger.account(5).total_j == pytest.approx(1.0)

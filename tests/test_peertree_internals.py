@@ -1,0 +1,138 @@
+"""Unit tests of Peer-tree internals: expansion order, member tables."""
+
+import pytest
+
+from repro.baselines import PeerTreeConfig, PeerTreeProtocol
+from repro.geometry import Rect, Vec2
+from repro.routing import GpsrRouter
+
+from tests.conftest import FIELD, build_static_network
+
+
+def installed(net, field=FIELD, config=None, setup=True):
+    proto = PeerTreeProtocol(field, config)
+    proto.install(net, GpsrRouter(net))
+    if setup:
+        proto.setup()
+    return proto
+
+
+class TestCellGeometry:
+    def test_cell_distance_zero_for_containing_cell(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        q = Vec2(60, 60)
+        cell = proto.cell_of(q)
+        assert proto._cell_distance(cell, q) == 0.0
+        proto.stop()
+
+    def test_expansion_order_is_by_distance(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        q = Vec2(30, 30)
+        order = sorted(range(len(proto.cells)),
+                       key=lambda c: proto._cell_distance(c, q))
+        dists = [proto._cell_distance(c, q) for c in order]
+        assert dists == sorted(dists)
+        assert proto._cell_distance(order[0], q) == 0.0
+        proto.stop()
+
+    def test_root_cell_is_center(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        assert proto.root_cell == 12  # center of a 5x5 grid
+        proto.stop()
+
+
+class TestDoneExpanding:
+    def make_ctx(self, proto, q, k, candidates, pending):
+        return {"point": q, "k": k, "candidates": candidates,
+                "pending_cells": pending}
+
+    def test_done_when_no_cells_left(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        ctx = self.make_ctx(proto, Vec2(60, 60), 5, [], [])
+        assert proto._done_expanding(ctx)
+        proto.stop()
+
+    def test_done_when_k_beat_next_cell(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        q = Vec2(60, 60)
+        # k candidates essentially at q; the farthest pending cell cannot
+        # beat them.
+        far_cell = max(range(len(proto.cells)),
+                       key=lambda c: proto._cell_distance(c, q))
+        cands = [(i, q.x + 0.1 * i, q.y, 0.0, 0.0, 0.0) for i in range(3)]
+        ctx = self.make_ctx(proto, q, 3, cands, [far_cell])
+        assert proto._done_expanding(ctx)
+        proto.stop()
+
+    def test_not_done_when_next_cell_could_beat(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        q = Vec2(60, 60)
+        home_cell = proto.cell_of(q)
+        # Far candidates, and the containing cell (distance 0) pending.
+        cands = [(i, q.x + 50.0, q.y, 0.0, 0.0, 0.0) for i in range(3)]
+        ctx = self.make_ctx(proto, q, 3, cands, [home_cell])
+        assert not proto._done_expanding(ctx)
+        proto.stop()
+
+
+class TestMemberTables:
+    def test_members_expire(self):
+        sim, net = build_static_network(seed=3)
+        config = PeerTreeConfig(member_timeout_s=1.0,
+                                notify_interval_s=50.0,
+                                cell_check_interval_s=50.0)
+        proto = installed(net, config=config)
+        proto._members[0][99] = (Vec2(5, 5), sim.now)
+        assert any(nid == 99 for nid, _p in proto._fresh_members(0))
+        sim.run(until=sim.now + 2.0)
+        assert not any(nid == 99 for nid, _p in proto._fresh_members(0))
+        proto.stop()
+
+    def test_head_registers_itself_locally(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        head_id = proto.heads[0]
+        proto._send_notify(net.nodes[head_id])
+        cell = proto.cell_of(net.nodes[head_id].position())
+        assert head_id in proto._members[cell]
+        proto.stop()
+
+    def test_notify_updates_cached_position(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net)
+        head_id = proto.heads[7]
+        head = net.nodes[head_id]
+        proto._on_notify(head, {"cell": 7, "node": 42,
+                                "pos": (33.0, 44.0)})
+        assert proto._members[7][42][0] == Vec2(33.0, 44.0)
+        # A notify addressed to the wrong head is ignored.
+        other = net.nodes[proto.heads[3]]
+        proto._on_notify(other, {"cell": 7, "node": 43,
+                                 "pos": (1.0, 1.0)})
+        assert 43 not in proto._members[7]
+        proto.stop()
+
+
+class TestGridConfig:
+    def test_custom_grid_size(self):
+        sim, net = build_static_network(seed=3)
+        proto = installed(net, config=PeerTreeConfig(grid_rows=3,
+                                                     grid_cols=3))
+        assert len(proto.cells) == 9
+        assert len(proto.heads) == 9
+        assert proto.root_cell == 4
+        proto.stop()
+
+    def test_setup_requires_enough_nodes(self):
+        from repro.sim import ConfigurationError
+        sim, net = build_static_network(n=5, seed=3)
+        proto = PeerTreeProtocol(FIELD)
+        proto.install(net, GpsrRouter(net))
+        with pytest.raises(ConfigurationError):
+            proto.setup()  # 25 heads needed, 5 nodes available

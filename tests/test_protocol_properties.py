@@ -1,0 +1,88 @@
+"""Property-based end-to-end invariants of the query protocols.
+
+Hypothesis drives randomized small scenarios; the invariants must hold
+regardless of seed, k, query position, or protocol:
+
+* returned ids name real, alive nodes — never the sink, never ghosts;
+* no duplicates in the top-k;
+* the result never claims more than k ids;
+* energy and latency are non-negative and finite;
+* the ledger's network total equals the sum over per-node accounts.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import DIKNNProtocol, KNNQuery, next_query_id
+from repro.geometry import Vec2
+from repro.routing import GpsrRouter
+
+from tests.conftest import build_static_network
+
+# End-to-end sims are slow; keep example counts deliberate.
+e2e_settings = settings(max_examples=8, deadline=None,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+
+def run_random_query(seed, k, qx, qy):
+    sim, net = build_static_network(n=120, seed=seed)
+    proto = DIKNNProtocol()
+    proto.install(net, GpsrRouter(net))
+    query = KNNQuery(query_id=next_query_id(), sink_id=0,
+                     point=Vec2(qx, qy), k=k, issued_at=sim.now)
+    results = []
+    energy_before = net.ledger.snapshot()
+    proto.issue(net.nodes[0], query, results.append)
+    sim.run(until=sim.now + 15)
+    energy = net.ledger.since(energy_before)
+    return net, (results[0] if results else proto.abandon(query.query_id)), \
+        energy
+
+
+class TestResultInvariants:
+    @e2e_settings
+    @given(st.integers(0, 10_000), st.integers(1, 40),
+           st.floats(20.0, 95.0), st.floats(20.0, 95.0))
+    def test_returned_ids_are_real_nodes(self, seed, k, qx, qy):
+        net, result, energy = run_random_query(seed, k, qx, qy)
+        assert energy >= 0.0 and math.isfinite(energy)
+        if result is None:
+            return
+        ids = result.top_k_ids()
+        assert len(ids) <= k
+        assert len(ids) == len(set(ids))
+        for nid in ids:
+            assert nid in net.nodes
+            assert net.nodes[nid].alive
+        if result.completed_at is not None:
+            assert result.latency is not None
+            assert result.latency >= 0.0
+
+    @e2e_settings
+    @given(st.integers(0, 10_000), st.floats(20.0, 95.0),
+           st.floats(20.0, 95.0))
+    def test_k1_returns_a_near_node(self, seed, qx, qy):
+        """k=1 must return a node close to q (within a couple of radio
+        ranges of the true NN on a connected static field)."""
+        net, result, _energy = run_random_query(seed, 1, qx, qy)
+        if result is None or not result.top_k_ids():
+            return
+        q = Vec2(qx, qy)
+        returned = net.nodes[result.top_k_ids()[0]].position()
+        best = min(n.position().distance_to(q)
+                   for n in net.nodes.values())
+        assert returned.distance_to(q) <= best + 2 * net.radio.range_m
+
+
+class TestLedgerInvariants:
+    @e2e_settings
+    @given(st.integers(0, 10_000), st.integers(1, 30))
+    def test_network_total_is_sum_of_accounts(self, seed, k):
+        net, _result, _energy = run_random_query(seed, k, 60.0, 60.0)
+        ledger = net.ledger
+        assert ledger.total_j() == pytest.approx(
+            sum(acct.total_j for acct in ledger._accounts.values()))
+        for acct in ledger._accounts.values():
+            assert acct.tx_j >= 0.0 and acct.rx_j >= 0.0

@@ -1,0 +1,93 @@
+"""Tests for sweep persistence and the reproduction report."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import (claim_checklist, load_sweep, render_report,
+                               save_sweep, sweep_from_dict, sweep_to_dict)
+from repro.experiments.series import SeriesPoint, SweepResult
+
+
+def synthetic_sweeps(good=True):
+    """Sweeps engineered to satisfy (or violate) the paper's claims."""
+    fig8 = SweepResult(x_name="k")
+    fig9 = SweepResult(x_name="mobility")
+    # diknn: flat, fast, accurate; kpt: grows, degrades; peertree: bad.
+    spec = {
+        "diknn": dict(lat0=1.0, lat1=2.0 if good else 9.0,
+                      en0=0.4, en1=0.8, acc0=0.93, acc1=0.88),
+        "kpt": dict(lat0=1.2, lat1=3.0, en0=0.4, en1=1.0,
+                    acc0=0.88, acc1=0.5),
+        "peertree": dict(lat0=1.5, lat1=6.0, en0=2.0, en1=5.0,
+                         acc0=0.6, acc1=0.3),
+    }
+    for proto, v in spec.items():
+        for sweep, (x0, x1) in ((fig8, (20, 100)), (fig9, (5, 30))):
+            for x, frac in ((x0, 0.0), (x1, 1.0)):
+                lat = v["lat0"] + (v["lat1"] - v["lat0"]) * frac
+                if sweep is fig9 and proto == "diknn":
+                    lat = v["lat0"] * (1.0 + 0.3 * frac)  # stable
+                en = v["en0"] + (v["en1"] - v["en0"]) * frac
+                acc = v["acc0"] + (v["acc1"] - v["acc0"]) * frac
+                sweep.add(proto, SeriesPoint(
+                    x=float(x), latency=lat, energy_j=en,
+                    pre_accuracy=acc, post_accuracy=acc - 0.02,
+                    completion_rate=1.0, runs=2))
+    return fig8, fig9
+
+
+class TestPersistence:
+    def test_roundtrip_dict(self):
+        fig8, _ = synthetic_sweeps()
+        again = sweep_from_dict(sweep_to_dict(fig8))
+        assert again.x_name == fig8.x_name
+        assert again.series == fig8.series
+
+    def test_roundtrip_json_file(self, tmp_path):
+        fig8, _ = synthetic_sweeps()
+        path = str(tmp_path / "sweep.json")
+        save_sweep(path, fig8)
+        again = load_sweep(path)
+        assert again.series == fig8.series
+        with open(path) as handle:
+            raw = json.load(handle)
+        assert "series" in raw and "diknn" in raw["series"]
+
+
+class TestChecklist:
+    def test_all_claims_hold_on_paper_shaped_data(self):
+        fig8, fig9 = synthetic_sweeps(good=True)
+        checklist = claim_checklist(fig8, fig9)
+        assert checklist
+        assert all(checklist.values()), {
+            name: ok for name, ok in checklist.items() if not ok}
+
+    def test_violations_detected(self):
+        fig8, fig9 = synthetic_sweeps(good=False)  # diknn latency explodes
+        checklist = claim_checklist(fig8, fig9)
+        assert not checklist["Fig8: DIKNN has the lowest latency at every k"]
+
+    def test_missing_protocol_is_false_not_crash(self):
+        sweep = SweepResult(x_name="k")
+        sweep.add("diknn", SeriesPoint(20.0, 1.0, 0.4, 0.9, 0.9, 1.0, 1))
+        checklist = claim_checklist(sweep, sweep)
+        assert any(v is False for v in checklist.values())
+
+
+class TestRendering:
+    def test_report_structure(self):
+        fig8, fig9 = synthetic_sweeps()
+        text = render_report(fig8, fig9)
+        assert text.startswith("# DIKNN reproduction report")
+        assert "Figure 8" in text and "Figure 9" in text
+        assert "- [x]" in text
+        assert "claims hold" in text
+        assert "node_number" in text  # the defaults table
+
+    def test_report_counts_claims(self):
+        fig8, fig9 = synthetic_sweeps()
+        text = render_report(fig8, fig9)
+        n = len(claim_checklist(fig8, fig9))
+        assert f"**{n}/{n} claims hold.**" in text

@@ -1,0 +1,196 @@
+"""Tests for GPSR geographic routing."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, Vec2
+from repro.mobility import StaticMobility
+from repro.net import Network, SensorNode
+from repro.routing import GpsrConfig, GpsrRouter
+from repro.sim import Simulator
+
+from tests.conftest import build_mobile_network, build_static_network
+
+
+def line_network(xs, spacing_y=0.0):
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    for i, x in enumerate(xs):
+        net.add_node(SensorNode(i, StaticMobility(Vec2(x, i * spacing_y))))
+    net.warm_up()
+    return sim, net
+
+
+class TestGreedyRouting:
+    def test_multi_hop_chain_delivery(self):
+        sim, net = line_network([0, 15, 30, 45, 60])
+        router = GpsrRouter(net)
+        got = []
+        router.on_deliver("app", lambda n, inner: got.append(
+            (n.id, inner["_route_hops"])))
+        router.send(net.nodes[0], Vec2(60, 0), "app", {}, 10, dst_id=4)
+        sim.run(until=sim.now + 2)
+        assert got == [(4, 4)]
+
+    def test_route_to_location_finds_home_node(self):
+        sim, net = build_static_network(n=200, seed=3)
+        router = GpsrRouter(net)
+        got = []
+        router.on_deliver("app", lambda n, inner: got.append(n.id))
+        target = Vec2(90, 95)
+        router.send(net.nodes[0], target, "app", {}, 10)
+        sim.run(until=sim.now + 3)
+        assert len(got) == 1
+        true_home = min(net.nodes.values(),
+                        key=lambda n: n.position().distance_to(target))
+        # GPSR's home node must be the true nearest (or adjacent to it).
+        delivered = net.nodes[got[0]].position().distance_to(target)
+        best = true_home.position().distance_to(target)
+        assert delivered <= best + net.radio.range_m
+
+    def test_local_delivery_when_source_is_destination(self):
+        sim, net = build_static_network(n=50, seed=3)
+        router = GpsrRouter(net)
+        got = []
+        router.on_deliver("app", lambda n, inner: got.append(n.id))
+        src = net.nodes[0]
+        router.send(src, src.position(), "app", {}, 10, dst_id=src.id)
+        assert got == [src.id]  # delivered synchronously, zero hops
+
+    def test_trace_records_route(self):
+        sim, net = line_network([0, 15, 30, 45])
+        router = GpsrRouter(net)
+        traces = []
+        router.on_deliver("app",
+                          lambda n, inner: traces.append(
+                              inner["_route_trace"]))
+        router.send(net.nodes[0], Vec2(45, 0), "app", {}, 10, dst_id=3)
+        sim.run(until=sim.now + 2)
+        assert traces[0] == [0, 1, 2, 3]
+
+
+class TestPerimeterMode:
+    def test_routes_around_void(self):
+        """A C-shaped corridor: greedy hits a local max, perimeter mode
+        must still deliver."""
+        # Wall of nodes with a gap forcing a detour.
+        positions = [
+            (0, 0), (15, 0), (30, 0),            # approach
+            (30, 15), (30, 30), (30, 45),        # up the wall
+            (45, 45), (60, 45),                  # across the top
+            (60, 30), (60, 15), (60, 0),         # down the far side
+        ]
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        for i, (x, y) in enumerate(positions):
+            net.add_node(SensorNode(i, StaticMobility(Vec2(x, y))))
+        net.warm_up()
+        router = GpsrRouter(net)
+        got = []
+        router.on_deliver("app", lambda n, inner: got.append(n.id))
+        router.send(net.nodes[0], Vec2(60, 0), "app", {}, 10, dst_id=10)
+        sim.run(until=sim.now + 3)
+        assert got == [10]
+
+    def test_unreachable_destination_dropped_with_reason(self):
+        sim, net = line_network([0, 15, 30])
+        # Destination id exists nowhere near the claimed position.
+        net.add_node(SensorNode(99, StaticMobility(Vec2(500, 500))))
+        router = GpsrRouter(net)
+        drops = []
+        router.on_deliver("app", lambda n, inner: None)
+        router.send(net.nodes[0], Vec2(500, 500), "app", {}, 10,
+                    dst_id=99, on_drop=lambda inner, node: drops.append(1))
+        sim.run(until=sim.now + 3)
+        assert drops == [1]
+        assert router.drops == 1
+        assert sum(router.drop_reasons.values()) == 1
+
+
+class TestTtlAndHooks:
+    def test_ttl_limits_hops(self):
+        sim, net = line_network([0, 15, 30, 45, 60, 75])
+        router = GpsrRouter(net)
+        drops = []
+        router.on_deliver("app", lambda n, inner: pytest.fail("too far"))
+        router.send(net.nodes[0], Vec2(75, 0), "app", {}, 10, dst_id=5,
+                    ttl=2, on_drop=lambda inner, node: drops.append(node.id))
+        sim.run(until=sim.now + 2)
+        assert drops  # dropped mid-route
+        assert router.drop_reasons.get("max_hops") == 1
+
+    def test_per_hop_hook_mutates_payload_and_size(self):
+        sim, net = line_network([0, 15, 30, 45])
+        router = GpsrRouter(net)
+        sizes = []
+
+        def hop(node, inner):
+            inner.setdefault("visits", []).append(node.id)
+            return 10 + 5 * len(inner["visits"])
+
+        router.on_hop("app", hop)
+        got = []
+        router.on_deliver("app", lambda n, inner: got.append(inner))
+        router.send(net.nodes[0], Vec2(45, 0), "app", {}, 10, dst_id=3)
+        sim.run(until=sim.now + 2)
+        assert got[0]["visits"] == [0, 1, 2, 3]
+
+    def test_deliveries_counted(self):
+        sim, net = line_network([0, 15])
+        router = GpsrRouter(net)
+        router.on_deliver("app", lambda n, inner: None)
+        router.send(net.nodes[0], Vec2(15, 0), "app", {}, 10, dst_id=1)
+        sim.run(until=sim.now + 1)
+        assert router.deliveries == 1
+
+
+class TestUnderMobility:
+    def test_delivery_rate_reasonable_at_10ms(self):
+        sim, net, sink = build_mobile_network(seed=5, max_speed=10.0)
+        router = GpsrRouter(net)
+        delivered = []
+        router.on_deliver("app", lambda n, inner: delivered.append(n.id))
+        rng = np.random.default_rng(0)
+        sent = 12
+        for i in range(sent):
+            target = Vec2(float(rng.uniform(20, 95)),
+                          float(rng.uniform(20, 95)))
+            router.send(sink, target, "app", {"i": i}, 10)
+            sim.run(until=sim.now + 1.0)
+        assert len(delivered) >= sent - 2
+
+    def test_link_failure_triggers_reroute_not_loss(self):
+        """A believed neighbor that left range must not kill the packet."""
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        net.add_node(SensorNode(0, StaticMobility(Vec2(0, 0))))
+        net.add_node(SensorNode(1, StaticMobility(Vec2(15, 0))))
+        net.add_node(SensorNode(2, StaticMobility(Vec2(14, 5))))
+        net.add_node(SensorNode(3, StaticMobility(Vec2(28, 2))))
+        net.warm_up()
+        # Teleport node 1 away AFTER its beacon was heard.
+        net.nodes[1].mobility = StaticMobility(Vec2(500, 500))
+        router = GpsrRouter(net)
+        got = []
+        router.on_deliver("app", lambda n, inner: got.append(n.id))
+        router.send(net.nodes[0], Vec2(28, 2), "app", {}, 10, dst_id=3)
+        sim.run(until=sim.now + 3)
+        assert got == [3]
+        # Stale entry evicted after the MAC failure.
+        assert 1 not in net.nodes[0].neighbor_table
+
+
+class TestPlanarizationOption:
+    def test_rng_planarization_delivers(self):
+        sim, net = build_static_network(seed=3)
+        router = GpsrRouter(net, GpsrConfig(planarization="rng"))
+        got = []
+        router.on_deliver("app", lambda n, inner: got.append(n.id))
+        router.send(net.nodes[0], Vec2(100, 100), "app", {}, 10)
+        sim.run(until=sim.now + 3)
+        assert len(got) == 1
+
+    def test_unknown_planarization_rejected(self):
+        sim, net = build_static_network(n=5, seed=3, warm=False)
+        with pytest.raises(ValueError):
+            GpsrRouter(net, GpsrConfig(planarization="delaunay"))
