@@ -23,7 +23,9 @@ from .core import (DIKNNConfig, DIKNNProtocol, KNNQuery, QueryProtocol,
                    QueryResult, knnb_radius, next_query_id)
 from .experiments import (SimulationConfig, SimulationHandle,
                           build_simulation, defaults_table, fig8_sweep,
-                          fig9_sweep, run_query, run_workload)
+                          fig9_sweep, resilience_sweep, run_query,
+                          run_workload)
+from .faults import FaultInjector, FaultPlan
 from .geometry import Rect, Vec2
 from .metrics import (QueryOutcome, RunMetrics, post_accuracy, pre_accuracy,
                       true_knn)
@@ -39,6 +41,7 @@ __all__ = [
     "KNNQuery", "QueryProtocol", "QueryResult", "knnb_radius",
     "next_query_id", "SimulationConfig", "SimulationHandle",
     "build_simulation", "defaults_table", "fig8_sweep", "fig9_sweep",
+    "resilience_sweep", "FaultInjector", "FaultPlan",
     "run_query", "run_workload", "Rect", "Vec2", "QueryOutcome",
     "RunMetrics", "post_accuracy", "pre_accuracy", "true_knn", "Network",
     "SensorNode", "GpsrRouter", "Simulator", "__version__",

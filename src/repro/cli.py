@@ -18,12 +18,13 @@ from typing import List, Optional
 
 from .core import (DIKNNConfig, DIKNNProtocol, WindowQuery,
                    WindowQueryProtocol, nodes_in_window, window_recall)
-from .experiments import (Scenario, SimulationConfig, TraversalRecorder,
+from .experiments import (RESILIENCE_CRASH_RATES, Scenario,
+                          SimulationConfig, TraversalRecorder,
                           build_simulation, default_protocol_factories,
                           defaults_table, fig8_sweep, fig9_sweep,
                           figure_report, generate_report,
-                          paper_default_scenario, render_svg, run_query,
-                          save_svg)
+                          paper_default_scenario, render_svg,
+                          resilience_sweep, run_query, save_svg)
 from .geometry import Rect, Vec2
 
 
@@ -34,12 +35,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="max node speed (m/s)")
     parser.add_argument("--deployment", default="uniform",
                         choices=("uniform", "clustered", "caribou", "grid"))
+    parser.add_argument("--crash-rate", type=float, default=0.0,
+                        help="per-node crash events per second "
+                             "(Poisson fault injection)")
+    parser.add_argument("--node-recovery", type=float, default=5.0,
+                        help="seconds a crashed node stays down "
+                             "(0 = permanent death)")
+    parser.add_argument("--blackout", type=float, nargs=5, default=None,
+                        metavar=("AT", "CX", "CY", "RADIUS", "DURATION"),
+                        help="regional blackout: kill every node within "
+                             "RADIUS of (CX, CY) at time AT for DURATION s")
 
 
 def _config(args) -> SimulationConfig:
+    downtime = getattr(args, "node_recovery", 5.0)
     return SimulationConfig(seed=args.seed, n_nodes=args.nodes,
                             max_speed=args.speed,
-                            deployment=args.deployment)
+                            deployment=args.deployment,
+                            crash_rate=getattr(args, "crash_rate", 0.0),
+                            node_downtime_s=(downtime if downtime > 0
+                                             else None),
+                            blackout=getattr(args, "blackout", None))
 
 
 def cmd_defaults(_args) -> int:
@@ -92,6 +108,24 @@ def cmd_fig9(args) -> int:
                         factories=_sweep_args(args),
                         repeats=args.repeats, duration=args.duration)
     print(figure_report(result, "Figure 9"))
+    return 0
+
+
+def cmd_faults(args) -> int:
+    factories = default_protocol_factories()
+    if args.only:
+        factories = {name: f for name, f in factories.items()
+                     if name in args.only}
+    result = resilience_sweep(
+        base=SimulationConfig(seed=args.seed, n_nodes=args.nodes,
+                              max_speed=args.speed,
+                              deployment=args.deployment),
+        crash_rates=tuple(args.rates), k=args.k,
+        downtime_s=(args.node_recovery if args.node_recovery > 0
+                    else None),
+        factories=factories, repeats=args.repeats,
+        duration=args.duration)
+    print(figure_report(result, "Resilience"))
     return 0
 
 
@@ -210,6 +244,20 @@ def build_parser() -> argparse.ArgumentParser:
     f9.add_argument("--flooding", action="store_true")
     f9.add_argument("--only", nargs="+", default=None)
     f9.set_defaults(func=cmd_fig9)
+
+    fl = sub.add_parser("faults",
+                        help="resilience sweep: accuracy/latency/energy "
+                             "vs. injected crash rate")
+    _add_common(fl)
+    fl.add_argument("--rates", type=float, nargs="+",
+                    default=list(RESILIENCE_CRASH_RATES),
+                    help="per-node crash rates (events/s) to sweep")
+    fl.add_argument("-k", type=int, default=20)
+    fl.add_argument("--repeats", type=int, default=2)
+    fl.add_argument("--duration", type=float, default=20.0)
+    fl.add_argument("--only", nargs="+", default=None,
+                    help="restrict to these protocols")
+    fl.set_defaults(func=cmd_faults)
 
     v = sub.add_parser("viz", help="render a traversal as SVG")
     _add_common(v)

@@ -9,7 +9,7 @@ DIKNN, KPT, Peer-tree and flooding all implement this interface.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from .query import KNNQuery, QueryResult
 from ..net.network import Network
@@ -30,6 +30,7 @@ class QueryProtocol(abc.ABC):
         self.router: Optional[Router] = None
         self._pending: Dict[int, QueryResult] = {}
         self._callbacks: Dict[int, CompletionFn] = {}
+        self._finalized: Set[int] = set()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -75,11 +76,32 @@ class QueryProtocol(abc.ABC):
         callback = self._callbacks.pop(query_id, None)
         if result is None:
             return
+        self._finalized.add(query_id)
+        self._on_finalize(query_id)
         result.completed_at = self.network.sim.now
         if callback is not None:
             callback(result)
 
     def abandon(self, query_id: int) -> Optional[QueryResult]:
-        """Give up on a query (runner timeout); returns the partial result."""
+        """Give up on a query (runner timeout); returns the partial result.
+
+        The query id is marked finalized: any protocol message still in
+        flight for it (a late sector bundle, a watchdog retry) must be
+        ignored on arrival rather than raise or mutate the delivered
+        partial result.
+        """
         self._callbacks.pop(query_id, None)
-        return self._pending.pop(query_id, None)
+        result = self._pending.pop(query_id, None)
+        if result is not None:
+            self._finalized.add(query_id)
+            self._on_finalize(query_id)
+        return result
+
+    def _is_finalized(self, query_id: int) -> bool:
+        """True once the query completed or was abandoned; late traffic
+        for it must be dropped."""
+        return query_id in self._finalized
+
+    def _on_finalize(self, query_id: int) -> None:
+        """Hook for protocols to cancel per-query timers/state when a
+        query completes or is abandoned."""

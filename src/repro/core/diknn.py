@@ -63,12 +63,22 @@ class DIKNNConfig:
     data_base_bytes: int = 10
     rendezvous_base_bytes: int = 12
     result_base_bytes: int = 16
+    requery_base_bytes: int = 22
+    #: sink-side per-sector watchdog: after this many seconds without a
+    #: sector's result bundle, a fresh sub-itinerary token is re-dispatched
+    #: into the missing sectors (None/0 disables self-healing).
+    sector_watchdog_s: Optional[float] = 2.5
+    max_sector_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.sectors < 1:
             raise ValueError("sector count must be >= 1")
         if self.time_unit_s <= 0:
             raise ValueError("time unit must be positive")
+        if self.sector_watchdog_s is not None and self.sector_watchdog_s < 0:
+            raise ValueError("sector watchdog must be >= 0 or None")
+        if self.max_sector_retries < 0:
+            raise ValueError("max sector retries must be >= 0")
 
 
 def sector_of(point: Vec2, center: Vec2, sectors: int) -> int:
@@ -126,6 +136,7 @@ class DIKNNProtocol(QueryProtocol):
     KIND_DATA = "diknn.data"
     KIND_RDV = "diknn.rdv"
     KIND_RESULT = "diknn.result"
+    KIND_REQUERY = "diknn.requery"
 
     HOME_SECTOR = -1
 
@@ -138,6 +149,13 @@ class DIKNNProtocol(QueryProtocol):
         self._homes_seen: Set[int] = set()
         self._initial_radius: Dict[int, float] = {}
         self._qnode_hops: Dict[int, int] = {}
+        # Sink-side self-healing state: which sectors have reported
+        # (duplicate-bundle suppression) and the per-query watchdog.
+        self._sectors_seen: Dict[int, Set[int]] = {}
+        self._watchdogs: Dict[int, dict] = {}
+        self._requeries_seen: Set[Tuple[int, int]] = set()
+        #: sector re-dispatches performed (diagnostics/tests)
+        self.redispatches = 0
 
     # ------------------------------------------------------------------
     # installation
@@ -146,6 +164,8 @@ class DIKNNProtocol(QueryProtocol):
     def _install_handlers(self) -> None:
         self.router.on_hop(self.KIND_QUERY, self._on_query_hop)
         self.router.on_deliver(self.KIND_QUERY, self._on_query_delivered)
+        self.router.on_hop(self.KIND_REQUERY, self._on_query_hop)
+        self.router.on_deliver(self.KIND_REQUERY, self._on_requery_delivered)
         self.router.on_deliver(self.KIND_RESULT, self._on_result)
         self.network.register_handler(self.KIND_TOKEN, self._on_token)
         self.network.register_handler(self.KIND_PROBE, self._on_probe)
@@ -183,6 +203,13 @@ class DIKNNProtocol(QueryProtocol):
     def issue(self, sink: SensorNode, query: KNNQuery,
               on_complete: CompletionFn) -> None:
         self._register_query(query, self.config.sectors, on_complete)
+        if self.config.sector_watchdog_s:
+            self._watchdogs[query.query_id] = {
+                "sink": sink, "query": query, "retries": 0,
+                "handle": self.network.sim.schedule_in(
+                    self.config.sector_watchdog_s,
+                    lambda: self._watchdog_fire(query.query_id)),
+            }
         self._send_query(sink, query, attempt=0)
 
     def _send_query(self, sink: SensorNode, query: KNNQuery,
@@ -241,7 +268,6 @@ class DIKNNProtocol(QueryProtocol):
         # tokens out in parallel; collection happens at the sector Q-nodes
         # (keeping the home from serializing a collection window of its
         # own ahead of everything else).
-        self._mark_responded(node.id, query_id)
         self._dispatch_sectors(node, query_id, inner, q, radius)
 
     def _make_plan(self, node: SensorNode, q: Vec2, radius: float,
@@ -289,27 +315,38 @@ class DIKNNProtocol(QueryProtocol):
         }, plan.wire_bytes(self.config.probe_bytes))
 
     def _dispatch_sectors(self, node: SensorNode, query_id: int,
-                          inner: dict, q: Vec2, radius: float) -> None:
+                          inner: dict, q: Vec2, radius: float,
+                          sectors: Optional[List[int]] = None) -> None:
+        """Fan sub-itinerary tokens out of ``node`` (the home node).
+
+        ``sectors`` restricts dispatch to those sector indices (used by
+        the sink watchdog's re-dispatch); default is all of them.
+        """
         if not node.alive:
             return
         cfg = self.config
         now = self.network.sim.now
         pos = node.position()
-        sectors = cfg.sectors
+        targets = (list(range(cfg.sectors)) if sectors is None
+                   else [j for j in sectors if 0 <= j < cfg.sectors])
 
         # The home node contributes its own response to its sector's
         # token; everyone else is collected by the sector Q-nodes.
-        per_sector: Dict[int, List[tuple]] = {j: [] for j in range(sectors)}
-        home_cand = self._candidate_tuple(node, now)
-        per_sector[sector_of(pos, q, sectors)].append(home_cand)
+        per_sector: Dict[int, List[tuple]] = {j: [] for j in targets}
+        home_sector = sector_of(pos, q, cfg.sectors)
+        if home_sector in per_sector and \
+                query_id not in self._responded.get(node.id, set()):
+            self._mark_responded(node.id, query_id)
+            per_sector[home_sector].append(self._candidate_tuple(node, now))
 
         finished: List[TokenState] = []
         neighbors = node.neighbors()
-        for j in range(sectors):
+        for j in targets:
             token = TokenState(
                 query_id=query_id, sink_id=inner["sink_id"],
                 sink_pos=Vec2(*inner["sink_pos"]), point=q, k=inner["k"],
-                assurance_gain=inner["g"], sectors_total=sectors, sector=j,
+                assurance_gain=inner["g"], sectors_total=cfg.sectors,
+                sector=j,
                 width=self._width, spacing=self._spacing,
                 inverted=(cfg.rendezvous and j % 2 == 1),
                 radius_history=[radius], started_at=now)
@@ -618,25 +655,110 @@ class DIKNNProtocol(QueryProtocol):
         self.router.send(node, sink_pos, self.KIND_RESULT, payload, size,
                          dst_id=sink_id, on_drop=_on_drop)
 
+    # ------------------------------------------------------------------
+    # sink-side self-healing: per-sector watchdog + re-dispatch
+    # ------------------------------------------------------------------
+
+    def _watchdog_fire(self, query_id: int) -> None:
+        """Re-dispatch fresh sub-itinerary tokens into sectors whose
+        result bundle never arrived (bounded retries)."""
+        wd = self._watchdogs.get(query_id)
+        if wd is None or self._is_finalized(query_id):
+            return
+        result = self._result_of(query_id)
+        if result is None:
+            return
+        sink: SensorNode = wd["sink"]
+        missing = sorted(set(range(result.sectors_total))
+                         - self._sectors_seen.get(query_id, set()))
+        if not missing or not sink.alive \
+                or wd["retries"] >= self.config.max_sector_retries:
+            return  # healthy, sink dead, or out of retries: let the
+                    # runner's timeout finalize the partial result
+        wd["retries"] += 1
+        self.redispatches += len(missing)
+        self._send_requery(sink, wd["query"], missing, wd["retries"])
+        wd["handle"] = self.network.sim.schedule_in(
+            self.config.sector_watchdog_s,
+            lambda: self._watchdog_fire(query_id))
+
+    def _send_requery(self, sink: SensorNode, query: KNNQuery,
+                      sectors: List[int], attempt: int) -> None:
+        """Route a sector-restricted re-query toward q.  Like the
+        original query it gathers a fresh information list en route, so
+        the (possibly different) home node can recompute the KNN boundary
+        if the sink has no radius hint yet."""
+        result = self._result_of(query.query_id)
+        hint = None
+        if result is not None and result.meta.get("radius"):
+            hint = result.meta["radius"]
+        self.router.send(sink, query.point, self.KIND_REQUERY, {
+            "query_id": query.query_id,
+            "k": query.k,
+            "g": query.assurance_gain,
+            "point": (query.point.x, query.point.y),
+            "sink_id": sink.id,
+            "sink_pos": (sink.position().x, sink.position().y),
+            "sectors": list(sectors),
+            "attempt": attempt,
+            "radius_hint": hint,
+            "L": {"locs": [], "encs": []},
+        }, self.config.requery_base_bytes)
+
+    def _on_requery_delivered(self, node: SensorNode, inner: dict) -> None:
+        query_id = inner["query_id"]
+        key = (query_id, inner["attempt"])
+        if key in self._requeries_seen:
+            return
+        self._requeries_seen.add(key)
+        if self._is_finalized(query_id):
+            return
+        q = Vec2(*inner["point"])
+        radius = inner.get("radius_hint")
+        if not radius:
+            info = InfoList.from_payload(inner["L"])
+            radius = knnb_radius(info, q, self.network.radio.range_m,
+                                 inner["k"])
+        self._dispatch_sectors(node, query_id, inner, q, radius,
+                               sectors=inner["sectors"])
+
     def _on_result(self, node: SensorNode, inner: dict) -> None:
-        result = self._result_of(inner["query_id"])
+        query_id = inner["query_id"]
+        if self._is_finalized(query_id):
+            return  # late bundle after completion/abandon: drop
+        result = self._result_of(query_id)
         if result is None:
             return
         new = [self._from_wire(c) for c in inner["cands"]]
         result.candidates = merge_candidates(
             result.candidates, new, result.query.point,
             cap=max(result.query.k * 4, 64))
-        result.sectors_reported += len(inner["sectors"])
+        # Idempotent duplicate-bundle suppression: a retried sector that
+        # also delivered its original bundle may merge candidates (the
+        # merge dedupes by node id) but must not double-count sectors,
+        # exploration counters or voids.
+        seen = self._sectors_seen.setdefault(query_id, set())
+        new_sectors = [s for s in inner["sectors"] if s not in seen]
+        if not new_sectors:
+            return
+        seen.update(new_sectors)
+        result.sectors_reported = len(seen)
         meta = result.meta
         meta["voids"] = meta.get("voids", 0.0) + inner["voids"]
         meta["explored"] = meta.get("explored", 0.0) + inner["explored"]
         meta["radius"] = max(meta.get("radius", 0.0), inner["radius"])
-        meta["initial_radius"] = self._initial_radius.get(
-            inner["query_id"], 0.0)
-        meta["qnode_hops"] = float(
-            self._qnode_hops.get(inner["query_id"], 0))
+        meta["initial_radius"] = self._initial_radius.get(query_id, 0.0)
+        meta["qnode_hops"] = float(self._qnode_hops.get(query_id, 0))
         if result.sectors_reported >= result.sectors_total:
-            self._complete(inner["query_id"])
+            self._complete(query_id)
+
+    def _on_finalize(self, query_id: int) -> None:
+        """Cancel the watchdog and drop sink-side sector bookkeeping the
+        moment a query completes or is abandoned."""
+        wd = self._watchdogs.pop(query_id, None)
+        if wd is not None and wd.get("handle") is not None:
+            wd["handle"].cancel()
+        self._sectors_seen.pop(query_id, None)
 
     # ------------------------------------------------------------------
     # helpers

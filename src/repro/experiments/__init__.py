@@ -10,8 +10,9 @@ from .report import (claim_checklist, generate_report, load_sweep,
 from .scenario import Scenario, paper_default_scenario
 from .runner import repeat_workload, run_query, run_workload
 from .series import SeriesPoint, SweepResult
-from .sweeps import (FIG8_K_VALUES, FIG9_SPEEDS, default_protocol_factories,
-                     fig8_sweep, fig9_sweep)
+from .sweeps import (FIG8_K_VALUES, FIG9_SPEEDS, RESILIENCE_CRASH_RATES,
+                     default_protocol_factories, fig8_sweep, fig9_sweep,
+                     resilience_sweep)
 from .tables import FIGURE_PANELS, figure_report, shape_checks
 from .viz import TraversalRecorder, TraversalTrace, render_svg, save_svg
 from .workloads import (HotspotWorkload, MovingTargetWorkload,
@@ -26,7 +27,8 @@ __all__ = [
     "save_sweep", "sweep_from_dict", "sweep_to_dict",
     "repeat_workload", "run_query", "run_workload", "SeriesPoint",
     "SweepResult", "FIG8_K_VALUES", "FIG9_SPEEDS",
-    "default_protocol_factories", "fig8_sweep", "fig9_sweep",
+    "RESILIENCE_CRASH_RATES", "default_protocol_factories", "fig8_sweep",
+    "fig9_sweep", "resilience_sweep",
     "FIGURE_PANELS", "figure_report", "shape_checks", "TraversalRecorder",
     "TraversalTrace", "render_svg", "save_svg", "HotspotWorkload",
     "MovingTargetWorkload", "QueryWorkload", "UniformWorkload",

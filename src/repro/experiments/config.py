@@ -12,6 +12,7 @@ from typing import Dict, Optional, Tuple
 from ..core.base import QueryProtocol
 from ..deploy import (CaribouDeployment, ClusteredDeployment, Deployment,
                       GridDeployment, UniformDeployment)
+from ..faults import FAULT_STREAM, FaultInjector, FaultPlan, poisson_crashes
 from ..geometry import Rect, Vec2
 from ..mobility import RandomWaypointMobility, StaticMobility
 from ..net import MacConfig, Network, RadioModel, SensorNode
@@ -64,6 +65,18 @@ class SimulationConfig:
     assurance_gain: float = 0.1
     query_margin_fraction: float = 0.15  # inset query points from the field
                                          # edge (avoids KNN edge effects)
+    # -- fault injection (repro.faults; all off by default) -------------
+    crash_rate: float = 0.0              # per-node crash events per second
+    node_downtime_s: Optional[float] = 5.0   # crash recovery delay
+                                             # (None = permanent death)
+    blackout: Optional[Tuple[float, ...]] = None
+                                         # (at, cx, cy, radius, duration_s)
+    link_fault: Optional[Tuple[float, ...]] = None
+                                         # (at, duration_s, extra_loss)
+    beacon_outage: Optional[Tuple[float, ...]] = None
+                                         # (at, duration_s), every node
+    fault_horizon_s: float = 120.0       # how far past warm-up Poisson
+                                         # crashes are scheduled
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -74,6 +87,27 @@ class SimulationConfig:
                 f"choose from {sorted(_DEPLOYMENTS)}")
         if self.max_speed < 0:
             raise ConfigurationError("max_speed must be >= 0")
+        if self.crash_rate < 0:
+            raise ConfigurationError("crash_rate must be >= 0")
+        if self.node_downtime_s is not None and self.node_downtime_s <= 0:
+            raise ConfigurationError(
+                "node_downtime_s must be positive or None")
+        # Normalize JSON-scenario lists to tuples.
+        for name, width in (("blackout", 5), ("link_fault", 3),
+                            ("beacon_outage", 2)):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if len(value) != width:
+                raise ConfigurationError(
+                    f"{name} needs {width} values, got {len(value)}")
+            object.__setattr__(self, name, tuple(float(v) for v in value))
+
+    @property
+    def has_faults(self) -> bool:
+        return (self.crash_rate > 0.0 or self.blackout is not None
+                or self.link_fault is not None
+                or self.beacon_outage is not None)
 
     @property
     def field(self) -> Rect:
@@ -94,6 +128,7 @@ class SimulationHandle:
     router: GpsrRouter
     protocol: QueryProtocol
     sink: SensorNode
+    faults: Optional[FaultInjector] = None
 
     def warm_up(self) -> None:
         """Start beacons, let tables fill, then build protocol structures."""
@@ -146,8 +181,41 @@ def build_simulation(config: SimulationConfig,
     network.add_node(sink)
     router = GpsrRouter(network, config=gpsr_config)
     protocol.install(network, router)
+    injector = _build_faults(config, sim, network)
     return SimulationHandle(config=config, sim=sim, network=network,
-                            router=router, protocol=protocol, sink=sink)
+                            router=router, protocol=protocol, sink=sink,
+                            faults=injector)
+
+
+def _build_faults(config: SimulationConfig, sim: Simulator,
+                  network: Network) -> Optional[FaultInjector]:
+    """Translate the config's fault knobs into an installed injector.
+
+    Poisson crash schedules draw only from the dedicated ``"faults"``
+    stream, and only when ``crash_rate > 0`` — a fault-free run consumes
+    exactly the same random draws as one built before this subsystem
+    existed.  The sink (a powered base station) never crashes.
+    """
+    if not config.has_faults:
+        return None
+    plan = FaultPlan()
+    if config.crash_rate > 0.0:
+        plan.extend(poisson_crashes(
+            sim.rng.stream(FAULT_STREAM), range(config.n_nodes),
+            rate=config.crash_rate, start=config.warmup_s,
+            duration=config.fault_horizon_s,
+            downtime_s=config.node_downtime_s))
+    if config.blackout is not None:
+        at, cx, cy, radius, duration = config.blackout
+        plan.blackout((cx, cy), radius, at=at, duration_s=duration)
+    if config.link_fault is not None:
+        at, duration, extra = config.link_fault
+        plan.degrade_links(at, duration, extra)
+    if config.beacon_outage is not None:
+        at, duration = config.beacon_outage
+        plan.suppress_beacons(at, duration)
+    network.start_neighbor_sweep()
+    return FaultInjector(sim, network, plan).install()
 
 
 def defaults_table() -> str:

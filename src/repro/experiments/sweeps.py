@@ -4,6 +4,10 @@
   µmax = 10 m/s, exponential query interval with mean 4 s.
 * :func:`fig9_sweep` — impact of mobility (Figure 9 a–d): µmax from 5 to
   30 m/s, k = 40.
+* :func:`resilience_sweep` — degradation under injected node crashes
+  (beyond the paper): per-node crash rate from 0 up, fixed k, every
+  protocol; shows how gracefully each scheme's accuracy/latency/energy
+  degrade as the network fails underneath it.
 
 Each sweep runs every protocol at every x value over ``repeats`` seeds and
 returns a :class:`~repro.experiments.series.SweepResult` whose four metric
@@ -25,6 +29,10 @@ ProtocolFactory = Callable[[SimulationConfig], QueryProtocol]
 
 FIG8_K_VALUES = (20, 40, 60, 80, 100)
 FIG9_SPEEDS = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+#: per-node crash events per second; 0.01 ≈ every node crashes about
+#: once per 100 s, so a 40 s run loses roughly a third of its nodes at
+#: least once.
+RESILIENCE_CRASH_RATES = (0.0, 0.002, 0.005, 0.01, 0.02)
 
 
 def default_protocol_factories(
@@ -78,5 +86,29 @@ def fig9_sweep(base: Optional[SimulationConfig] = None,
     factories = factories or default_protocol_factories()
     return _sweep(base, "mobility", list(speeds),
                   configure=lambda cfg, x: cfg.with_(max_speed=float(x)),
+                  k_of=lambda x: k,
+                  factories=factories, repeats=repeats, duration=duration)
+
+
+def resilience_sweep(base: Optional[SimulationConfig] = None,
+                     crash_rates: Sequence[float] = RESILIENCE_CRASH_RATES,
+                     k: int = 20,
+                     downtime_s: Optional[float] = 5.0,
+                     factories: Optional[Dict[str, ProtocolFactory]] = None,
+                     repeats: int = 2,
+                     duration: float = 30.0) -> SweepResult:
+    """Degradation curve: vary the per-node crash rate at fixed k.
+
+    Every protocol runs against the identical fault schedule per seed
+    (the ``"faults"`` RNG stream depends only on the run's seed), so the
+    comparison is paired: what differs is how each scheme absorbs the
+    same sequence of deaths.  ``downtime_s=None`` makes crashes
+    permanent — the network thins out over the run instead of churning.
+    """
+    base = base or SimulationConfig()
+    factories = factories or default_protocol_factories()
+    return _sweep(base, "crash_rate", list(crash_rates),
+                  configure=lambda cfg, x: cfg.with_(
+                      crash_rate=float(x), node_downtime_s=downtime_s),
                   k_of=lambda x: k,
                   factories=factories, repeats=repeats, duration=duration)

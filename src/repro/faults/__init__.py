@@ -1,0 +1,23 @@
+"""Chaos fault injection: declarative plans applied to a live simulation.
+
+The paper evaluates DIKNN only under mobility-induced staleness; this
+package stress-tests the same claim — itinerary traversal degrades
+gracefully because each sector reports independently — under node
+crashes, correlated regional blackouts, bursty channel loss and beacon
+suppression.  A :class:`FaultPlan` is a declarative schedule of fault
+events; a :class:`FaultInjector` installs it onto a running
+``Simulator``/``Network`` pair without any protocol code knowing.  All
+randomized plan generation draws from the dedicated ``"faults"`` RNG
+stream, so fault schedules are replayable and never perturb the draws of
+mobility, MAC or workload streams.
+"""
+
+from .plan import (BeaconSuppression, FaultPlan, LinkDegradation, NodeCrash,
+                   NodeRecovery, RegionalBlackout, poisson_crashes)
+from .injector import FAULT_STREAM, FaultInjector, FaultStats
+
+__all__ = [
+    "BeaconSuppression", "FaultPlan", "LinkDegradation", "NodeCrash",
+    "NodeRecovery", "RegionalBlackout", "poisson_crashes",
+    "FAULT_STREAM", "FaultInjector", "FaultStats",
+]

@@ -1,0 +1,200 @@
+"""Declarative fault plans.
+
+A plan is an ordered collection of fault events, each pinned to an
+absolute simulated time.  Plans are plain data: they can be built by
+hand for targeted tests (kill this sector at t=0.8), generated from a
+seeded RNG stream for statistical sweeps (:func:`poisson_crashes`), or
+serialized into scenario files.  Applying a plan is the
+:class:`~repro.faults.injector.FaultInjector`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..geometry import Vec2
+from ..sim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node_id`` dies at ``at``; recovers after ``downtime_s``
+    (``None`` = permanent)."""
+
+    at: float
+    node_id: int
+    downtime_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0.0:
+            raise ConfigurationError("crash time must be >= 0")
+        if self.downtime_s is not None and self.downtime_s <= 0.0:
+            raise ConfigurationError("downtime must be positive or None")
+
+
+@dataclass(frozen=True)
+class NodeRecovery:
+    """Node ``node_id`` reboots at ``at`` (a no-op if it is alive).
+
+    A rebooted node comes back with an empty neighbor table: whatever it
+    knew before the crash is lost, and it relearns the neighborhood from
+    beacons.
+    """
+
+    at: float
+    node_id: int
+
+
+@dataclass(frozen=True)
+class RegionalBlackout:
+    """Every node inside the disc (``center``, ``radius``) dies at ``at``.
+
+    Nodes that were alive when the blackout struck recover together at
+    ``at + duration_s`` (set ``recover=False`` for a permanent outage).
+    Models correlated failures — a power event, jamming, physical damage
+    — rather than independent per-node deaths.
+    """
+
+    at: float
+    center: Tuple[float, float]
+    radius: float
+    duration_s: float
+    recover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise ConfigurationError("blackout radius must be positive")
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("blackout duration must be positive")
+
+    @property
+    def center_vec(self) -> Vec2:
+        return Vec2(*self.center)
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Extra channel loss ``extra_loss`` layered onto the radio during
+    [``at``, ``at + duration_s``): bursty interference / weather fade.
+
+    The extra loss composes with the radio's base loss rate as
+    independent erasure: ``1 - (1-base)(1-extra)``.
+    """
+
+    at: float
+    duration_s: float
+    extra_loss: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.extra_loss <= 1.0:
+            raise ConfigurationError("extra loss must lie in [0, 1]")
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("degradation duration must be positive")
+
+
+@dataclass(frozen=True)
+class BeaconSuppression:
+    """Nodes in ``node_ids`` (``None`` = every node) stop beaconing
+    during [``at``, ``at + duration_s``): neighbor tables silently rot
+    while the nodes keep relaying traffic — the nastiest staleness mode,
+    since liveness and reachability diverge."""
+
+    at: float
+    duration_s: float
+    node_ids: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("suppression duration must be positive")
+
+
+FaultEvent = Union[NodeCrash, NodeRecovery, RegionalBlackout,
+                   LinkDegradation, BeaconSuppression]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, declarative schedule of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def extend(self, events: Iterable[FaultEvent]) -> "FaultPlan":
+        self.events.extend(events)
+        return self
+
+    # -- fluent builders ---------------------------------------------------
+
+    def crash(self, node_id: int, at: float,
+              downtime_s: Optional[float] = None) -> "FaultPlan":
+        return self.add(NodeCrash(at=at, node_id=node_id,
+                                  downtime_s=downtime_s))
+
+    def recover(self, node_id: int, at: float) -> "FaultPlan":
+        return self.add(NodeRecovery(at=at, node_id=node_id))
+
+    def blackout(self, center: Tuple[float, float], radius: float,
+                 at: float, duration_s: float,
+                 recover: bool = True) -> "FaultPlan":
+        return self.add(RegionalBlackout(at=at, center=tuple(center),
+                                         radius=radius,
+                                         duration_s=duration_s,
+                                         recover=recover))
+
+    def degrade_links(self, at: float, duration_s: float,
+                      extra_loss: float) -> "FaultPlan":
+        return self.add(LinkDegradation(at=at, duration_s=duration_s,
+                                        extra_loss=extra_loss))
+
+    def suppress_beacons(self, at: float, duration_s: float,
+                         node_ids: Optional[Sequence[int]] = None
+                         ) -> "FaultPlan":
+        return self.add(BeaconSuppression(
+            at=at, duration_s=duration_s,
+            node_ids=tuple(node_ids) if node_ids is not None else None))
+
+
+def poisson_crashes(rng: np.random.Generator, node_ids: Sequence[int],
+                    rate: float, start: float, duration: float,
+                    downtime_s: Optional[float] = None) -> List[NodeCrash]:
+    """Sample independent per-node crash processes.
+
+    Each node in ``node_ids`` crashes as a Poisson process with ``rate``
+    events per second over [``start``, ``start + duration``); a node that
+    recovers (``downtime_s`` set) can crash again later in the window.
+    Pass the simulator's dedicated ``"faults"`` stream as ``rng`` so the
+    schedule is replayable without perturbing any other stream.
+    """
+    if rate < 0.0:
+        raise ConfigurationError("crash rate must be >= 0")
+    crashes: List[NodeCrash] = []
+    if rate == 0.0 or duration <= 0.0:
+        return crashes
+    end = start + duration
+    # Iterate nodes in sorted order so the draw sequence is independent
+    # of the caller's container ordering.
+    for node_id in sorted(node_ids):
+        t = start
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= end:
+                break
+            crashes.append(NodeCrash(at=t, node_id=node_id,
+                                     downtime_s=downtime_s))
+            if downtime_s is None:
+                break  # permanent: one crash per node
+            t += downtime_s
+    crashes.sort(key=lambda c: (c.at, c.node_id))
+    return crashes

@@ -85,6 +85,10 @@ class MacLayer:
         self.config = config or MacConfig()
         self.stats = MacStats()
         self._rng = sim.rng.stream(rng_stream)
+        #: optional time-windowed extra loss (fault injection): a callable
+        #: returning the extra erasure probability in effect right now,
+        #: composed with the radio's base loss as independent erasure.
+        self.loss_overlay: Optional[Callable[[], float]] = None
         self._active: List[_ActiveTx] = []
         # A node has one radio: its frames serialize. Tracks when each
         # sender's queue drains so bursts (e.g. one node unicasting to many
@@ -92,6 +96,16 @@ class MacLayer:
         self._sender_busy_until: dict = {}
 
     # -- channel state -------------------------------------------------------
+
+    def loss_rate(self) -> float:
+        """Effective channel loss right now: base rate plus any fault
+        overlay, composed as independent erasures."""
+        loss = self.radio.base_loss_rate
+        if self.loss_overlay is not None:
+            extra = self.loss_overlay()
+            if extra > 0.0:
+                loss = 1.0 - (1.0 - loss) * (1.0 - extra)
+        return loss
 
     def _prune_active(self) -> None:
         now = self.sim.now
@@ -190,7 +204,7 @@ class MacLayer:
         self.ledger.charge_tx(sender, bits, self.radio.range_m)
         self.stats.frames_sent += 1
         self.stats.bytes_sent += message.size_bytes
-        loss = self.radio.base_loss_rate
+        loss = self.loss_rate()
         survivors = [rid for rid, _pos in receivers
                      if loss <= 0.0 or self._rng.random() >= loss]
         for rid in survivors:
@@ -239,10 +253,10 @@ class MacLayer:
 
         delivered_to: List[int] = []
         unicast_ok = False
+        loss = self.loss_rate()
         for rid, rpos in receivers:
             addressed = message.is_broadcast or rid == message.dst
-            lost_channel = (self.radio.base_loss_rate > 0.0
-                            and self._rng.random() < self.radio.base_loss_rate)
+            lost_channel = loss > 0.0 and self._rng.random() < loss
             n_intf = (0 if cfg.contention_free
                       else self._interferers_near(rpos, start, end, sender))
             lost_collision = False

@@ -75,6 +75,9 @@ class Network:
         self._link_factor_cache: Dict[tuple, float] = {}
         self._grid_time = -math.inf
         self._beacon_tasks: List[PeriodicTask] = []
+        self._beacon_muted: set = set()
+        self._sweep_task: Optional[PeriodicTask] = None
+        self.neighbor_evictions = 0
         self._trace_hooks: List[Callable[[str, Message, int], None]] = []
 
     # -- population ----------------------------------------------------------
@@ -201,9 +204,17 @@ class Network:
             task.stop()
         self._beacon_tasks.clear()
 
+    def mute_beacons(self, node_ids: Iterable[int]) -> None:
+        """Suppress beaconing for ``node_ids`` (fault injection): the
+        nodes keep relaying traffic, but their neighbors' tables rot."""
+        self._beacon_muted.update(node_ids)
+
+    def unmute_beacons(self, node_ids: Iterable[int]) -> None:
+        self._beacon_muted.difference_update(node_ids)
+
     def _make_beacon_fn(self, node: SensorNode) -> Callable[[], None]:
         def _beacon() -> None:
-            if not node.alive:
+            if not node.alive or node.id in self._beacon_muted:
                 return
             now = self.sim.now
             pos = node.mobility.position_at(now)
@@ -238,6 +249,38 @@ class Network:
         if duration is None:
             duration = 2.0 * self.beacon_interval
         self.sim.run(until=self.sim.now + duration)
+
+    # -- neighbor hygiene ----------------------------------------------------
+
+    def start_neighbor_sweep(self, period: Optional[float] = None) -> None:
+        """Proactively evict missed-beacon neighbor entries on every node.
+
+        ``neighbors()`` already prunes lazily at read time; under fault
+        injection a dead or silenced node must also leave tables that are
+        *not* being read, so recovery decisions (GPSR reroutes, next-Q-node
+        choices) never see it.  Runs every ``period`` seconds (default:
+        one beacon interval); idempotent.
+        """
+        if self._sweep_task is not None:
+            return
+        timeout = self.neighbor_timeout
+
+        def _sweep() -> None:
+            now = self.sim.now
+            for node in self.nodes.values():
+                if node.alive:
+                    self.neighbor_evictions += \
+                        node.evict_stale_neighbors(now, timeout)
+
+        self._sweep_task = PeriodicTask(
+            self.sim, period if period is not None else self.beacon_interval,
+            _sweep)
+        self._sweep_task.start()
+
+    def stop_neighbor_sweep(self) -> None:
+        if self._sweep_task is not None:
+            self._sweep_task.stop()
+            self._sweep_task = None
 
     # -- messaging -----------------------------------------------------------
 

@@ -103,10 +103,7 @@ class SensorNode:
         if max_age is None:
             max_age = self.network.neighbor_timeout
         now = self.network.sim.now
-        stale = [nid for nid, e in self.neighbor_table.items()
-                 if now - e.heard_at > max_age]
-        for nid in stale:
-            del self.neighbor_table[nid]
+        self.evict_stale_neighbors(now, max_age)
         return [NeighborEntry(e.node_id, e.predicted_position(now), e.speed,
                               e.heard_at, beacon_position=e.beacon_position,
                               velocity=e.velocity)
@@ -115,6 +112,20 @@ class SensorNode:
     def forget_neighbor(self, node_id: int) -> None:
         """Drop a neighbor entry (e.g. after link-layer delivery failure)."""
         self.neighbor_table.pop(node_id, None)
+
+    def evict_stale_neighbors(self, now: float, max_age: float) -> int:
+        """Missed-beacon eviction: drop entries not refreshed within
+        ``max_age`` seconds.  Returns the number evicted.
+
+        Same policy ``neighbors()`` applies lazily at read time, exposed
+        for proactive sweeps so crashed or silenced neighbors leave the
+        table even when it is not being read.
+        """
+        stale = [nid for nid, e in self.neighbor_table.items()
+                 if now - e.heard_at > max_age]
+        for nid in stale:
+            del self.neighbor_table[nid]
+        return len(stale)
 
     # -- messaging -----------------------------------------------------------
 

@@ -49,3 +49,62 @@ class TestDeterminism:
         runs = [run_workload(SimulationConfig(seed=35), factory, k=15,
                              duration=8.0) for _ in range(2)]
         assert runs[0].energy_j == runs[1].energy_j
+
+
+class TestFaultDeterminism:
+    """Same seed + same fault plan ⇒ identical metrics, and the fault RNG
+    stream must not perturb the existing streams."""
+
+    FAULTY = dict(crash_rate=0.01, node_downtime_s=4.0,
+                  blackout=(3.0, 60.0, 60.0, 20.0, 2.0),
+                  link_fault=(1.0, 3.0, 0.15))
+
+    def test_faulty_workload_replays_bit_identical(self):
+        runs = [run_workload(SimulationConfig(seed=37, **self.FAULTY),
+                             lambda c: DIKNNProtocol(), k=15,
+                             duration=10.0) for _ in range(2)]
+        assert runs[0].energy_j == runs[1].energy_j
+        a = [outcome_signature(o) for o in runs[0].outcomes]
+        b = [outcome_signature(o) for o in runs[1].outcomes]
+        assert a == b
+
+    def test_fault_schedule_identical_across_protocols(self):
+        """The fault plan depends only on the seed, never on the protocol
+        under test, so comparisons stay paired."""
+        stats = []
+        for protocol in (DIKNNProtocol(), KPTProtocol()):
+            handle = build_simulation(
+                SimulationConfig(seed=39, **self.FAULTY), protocol)
+            handle.warm_up()
+            handle.sim.run(until=20.0)
+            s = handle.faults.stats
+            stats.append((s.crashes, s.recoveries, s.blackout_kills,
+                          sorted(s.kills_by_node.items())))
+        assert stats[0] == stats[1]
+
+    def test_fault_stream_does_not_perturb_other_streams(self):
+        """Enabling faults must not shift a single draw in the deployment
+        or mobility streams: node trajectories stay bit-identical."""
+        positions = []
+        for kwargs in ({}, dict(crash_rate=0.02)):
+            handle = build_simulation(
+                SimulationConfig(seed=41, **kwargs), DIKNNProtocol())
+            t = 12.0
+            positions.append([
+                (nid, node.mobility.position_at(t).x,
+                 node.mobility.position_at(t).y)
+                for nid, node in sorted(handle.network.nodes.items())])
+        assert positions[0] == positions[1]
+
+    def test_fault_free_knobs_change_nothing(self):
+        """crash_rate=0 must be byte-for-byte the run it was before the
+        fault subsystem existed (no injector, no extra draws)."""
+        plain = run_workload(SimulationConfig(seed=43),
+                             lambda c: DIKNNProtocol(), k=15,
+                             duration=8.0)
+        zeroed = run_workload(SimulationConfig(seed=43, crash_rate=0.0),
+                              lambda c: DIKNNProtocol(), k=15,
+                              duration=8.0)
+        assert plain.energy_j == zeroed.energy_j
+        assert ([outcome_signature(o) for o in plain.outcomes]
+                == [outcome_signature(o) for o in zeroed.outcomes])

@@ -208,6 +208,61 @@ class TestQueryBookkeeping:
         # After abandoning, late sector arrivals are ignored silently.
         sim.run(until=sim.now + 10)
 
+    def test_late_bundle_after_abandon_does_not_mutate_result(self):
+        """Regression: a delayed ``diknn.result`` landing after the sink
+        timeout-abandoned the query must neither raise nor mutate the
+        partial result already handed to the caller."""
+        sim, net = build_static_network(seed=3)
+        proto, _ = install(net)
+        query = KNNQuery(query_id=next_query_id(), sink_id=0,
+                         point=Vec2(70, 70), k=10, issued_at=sim.now)
+        proto.issue(net.nodes[0], query, lambda r: None)
+        # Intercept bundle deliveries so we can replay one late.
+        bundles = []
+        original = proto._on_result
+
+        def tap(node, inner):
+            bundles.append((node, dict(inner)))
+            original(node, inner)
+
+        proto.router.on_deliver(proto.KIND_RESULT, tap)
+        while not bundles and sim.step():
+            pass
+        assert bundles
+        partial = proto.abandon(query.query_id)
+        assert partial is not None
+        snapshot = (partial.sectors_reported, len(partial.candidates),
+                    dict(partial.meta))
+        node, inner = bundles[0]
+        original(node, dict(inner))  # the straggler arrives post-abandon
+        assert (partial.sectors_reported, len(partial.candidates),
+                dict(partial.meta)) == snapshot
+
+    def test_late_bundle_after_completion_does_not_mutate_result(self):
+        sim, net = build_static_network(seed=3)
+        proto, _ = install(net)
+        bundles = []
+        query = KNNQuery(query_id=next_query_id(), sink_id=0,
+                         point=Vec2(70, 70), k=10, issued_at=sim.now)
+        results = []
+        proto.issue(net.nodes[0], query, results.append)
+        original = proto._on_result
+
+        def tap(node, inner):
+            bundles.append((node, dict(inner)))
+            original(node, inner)
+
+        proto.router.on_deliver(proto.KIND_RESULT, tap)
+        sim.run(until=sim.now + 15)
+        assert results and bundles
+        delivered = results[0]
+        snapshot = (delivered.sectors_reported, len(delivered.candidates))
+        node, inner = bundles[0]
+        original(node, dict(inner))  # replay after delivery
+        assert (delivered.sectors_reported,
+                len(delivered.candidates)) == snapshot
+        assert len(results) == 1
+
     def test_concurrent_queries_do_not_interfere(self):
         sim, net = build_static_network(seed=3)
         proto, _ = install(net)

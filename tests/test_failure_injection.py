@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import KPTProtocol
+from repro.baselines import KPTProtocol, PeerTreeProtocol
 from repro.core import DIKNNConfig, DIKNNProtocol, KNNQuery, next_query_id
 from repro.deploy import CaribouDeployment
 from repro.experiments import SimulationConfig, build_simulation, run_query
@@ -135,3 +135,74 @@ class TestKPTFailures:
         handle.warm_up()
         outcome = run_query(handle, Vec2(60, 60), k=20, timeout=12.0)
         assert 0.0 <= outcome.pre_accuracy <= 1.0
+
+    def test_kpt_with_heavy_loss(self):
+        """20% channel loss: KPT must terminate cleanly and any partial
+        answer must stay within metric bounds."""
+        handle = build_simulation(
+            SimulationConfig(seed=23, packet_loss_rate=0.2),
+            KPTProtocol())
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(60, 60), k=20, timeout=12.0)
+        assert 0.0 <= outcome.pre_accuracy <= 1.0
+
+    def test_kpt_mid_query_node_death(self):
+        """Kill a band of nodes around q shortly after issuing: KPT must
+        not crash and must never return a dead node."""
+        sim, net = build_static_network(seed=13)
+        q = Vec2(70, 70)
+        proto = KPTProtocol()
+        proto.install(net, GpsrRouter(net))
+        killed = []
+
+        def kill_ring():
+            for node in net.nodes.values():
+                if node.alive and 4.0 < node.position().distance_to(q) <= 20.0:
+                    node.alive = False
+                    killed.append(node.id)
+
+        sim.schedule_in(0.15, kill_ring)
+        query = KNNQuery(query_id=next_query_id(), sink_id=0, point=q,
+                         k=15, issued_at=sim.now)
+        results = []
+        proto.issue(net.nodes[0], query, results.append)
+        sim.run(until=sim.now + 15)
+        assert killed
+        if results:
+            assert not set(results[0].top_k_ids()) & set(killed)
+
+
+class TestPeerTreeFailures:
+    def test_peertree_with_heavy_loss(self):
+        handle = build_simulation(
+            SimulationConfig(seed=29, packet_loss_rate=0.2),
+            PeerTreeProtocol(SimulationConfig().field))
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(60, 60), k=20, timeout=12.0)
+        assert 0.0 <= outcome.pre_accuracy <= 1.0
+
+    def test_peertree_mid_query_node_death(self):
+        from tests.conftest import FIELD
+        sim, net = build_static_network(seed=13)
+        q = Vec2(70, 70)
+        proto = PeerTreeProtocol(FIELD)
+        proto.install(net, GpsrRouter(net))
+        proto.setup()
+        sim.run(until=sim.now + 2.0)  # let member notifications land
+        killed = []
+
+        def kill_ring():
+            for node in net.nodes.values():
+                if node.alive and 4.0 < node.position().distance_to(q) <= 20.0:
+                    node.alive = False
+                    killed.append(node.id)
+
+        sim.schedule_in(0.15, kill_ring)
+        query = KNNQuery(query_id=next_query_id(), sink_id=0, point=q,
+                         k=15, issued_at=sim.now)
+        results = []
+        proto.issue(net.nodes[0], query, results.append)
+        sim.run(until=sim.now + 15)
+        assert killed
+        if results:
+            assert not set(results[0].top_k_ids()) & set(killed)
