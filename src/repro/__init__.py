@@ -32,6 +32,8 @@ from .metrics import (QueryOutcome, RunMetrics, post_accuracy, pre_accuracy,
 from .net import Network, SensorNode
 from .routing import GpsrRouter
 from .sim import Simulator
+from .validate import (InvariantViolation, ValidationHarness,
+                       enable_validation)
 
 __version__ = "1.0.0"
 
@@ -44,5 +46,6 @@ __all__ = [
     "resilience_sweep", "FaultInjector", "FaultPlan",
     "run_query", "run_workload", "Rect", "Vec2", "QueryOutcome",
     "RunMetrics", "post_accuracy", "pre_accuracy", "true_knn", "Network",
-    "SensorNode", "GpsrRouter", "Simulator", "__version__",
+    "SensorNode", "GpsrRouter", "Simulator", "InvariantViolation",
+    "ValidationHarness", "enable_validation", "__version__",
 ]

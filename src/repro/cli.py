@@ -8,6 +8,11 @@ Commands:
 * ``fig9``      — regenerate the Figure 9 series (mobility impact).
 * ``viz``       — render a DIKNN traversal over a chosen deployment as SVG.
 * ``window``    — run one itinerary window query.
+* ``golden``    — verify or regenerate the golden-trace fixtures.
+
+Most run commands accept ``--validate``, which attaches the runtime
+invariant checkers (``repro.validate``) to every simulation they build
+and prints a check summary on success.
 """
 
 from __future__ import annotations
@@ -45,6 +50,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         metavar=("AT", "CX", "CY", "RADIUS", "DURATION"),
                         help="regional blackout: kill every node within "
                              "RADIUS of (CX, CY) at time AT for DURATION s")
+    _add_validate(parser)
+
+
+def _add_validate(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--validate", action="store_true",
+                        help="attach runtime invariant checkers to every "
+                             "simulation (fails fast on violations)")
 
 
 def _config(args) -> SimulationConfig:
@@ -302,13 +314,61 @@ def build_parser() -> argparse.ArgumentParser:
     rs.add_argument("--seed", type=int, default=1)
     rs.add_argument("--save", default=None,
                     help="write the scenario JSON instead of running it")
+    _add_validate(rs)
     rs.set_defaults(func=cmd_run_scenario)
+
+    g = sub.add_parser("golden",
+                       help="verify or regenerate the golden-trace "
+                            "regression fixtures")
+    mode = g.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true", default=True,
+                      help="re-run the scenario matrix and compare "
+                           "digests against the fixtures (default)")
+    mode.add_argument("--regen", action="store_true",
+                      help="rewrite the fixtures from current behavior")
+    g.add_argument("--fixtures", default=None,
+                   help="fixture file (default: tests/golden/traces.json)")
+    g.add_argument("--only", nargs="+", default=None,
+                   help="restrict to these scenario names")
+    g.set_defaults(func=cmd_golden)
 
     return parser
 
 
+def cmd_golden(args) -> int:
+    from .validate import golden
+
+    if args.regen:
+        path = golden.write_fixtures(path=args.fixtures, only=args.only)
+        print(f"wrote {path}")
+        return 0
+    problems = golden.verify_fixtures(path=args.fixtures, only=args.only)
+    names = (args.only if args.only
+             else [spec.name for spec in golden.GOLDEN_SPECS])
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH {problem}")
+        print(f"{len(problems)}/{len(names)} golden traces diverged "
+              "(regenerate deliberately with `golden --regen` if the "
+              "behavior change is intended)")
+        return 1
+    print(f"{len(names)} golden traces verified")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "validate", False):
+        from .validate import enable_validation, validation_summary
+        enable_validation(True)
+        status = args.func(args)
+        summary = validation_summary()
+        checks = sum(count for name, count in summary.items()
+                     if name not in ("checkpoints", "outcomes"))
+        print(f"[validate] {checks} invariant checks passed "
+              f"({summary.get('checkpoints', 0)} checkpoints, "
+              f"{summary.get('outcomes', 0)} outcomes cross-checked)")
+        return status
     return args.func(args)
 
 

@@ -764,6 +764,11 @@ class DIKNNProtocol(QueryProtocol):
     # helpers
     # ------------------------------------------------------------------
 
+    def sectors_seen(self, query_id: int) -> frozenset:
+        """Sector indices whose result bundle the sink has accounted for
+        (read-only; diagnostics and the validation layer)."""
+        return frozenset(self._sectors_seen.get(query_id, ()))
+
     def _mark_responded(self, node_id: int, query_id: int) -> None:
         self._responded.setdefault(node_id, set()).add(query_id)
 

@@ -129,6 +129,8 @@ class SimulationHandle:
     protocol: QueryProtocol
     sink: SensorNode
     faults: Optional[FaultInjector] = None
+    #: runtime invariant harness; set only when validation is enabled
+    validator: Optional[object] = None
 
     def warm_up(self) -> None:
         """Start beacons, let tables fill, then build protocol structures."""
@@ -182,9 +184,14 @@ def build_simulation(config: SimulationConfig,
     router = GpsrRouter(network, config=gpsr_config)
     protocol.install(network, router)
     injector = _build_faults(config, sim, network)
-    return SimulationHandle(config=config, sim=sim, network=network,
-                            router=router, protocol=protocol, sink=sink,
-                            faults=injector)
+    handle = SimulationHandle(config=config, sim=sim, network=network,
+                              router=router, protocol=protocol, sink=sink,
+                              faults=injector)
+    # Lazy import: repro.validate is only pulled in (and only attaches)
+    # when validation was switched on for this process.
+    from ..validate.harness import maybe_attach
+    handle.validator = maybe_attach(handle)
+    return handle
 
 
 def _build_faults(config: SimulationConfig, sim: Simulator,

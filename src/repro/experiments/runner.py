@@ -44,21 +44,29 @@ def run_query(handle: SimulationHandle, point: Vec2, k: int,
     energy = handle.network.ledger.since(energy_before)
     if done:
         result = done[0]
-        return QueryOutcome(
+        outcome = QueryOutcome(
             query_id=query.query_id, k=k, completed=True,
             latency=result.latency,
             pre_accuracy=pre_accuracy(handle.network, result),
             post_accuracy=post_accuracy(handle.network, result),
             energy_j=energy, meta=dict(result.meta))
+        if handle.validator is not None:
+            handle.validator.observe_outcome(result, outcome)
+            handle.validator.check_now()
+        return outcome
     partial = handle.protocol.abandon(query.query_id)
     give_up = handle.sim.now
     pre = pre_accuracy(handle.network, partial) if partial else 0.0
     post = (post_accuracy(handle.network, partial, at=give_up)
             if partial else 0.0)
-    return QueryOutcome(query_id=query.query_id, k=k, completed=False,
-                        latency=None, pre_accuracy=pre, post_accuracy=post,
-                        energy_j=energy,
-                        meta=dict(partial.meta) if partial else {})
+    outcome = QueryOutcome(query_id=query.query_id, k=k, completed=False,
+                           latency=None, pre_accuracy=pre,
+                           post_accuracy=post, energy_j=energy,
+                           meta=dict(partial.meta) if partial else {})
+    if handle.validator is not None:
+        handle.validator.observe_outcome(partial, outcome, at=give_up)
+        handle.validator.check_now()
+    return outcome
 
 
 def run_workload(config: SimulationConfig,
@@ -120,24 +128,33 @@ def run_workload(config: SimulationConfig,
     for query_id, query in pending.items():
         result = finished.get(query_id)
         if result is not None:
-            outcomes.append(QueryOutcome(
+            outcome = QueryOutcome(
                 query_id=query_id, k=k, completed=True,
                 latency=result.latency,
                 pre_accuracy=pre_accuracy(network, result),
                 post_accuracy=post_accuracy(network, result),
                 energy_j=energy / max(len(pending), 1),
-                meta=dict(result.meta)))
+                meta=dict(result.meta))
+            if handle.validator is not None:
+                handle.validator.observe_outcome(result, outcome)
         else:
             partial = handle.protocol.abandon(query_id)
             give_up = min(query.issued_at + query_timeout, sim.now)
-            outcomes.append(QueryOutcome(
+            outcome = QueryOutcome(
                 query_id=query_id, k=k, completed=False, latency=None,
                 pre_accuracy=(pre_accuracy(network, partial)
                               if partial else 0.0),
                 post_accuracy=(post_accuracy(network, partial, at=give_up)
                                if partial else 0.0),
                 energy_j=energy / max(len(pending), 1),
-                meta=dict(partial.meta) if partial else {}))
+                meta=dict(partial.meta) if partial else {})
+            if handle.validator is not None:
+                handle.validator.observe_outcome(partial, outcome,
+                                                 at=give_up)
+        outcomes.append(outcome)
+
+    if handle.validator is not None:
+        handle.validator.finalize()
 
     metrics = RunMetrics(protocol=handle.protocol.name,
                          outcomes=outcomes, energy_j=energy,

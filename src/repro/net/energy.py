@@ -67,6 +67,10 @@ class EnergyLedger:
         self.capacity_j = capacity_j
         self.on_depleted = on_depleted
         self._depleted: set = set()
+        #: optional pure observer called as ``fn(node_id, kind, cost)`` for
+        #: every charge (kind is "tx" | "rx" | "idle").  Used by
+        #: ``repro.validate`` to shadow the accounts; None costs nothing.
+        self.observer = None
 
     def set_battery(self, capacity_j: float, on_depleted) -> None:
         """Arm per-node battery enforcement."""
@@ -102,18 +106,24 @@ class EnergyLedger:
     def charge_tx(self, node_id: int, bits: int, distance_m: float) -> float:
         cost = self.model.tx_cost(bits, distance_m)
         self.account(node_id).tx_j += cost
+        if self.observer is not None:
+            self.observer(node_id, "tx", cost)
         self._check_battery(node_id)
         return cost
 
     def charge_rx(self, node_id: int, bits: int) -> float:
         cost = self.model.rx_cost(bits)
         self.account(node_id).rx_j += cost
+        if self.observer is not None:
+            self.observer(node_id, "rx", cost)
         self._check_battery(node_id)
         return cost
 
     def charge_idle(self, node_id: int, seconds: float) -> float:
         cost = self.model.idle_cost(seconds)
         self.account(node_id).idle_j += cost
+        if self.observer is not None:
+            self.observer(node_id, "idle", cost)
         self._check_battery(node_id)
         return cost
 

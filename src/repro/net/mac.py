@@ -136,6 +136,19 @@ class MacLayer:
         return self._interferers_near(pos, now, now + 1e-9,
                                       exclude_sender=-2)
 
+    def in_flight(self, now: Optional[float] = None) -> List[_ActiveTx]:
+        """Transmissions whose airtime overlaps ``now`` (default: the
+        simulation clock).  Read-only introspection for diagnostics and
+        the validation layer's airtime-drain invariant."""
+        t = self.sim.now if now is None else now
+        return [tx for tx in self._active if tx.end > t]
+
+    def busy_senders(self, now: Optional[float] = None) -> List[int]:
+        """Senders whose serialization queue has not drained by ``now``."""
+        t = self.sim.now if now is None else now
+        return [sender for sender, until in self._sender_busy_until.items()
+                if until > t]
+
     # -- transmission --------------------------------------------------------
 
     def backoff_delay(self, pos: Vec2) -> float:

@@ -79,6 +79,7 @@ class Network:
         self._sweep_task: Optional[PeriodicTask] = None
         self.neighbor_evictions = 0
         self._trace_hooks: List[Callable[[str, Message, int], None]] = []
+        self._beacon_hooks: List[Callable[[int, int, float], None]] = []
 
     # -- population ----------------------------------------------------------
 
@@ -183,6 +184,13 @@ class Network:
         for hook in self._trace_hooks:
             hook(event, message, node_id)
 
+    def add_beacon_hook(self,
+                        hook: Callable[[int, int, float], None]) -> None:
+        """Register a hook called as ``hook(receiver_id, src_id, time)``
+        for every delivered beacon (used by the validation layer to vouch
+        for neighbor-table entries).  Hooks must be pure observers."""
+        self._beacon_hooks.append(hook)
+
     # -- beacons -------------------------------------------------------------
 
     def start_beacons(self) -> None:
@@ -237,6 +245,9 @@ class Network:
         node = self.nodes.get(receiver_id)
         if node is None or not node.alive:
             return
+        if self._beacon_hooks:
+            for hook in self._beacon_hooks:
+                hook(receiver_id, message.src, self.sim.now)
         node.observe_beacon(message.src, message.payload["pos"],
                             message.payload["speed"], self.sim.now,
                             velocity=message.payload["vel"])

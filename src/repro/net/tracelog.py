@@ -32,16 +32,23 @@ class TraceEntry:
     query_id: Optional[int] = None
 
 
+_MAX_PAYLOAD_DEPTH = 8
+
+
 def _query_id_of(message: Message) -> Optional[int]:
+    """Extract the query id, descending through arbitrarily nested
+    ``inner``/``token`` payloads (a GPSR frame wrapped in another GPSR
+    frame still belongs to its query)."""
     payload = message.payload
-    if "query_id" in payload:
-        return payload["query_id"]
-    inner = payload.get("inner")
-    if isinstance(inner, dict) and "query_id" in inner:
-        return inner["query_id"]
-    token = payload.get("token")
-    if isinstance(token, dict) and "query_id" in token:
-        return token["query_id"]
+    depth = 0
+    while isinstance(payload, dict) and depth < _MAX_PAYLOAD_DEPTH:
+        if "query_id" in payload:
+            return payload["query_id"]
+        token = payload.get("token")
+        if isinstance(token, dict) and "query_id" in token:
+            return token["query_id"]
+        payload = payload.get("inner")
+        depth += 1
     return None
 
 

@@ -59,6 +59,22 @@ class Simulator:
         self._seq = itertools.count()
         self._events_executed = 0
         self._running = False
+        # Pure observers called as fn(event_time) after the clock advances
+        # and before the callback runs.  Observers must not schedule events
+        # or draw RNG (repro.validate relies on this to stay side-effect
+        # free); with none registered the execution path is unchanged.
+        self._observers: List[Callable[[float], None]] = []
+
+    # -- observation ---------------------------------------------------------
+
+    def add_event_observer(self, observer: Callable[[float], None]) -> None:
+        """Register a read-only observer of event execution."""
+        self._observers.append(observer)
+
+    def remove_event_observer(self, observer: Callable[[float], None]) -> None:
+        """Unregister an observer; a no-op if it is not registered."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -89,6 +105,9 @@ class Simulator:
                 continue
             self.now = event.time
             self._events_executed += 1
+            if self._observers:
+                for observer in self._observers:
+                    observer(event.time)
             event.callback()
             return True
         return False
@@ -119,6 +138,9 @@ class Simulator:
                 self.now = event.time
                 self._events_executed += 1
                 executed += 1
+                if self._observers:
+                    for observer in self._observers:
+                        observer(event.time)
                 event.callback()
             if until is not None and self.now < until:
                 self.now = until

@@ -1,0 +1,35 @@
+"""Runtime invariant checking, differential validation and golden traces.
+
+The reproduction's referee layer: opt-in checkers that watch a running
+simulation for substrate violations (causality, energy conservation,
+neighbor soundness, MAC sanity, DIKNN sector algebra), differential
+scoring of answers against the omniscient oracle and the flooding
+baseline, and a golden-trace regression harness that fingerprints pinned
+scenarios end to end.
+"""
+
+from .base import Checker, InvariantViolation, ValidationContext
+from .checkers import (DEFAULT_CHECKERS, CausalityChecker, EnergyChecker,
+                       MacSanityChecker, NeighborTableChecker, SectorChecker,
+                       check_sector_partition)
+from .differential import (OracleScore, compare_with_flooding, loss_sweep,
+                           run_paired_query, score_result)
+from .golden import (GOLDEN_SPECS, GoldenResult, GoldenSpec, run_golden,
+                     run_matrix, trace_digest, verify_fixtures,
+                     write_fixtures)
+from .harness import (ValidationHarness, enable_validation, maybe_attach,
+                      reset_validation, validation_enabled,
+                      validation_summary)
+
+__all__ = [
+    "Checker", "InvariantViolation", "ValidationContext",
+    "DEFAULT_CHECKERS", "CausalityChecker", "EnergyChecker",
+    "MacSanityChecker", "NeighborTableChecker", "SectorChecker",
+    "check_sector_partition",
+    "OracleScore", "compare_with_flooding", "loss_sweep",
+    "run_paired_query", "score_result",
+    "GOLDEN_SPECS", "GoldenResult", "GoldenSpec", "run_golden",
+    "run_matrix", "trace_digest", "verify_fixtures", "write_fixtures",
+    "ValidationHarness", "enable_validation", "maybe_attach",
+    "reset_validation", "validation_enabled", "validation_summary",
+]

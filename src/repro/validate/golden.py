@@ -1,0 +1,222 @@
+"""Golden-trace regression harness.
+
+A *golden trace* is the canonical digest of the full TraceLog stream of a
+pinned scenario: same seed, same deployment, same single query with
+``query_id=1``.  The simulation is deterministic by construction (named
+RNG streams, ordered event queue), so the digest is a fingerprint of the
+entire protocol execution — any behavioral change, intended or not, shows
+up as a digest mismatch long before it shows up in averaged metrics.
+
+Digests hash only :class:`~repro.net.tracelog.TraceEntry` fields (time,
+event, kind, node, src, dst, size, query id) — never module-global message
+or route counters — so they are stable regardless of what ran earlier in
+the process.  Fixtures live in ``tests/golden/traces.json``; regenerate
+deliberately with ``python -m repro golden --regen`` after an intended
+protocol change, and say why in the commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+FIXTURE_FORMAT = 1
+
+#: default fixture location (repo checkout layout)
+DEFAULT_FIXTURE_PATH = (Path(__file__).resolve().parents[3]
+                        / "tests" / "golden" / "traces.json")
+
+
+@dataclass(frozen=True)
+class GoldenSpec:
+    """One pinned scenario in the golden matrix."""
+
+    name: str
+    protocol: str                 # "diknn" | "kpt" | "flooding"
+    seed: int
+    max_speed: float = 0.0
+    n_nodes: int = 60
+    field_size: tuple = (70.0, 70.0)
+    point: tuple = (35.0, 35.0)
+    k: int = 8
+    timeout: float = 10.0
+    crash_rate: float = 0.0
+    node_downtime_s: float = 4.0
+
+    def describe(self) -> str:
+        mobility = f"rwp@{self.max_speed:g}" if self.max_speed else "static"
+        faults = f" crash={self.crash_rate:g}" if self.crash_rate else ""
+        return (f"{self.protocol} {mobility} seed={self.seed} "
+                f"n={self.n_nodes} k={self.k}{faults}")
+
+
+#: the committed scenario matrix: {static, mobile} x {diknn, kpt,
+#: flooding}, plus DIKNN under fault injection in both mobility regimes.
+GOLDEN_SPECS: Sequence[GoldenSpec] = (
+    GoldenSpec("static-diknn", "diknn", seed=11),
+    GoldenSpec("static-kpt", "kpt", seed=11),
+    GoldenSpec("static-flooding", "flooding", seed=11),
+    GoldenSpec("rwp-diknn", "diknn", seed=23, max_speed=10.0),
+    GoldenSpec("rwp-kpt", "kpt", seed=23, max_speed=10.0),
+    GoldenSpec("rwp-flooding", "flooding", seed=23, max_speed=10.0),
+    GoldenSpec("static-diknn-faults", "diknn", seed=31, crash_rate=0.02),
+    GoldenSpec("rwp-diknn-faults", "diknn", seed=47, max_speed=10.0,
+               crash_rate=0.02),
+)
+
+
+@dataclass
+class GoldenResult:
+    """What one golden run produced (the digest plus coarse counters —
+    the counters make a mismatch diagnosable without re-running)."""
+
+    name: str
+    digest: str
+    entries: int
+    sends: int
+    delivers: int
+    completed: bool
+    spec: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def trace_digest(entries) -> str:
+    """Canonical sha256 of a TraceEntry stream.
+
+    One JSON line per entry, fixed field order, no whitespace; float
+    formatting is ``repr``-based and identical across supported Python
+    versions, so the digest is platform- and process-independent.
+    """
+    h = hashlib.sha256()
+    for e in entries:
+        line = json.dumps(
+            [e.time, e.event, e.kind, e.node, e.src, e.dst, e.size_bytes,
+             e.query_id],
+            separators=(",", ":"), allow_nan=False)
+        h.update(line.encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _make_protocol(name: str):
+    if name == "diknn":
+        from ..core import DIKNNProtocol
+        return DIKNNProtocol()
+    if name == "kpt":
+        from ..baselines import KPTProtocol
+        return KPTProtocol()
+    if name == "flooding":
+        from ..baselines import FloodingProtocol
+        return FloodingProtocol()
+    raise ValueError(f"unknown golden protocol {name!r}")
+
+
+def run_golden(spec: GoldenSpec) -> GoldenResult:
+    """Execute one golden scenario and digest its trace.
+
+    The query is built directly with ``query_id=1`` (never via the global
+    query-id counter) and the run always covers the full timeout window —
+    no early exit on completion — so the digest does not depend on
+    process history or on how the caller polls for the answer.
+    """
+    from ..core.query import KNNQuery
+    from ..experiments.config import SimulationConfig, build_simulation
+    from ..geometry import Vec2
+    from ..net.tracelog import TraceLog
+
+    config = SimulationConfig(
+        n_nodes=spec.n_nodes, field_size=spec.field_size,
+        max_speed=spec.max_speed, seed=spec.seed,
+        crash_rate=spec.crash_rate, node_downtime_s=spec.node_downtime_s)
+    handle = build_simulation(config, _make_protocol(spec.protocol))
+    trace = TraceLog(handle.network)
+    handle.warm_up()
+    query = KNNQuery(query_id=1, sink_id=handle.sink.id,
+                     point=Vec2(*spec.point), k=spec.k,
+                     issued_at=handle.sim.now)
+    done: List[object] = []
+    handle.protocol.issue(handle.sink, query, done.append)
+    handle.sim.run(until=handle.sim.now + spec.timeout)
+    stop = getattr(handle.protocol, "stop", None)
+    if callable(stop):
+        stop()
+    sends = sum(1 for e in trace.entries if e.event == "send")
+    delivers = sum(1 for e in trace.entries if e.event == "deliver")
+    return GoldenResult(name=spec.name, digest=trace_digest(trace.entries),
+                        entries=len(trace.entries), sends=sends,
+                        delivers=delivers, completed=bool(done),
+                        spec=spec.describe())
+
+
+def _select(only: Optional[Sequence[str]]) -> List[GoldenSpec]:
+    if not only:
+        return list(GOLDEN_SPECS)
+    by_name = {spec.name: spec for spec in GOLDEN_SPECS}
+    unknown = [name for name in only if name not in by_name]
+    if unknown:
+        raise ValueError(f"unknown golden scenario(s) {unknown}; "
+                         f"choose from {sorted(by_name)}")
+    return [by_name[name] for name in only]
+
+
+def run_matrix(only: Optional[Sequence[str]] = None
+               ) -> Dict[str, GoldenResult]:
+    return {spec.name: run_golden(spec) for spec in _select(only)}
+
+
+def write_fixtures(path: Optional[Path] = None,
+                   only: Optional[Sequence[str]] = None) -> Path:
+    """(Re)generate the committed fixture file; returns its path."""
+    path = Path(path) if path is not None else DEFAULT_FIXTURE_PATH
+    existing: Dict[str, dict] = {}
+    if only and path.exists():
+        existing = json.loads(path.read_text())["traces"]
+    traces = dict(existing)
+    for name, result in run_matrix(only).items():
+        traces[name] = result.to_dict()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": FIXTURE_FORMAT,
+        "regenerate_with": "PYTHONPATH=src python -m repro golden --regen",
+        "traces": {name: traces[name] for name in sorted(traces)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def verify_fixtures(path: Optional[Path] = None,
+                    only: Optional[Sequence[str]] = None) -> List[str]:
+    """Re-run the matrix and compare against the fixture file.
+
+    Returns a list of human-readable problems; empty means everything
+    matched.
+    """
+    path = Path(path) if path is not None else DEFAULT_FIXTURE_PATH
+    if not path.exists():
+        return [f"fixture file {path} does not exist "
+                "(run `python -m repro golden --regen`)"]
+    data = json.loads(path.read_text())
+    if data.get("format") != FIXTURE_FORMAT:
+        return [f"fixture format {data.get('format')!r} != "
+                f"{FIXTURE_FORMAT} (regenerate)"]
+    recorded: Dict[str, dict] = data["traces"]
+    problems: List[str] = []
+    for spec in _select(only):
+        want = recorded.get(spec.name)
+        if want is None:
+            problems.append(f"{spec.name}: no recorded fixture")
+            continue
+        got = run_golden(spec)
+        if got.digest != want["digest"]:
+            problems.append(
+                f"{spec.name}: digest {got.digest[:16]}… != recorded "
+                f"{want['digest'][:16]}… (entries {got.entries} vs "
+                f"{want['entries']}, sends {got.sends} vs {want['sends']}, "
+                f"delivers {got.delivers} vs {want['delivers']}, "
+                f"completed {got.completed} vs {want['completed']})")
+    return problems

@@ -1,0 +1,86 @@
+"""Differential validation against the omniscient oracle.
+
+On a small static network with a perfect channel both DIKNN and the
+flooding baseline must answer with 100% accuracy; adding packet loss may
+only degrade accuracy, never improve it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FloodingProtocol
+from repro.core import DIKNNProtocol
+from repro.experiments import SimulationConfig
+from repro.geometry import Vec2
+from repro.validate import (compare_with_flooding, loss_sweep,
+                            run_paired_query, score_result)
+
+CFG = SimulationConfig(n_nodes=60, field_size=(70.0, 70.0), seed=13,
+                       max_speed=0.0)
+POINT = Vec2(35.0, 35.0)
+
+
+def _diknn(_cfg):
+    return DIKNNProtocol()
+
+
+def _flooding(_cfg):
+    return FloodingProtocol()
+
+
+def test_diknn_exact_on_static_perfect_channel():
+    outcome, score = run_paired_query(CFG, _diknn, POINT, k=6,
+                                      timeout=12.0)
+    assert outcome.completed
+    assert outcome.post_accuracy == 1.0
+    assert score is not None and score.accuracy == 1.0
+    assert score.missing == () and not set(score.truth) - set(score.returned)
+
+
+def test_flooding_exact_on_static_perfect_channel():
+    outcome, score = run_paired_query(CFG, _flooding, POINT, k=6,
+                                      timeout=12.0)
+    assert outcome.completed
+    assert outcome.post_accuracy == 1.0
+    assert score is not None and score.accuracy == 1.0
+
+
+def test_protocol_matches_flooding_reference():
+    result = compare_with_flooding(CFG, _diknn, POINT, k=6, timeout=12.0)
+    assert result["protocol"]["outcome"].completed
+    assert result["flooding"]["outcome"].completed
+    assert result["post_accuracy_gap"] == 0.0
+
+
+def test_oracle_score_itemizes_disagreement():
+    outcome, score = run_paired_query(CFG, _diknn, POINT, k=6,
+                                      timeout=12.0)
+    # accuracy is |returned ∩ truth| / |truth|, so the itemization must
+    # be arithmetically consistent with it.
+    truth = set(score.truth)
+    hits = len(truth & set(score.returned))
+    assert score.accuracy == hits / len(truth)
+    assert set(score.missing) == truth - set(score.returned)
+    assert set(score.spurious) == set(score.returned) - truth
+    assert outcome.post_accuracy == score.accuracy
+
+
+def test_accuracy_degrades_monotonically_with_loss():
+    curve = loss_sweep(CFG, _diknn, POINT, k=6,
+                       loss_rates=(0.0, 0.2, 0.4), timeout=12.0)
+    accuracies = [acc for _loss, acc in curve]
+    assert accuracies[0] == 1.0
+    for better, worse in zip(accuracies, accuracies[1:]):
+        assert worse <= better
+    assert accuracies[-1] < 1.0
+
+
+def test_paired_runs_share_the_scenario():
+    """Same config ⇒ identical deployment/trajectories, so the oracle's
+    ground truth at matching timestamps is protocol-independent."""
+    _o1, s1 = run_paired_query(CFG, _diknn, POINT, k=6, timeout=12.0)
+    _o2, s2 = run_paired_query(CFG, _flooding, POINT, k=6, timeout=12.0)
+    # static network: truth is time-invariant, so both runs must agree on
+    # the true neighbor set even though completion times differ.
+    assert s1.truth == s2.truth

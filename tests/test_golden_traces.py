@@ -1,0 +1,97 @@
+"""Golden-trace regression suite: the committed digests of the pinned
+scenario matrix must match what current code produces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.tracelog import TraceEntry
+from repro.validate import golden
+from repro.validate.golden import (DEFAULT_FIXTURE_PATH, GOLDEN_SPECS,
+                                   run_golden, trace_digest,
+                                   verify_fixtures, write_fixtures)
+
+
+def test_matrix_covers_required_scenarios():
+    names = {spec.name for spec in GOLDEN_SPECS}
+    assert len(GOLDEN_SPECS) >= 6
+    # both mobility regimes, three protocols, and fault coverage
+    assert {"static-diknn", "rwp-diknn", "static-flooding",
+            "rwp-flooding", "static-kpt", "rwp-kpt"} <= names
+    assert any(spec.crash_rate > 0 for spec in GOLDEN_SPECS)
+
+
+def test_fixture_file_is_committed_and_well_formed():
+    assert DEFAULT_FIXTURE_PATH.exists(), \
+        "run `python -m repro golden --regen`"
+    data = json.loads(DEFAULT_FIXTURE_PATH.read_text())
+    assert data["format"] == golden.FIXTURE_FORMAT
+    assert set(data["traces"]) == {spec.name for spec in GOLDEN_SPECS}
+    for name, record in data["traces"].items():
+        assert len(record["digest"]) == 64, name
+        assert record["entries"] == record["sends"] + record["delivers"]
+
+
+def test_current_behavior_matches_committed_fixtures():
+    problems = verify_fixtures()
+    assert problems == []
+
+
+def test_digest_is_canonical():
+    entries = [
+        TraceEntry(time=1.5, event="send", kind="diknn.query", node=3,
+                   src=3, dst=7, size_bytes=40, query_id=1),
+        TraceEntry(time=1.75, event="deliver", kind="diknn.query", node=7,
+                   src=3, dst=7, size_bytes=40, query_id=1),
+    ]
+    digest = trace_digest(entries)
+    # pinned: the canonical encoding itself is part of the contract —
+    # if this changes, every committed fixture silently invalidates.
+    assert digest == trace_digest(list(entries))
+    assert digest != trace_digest(entries[:1])
+    bumped = [entries[0],
+              TraceEntry(time=1.75, event="deliver", kind="diknn.query",
+                         node=7, src=3, dst=7, size_bytes=41, query_id=1)]
+    assert digest != trace_digest(bumped)
+
+
+def test_digest_ignores_entry_order_only_by_failing():
+    entries = [
+        TraceEntry(time=1.0, event="send", kind="x", node=0, src=0, dst=1,
+                   size_bytes=1, query_id=None),
+        TraceEntry(time=2.0, event="send", kind="x", node=1, src=1, dst=0,
+                   size_bytes=1, query_id=None),
+    ]
+    assert trace_digest(entries) != trace_digest(list(reversed(entries)))
+
+
+def test_golden_run_is_reproducible_in_process():
+    spec = GOLDEN_SPECS[0]
+    first = run_golden(spec)
+    second = run_golden(spec)
+    assert first.digest == second.digest
+    assert first.entries == second.entries > 0
+
+
+def test_regen_roundtrip(tmp_path):
+    path = tmp_path / "traces.json"
+    write_fixtures(path=path, only=["static-diknn"])
+    assert verify_fixtures(path=path, only=["static-diknn"]) == []
+    # tampering is caught and diagnosed
+    data = json.loads(path.read_text())
+    data["traces"]["static-diknn"]["digest"] = "0" * 64
+    path.write_text(json.dumps(data))
+    problems = verify_fixtures(path=path, only=["static-diknn"])
+    assert len(problems) == 1 and "static-diknn" in problems[0]
+
+
+def test_verify_missing_fixture_file(tmp_path):
+    problems = verify_fixtures(path=tmp_path / "absent.json")
+    assert problems and "does not exist" in problems[0]
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown golden scenario"):
+        verify_fixtures(only=["no-such-scenario"])

@@ -1,0 +1,220 @@
+"""Property-based geometry tests: seeded random sweeps over the angle,
+shape and planarization primitives the protocol's correctness rests on.
+
+Plain seeded numpy sweeps rather than a property-testing framework keep
+the suite dependency-light and the failures reproducible by seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diknn import sector_of
+from repro.geometry import (TWO_PI, Circle, Rect, Sector, Vec2,
+                            angle_between, angle_diff, arc_width, bisector,
+                            normalize_angle, normalize_signed, planarize)
+
+SEEDS = (0, 1, 2)
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+# -- angles -----------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_normalize_angle_range_and_period(seed):
+    rng = _rng(seed)
+    for _ in range(300):
+        a = float(rng.uniform(-50.0, 50.0))
+        k = int(rng.integers(-3, 4))
+        na = normalize_angle(a)
+        assert 0.0 <= na < TWO_PI
+        # 2π-periodic up to float error (compare via the circle metric so
+        # values straddling the 0/2π seam still count as equal)
+        shifted = normalize_angle(a + k * TWO_PI)
+        assert abs(angle_diff(shifted, na)) < 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_normalize_signed_range_and_consistency(seed):
+    rng = _rng(seed)
+    for _ in range(300):
+        a = float(rng.uniform(-50.0, 50.0))
+        sa = normalize_signed(a)
+        assert -math.pi < sa <= math.pi
+        assert abs(angle_diff(sa, normalize_angle(a))) < 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_angle_diff_is_antisymmetric_and_bounded(seed):
+    rng = _rng(seed)
+    for _ in range(300):
+        a, b = (float(x) for x in rng.uniform(-20.0, 20.0, size=2))
+        d = angle_diff(a, b)
+        assert -math.pi < d <= math.pi
+        if abs(d) < math.pi - 1e-9:  # ±π is its own antisymmetric image
+            assert abs(angle_diff(b, a) + d) < 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_arc_membership_properties(seed):
+    rng = _rng(seed)
+    for _ in range(200):
+        start, end = (float(x) for x in rng.uniform(0.0, TWO_PI, size=2))
+        width = arc_width(start, end)
+        assert 0.0 <= width < TWO_PI
+        if width > 1e-6:
+            mid = bisector(start, end)
+            assert angle_between(mid, start, end)
+        assert angle_between(start, start, end) or width == 0.0 \
+            or normalize_angle(start) == normalize_angle(end)
+        # closed at start, open at end
+        if width > 1e-6:
+            assert not angle_between(end, start, end)
+
+
+# -- sectors and circles ----------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_circle_containment_matches_distance(seed):
+    rng = _rng(seed)
+    for _ in range(200):
+        center = Vec2(*(float(x) for x in rng.uniform(-10, 10, size=2)))
+        radius = float(rng.uniform(0.1, 5.0))
+        p = Vec2(*(float(x) for x in rng.uniform(-12, 12, size=2)))
+        assert Circle(center, radius).contains(p) \
+            == (p.distance_to(center) <= radius)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sectors_partition_the_disk(seed):
+    """Random interior points belong to exactly one sector — the one
+    ``sector_of`` names."""
+    rng = _rng(seed)
+    for _ in range(40):
+        center = Vec2(*(float(x) for x in rng.uniform(-5, 5, size=2)))
+        radius = float(rng.uniform(0.5, 4.0))
+        sectors = int(rng.integers(2, 13))
+        width = TWO_PI / sectors
+        circle = Circle(center, radius)
+        shapes = [Sector(circle, j * width, (j + 1) * width)
+                  for j in range(sectors)]
+        for _ in range(10):
+            rho = float(rng.uniform(1e-3, radius))
+            theta = float(rng.uniform(0.0, TWO_PI))
+            p = Vec2(center.x + rho * math.cos(theta),
+                     center.y + rho * math.sin(theta))
+            owner = sector_of(p, center, sectors)
+            containing = [j for j, s in enumerate(shapes) if s.contains(p)]
+            assert containing == [owner]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sector_outside_circle_excluded(seed):
+    rng = _rng(seed)
+    for _ in range(100):
+        center = Vec2(0.0, 0.0)
+        radius = float(rng.uniform(0.5, 3.0))
+        sector = Sector(Circle(center, radius), 0.0, math.pi)
+        rho = float(rng.uniform(radius * 1.001, radius * 3.0))
+        theta = float(rng.uniform(0.0, TWO_PI))
+        p = Vec2(rho * math.cos(theta), rho * math.sin(theta))
+        assert not sector.contains(p)
+
+
+# -- planarization ----------------------------------------------------------
+
+def _random_positions(rng, n=35, side=50.0):
+    return {i: Vec2(float(x), float(y))
+            for i, (x, y) in enumerate(rng.uniform(0.0, side, size=(n, 2)))}
+
+
+def _edges(adjacency):
+    return {frozenset((u, v)) for u, vs in adjacency.items() for v in vs}
+
+
+def _properly_cross(a1, a2, b1, b2):
+    """True when segments a1a2 and b1b2 cross at an interior point."""
+
+    def orient(p, q, r):
+        return (q - p).cross(r - p)
+
+    d1 = orient(b1, b2, a1)
+    d2 = orient(b1, b2, a2)
+    d3 = orient(a1, a2, b1)
+    d4 = orient(a1, a2, b2)
+    return ((d1 > 0) != (d2 > 0) and (d3 > 0) != (d4 > 0)
+            and min(abs(d) for d in (d1, d2, d3, d4)) > 1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("method", ("gabriel", "rng"))
+def test_planarization_is_planar_subgraph(seed, method):
+    rng = _rng(seed)
+    positions = _random_positions(rng)
+    radius = 15.0
+    adjacency = planarize(positions, radius, method=method)
+    edges = _edges(adjacency)
+    # subgraph of the unit-disk graph
+    for edge in edges:
+        u, v = tuple(edge)
+        assert positions[u].distance_to(positions[v]) <= radius + 1e-9
+    # symmetric
+    for u, vs in adjacency.items():
+        for v in vs:
+            assert u in adjacency[v]
+    # planar: no two edges properly cross
+    edge_list = [tuple(e) for e in edges]
+    for i, (u1, v1) in enumerate(edge_list):
+        for u2, v2 in edge_list[i + 1:]:
+            if {u1, v1} & {u2, v2}:
+                continue  # sharing an endpoint is not a crossing
+            assert not _properly_cross(positions[u1], positions[v1],
+                                       positions[u2], positions[v2]), \
+                f"{method} kept crossing edges {(u1, v1)} x {(u2, v2)}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rng_is_subgraph_of_gabriel(seed):
+    rng = _rng(seed)
+    positions = _random_positions(rng)
+    gabriel = _edges(planarize(positions, 15.0, method="gabriel"))
+    relative = _edges(planarize(positions, 15.0, method="rng"))
+    assert relative <= gabriel
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_planarization_preserves_connectivity(seed):
+    """Both planarizations keep every unit-disk-connected component
+    connected (GPSR's perimeter mode depends on this)."""
+    rng = _rng(seed)
+    positions = _random_positions(rng)
+    radius = 15.0
+
+    def components(adjacency):
+        seen, comps = set(), []
+        for start in adjacency:
+            if start in seen:
+                continue
+            stack, comp = [start], set()
+            while stack:
+                u = stack.pop()
+                if u in comp:
+                    continue
+                comp.add(u)
+                stack.extend(adjacency[u])
+            seen |= comp
+            comps.append(frozenset(comp))
+        return set(comps)
+
+    full = {u: [v for v, q in positions.items()
+                if v != u and p.distance_to(q) <= radius]
+            for u, p in positions.items()}
+    for method in ("gabriel", "rng"):
+        assert components(planarize(positions, radius, method=method)) \
+            == components(full)

@@ -1,0 +1,77 @@
+"""Validation is strictly observational: a validated run is bit-identical
+to an unvalidated one (same trace digest, same metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DIKNNProtocol
+from repro.core.query import KNNQuery
+from repro.experiments import SimulationConfig, build_simulation, run_query
+from repro.geometry import Vec2
+from repro.net.tracelog import TraceLog
+from repro.validate import enable_validation, reset_validation, trace_digest
+
+CFG = SimulationConfig(n_nodes=60, field_size=(70.0, 70.0), seed=9,
+                       max_speed=10.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_validation_state():
+    reset_validation()
+    yield
+    reset_validation()
+
+
+def _traced_run(validated: bool, config: SimulationConfig = CFG):
+    """One pinned-query run; returns (digest, entries, result, summary)."""
+    reset_validation()
+    enable_validation(validated)
+    handle = build_simulation(config, DIKNNProtocol())
+    trace = TraceLog(handle.network)
+    handle.warm_up()
+    query = KNNQuery(query_id=1, sink_id=handle.sink.id,
+                     point=Vec2(35.0, 35.0), k=8, issued_at=handle.sim.now)
+    done = []
+    handle.protocol.issue(handle.sink, query, done.append)
+    handle.sim.run(until=handle.sim.now + 8.0)
+    summary = None
+    if handle.validator is not None:
+        handle.validator.finalize()
+        summary = handle.validator.summary()
+    reset_validation()
+    return trace_digest(trace.entries), len(trace.entries), done, summary
+
+
+def test_validated_run_is_bit_identical():
+    digest_off, n_off, done_off, summary_off = _traced_run(False)
+    digest_on, n_on, done_on, summary_on = _traced_run(True)
+    assert summary_off is None and summary_on is not None
+    assert n_on == n_off > 0
+    assert digest_on == digest_off
+    assert bool(done_on) == bool(done_off)
+    if done_on:
+        assert (done_on[0].top_k_ids() == done_off[0].top_k_ids())
+        assert done_on[0].completed_at == done_off[0].completed_at
+
+
+def test_validated_faulty_run_is_bit_identical():
+    cfg = CFG.with_(seed=21, crash_rate=0.05)
+    digest_off, n_off, _d0, _s0 = _traced_run(False, cfg)
+    digest_on, n_on, _d1, summary = _traced_run(True, cfg)
+    assert digest_on == digest_off and n_on == n_off > 0
+    assert summary["checkpoints"] > 0
+
+
+def test_run_query_metrics_identical_with_validation():
+    def scored(validated: bool):
+        reset_validation()
+        enable_validation(validated)
+        handle = build_simulation(CFG, DIKNNProtocol())
+        handle.warm_up()
+        outcome = run_query(handle, Vec2(35.0, 35.0), k=8, timeout=8.0)
+        reset_validation()
+        return (outcome.completed, outcome.latency, outcome.pre_accuracy,
+                outcome.post_accuracy, outcome.energy_j)
+
+    assert scored(True) == scored(False)
