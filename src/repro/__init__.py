@@ -30,6 +30,8 @@ from .geometry import Rect, Vec2
 from .metrics import (QueryOutcome, RunMetrics, post_accuracy, pre_accuracy,
                       true_knn)
 from .net import Network, SensorNode
+from .obs import (KernelProfiler, MetricsRegistry, SpanTracker, Telemetry,
+                  TraceLog, enable_observability)
 from .routing import GpsrRouter
 from .sim import Simulator
 from .validate import (InvariantViolation, ValidationHarness,
@@ -47,5 +49,7 @@ __all__ = [
     "run_query", "run_workload", "Rect", "Vec2", "QueryOutcome",
     "RunMetrics", "post_accuracy", "pre_accuracy", "true_knn", "Network",
     "SensorNode", "GpsrRouter", "Simulator", "InvariantViolation",
-    "ValidationHarness", "enable_validation", "__version__",
+    "ValidationHarness", "enable_validation", "KernelProfiler",
+    "MetricsRegistry", "SpanTracker", "Telemetry", "TraceLog",
+    "enable_observability", "__version__",
 ]

@@ -9,10 +9,15 @@ Commands:
 * ``viz``       — render a DIKNN traversal over a chosen deployment as SVG.
 * ``window``    — run one itinerary window query.
 * ``golden``    — verify or regenerate the golden-trace fixtures.
+* ``trace``     — capture an instrumented scenario as a Chrome trace
+  (load the JSON in ui.perfetto.dev), plus optional JSONL/CSV exports.
+* ``stats``     — run an instrumented scenario and print the metrics
+  summary and sim-kernel hotspot report.
 
 Most run commands accept ``--validate``, which attaches the runtime
 invariant checkers (``repro.validate``) to every simulation they build
-and prints a check summary on success.
+and prints a check summary on success, and ``--obs``, which attaches
+the telemetry subsystem (``repro.obs``) and prints a metrics summary.
 """
 
 from __future__ import annotations
@@ -57,6 +62,10 @@ def _add_validate(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--validate", action="store_true",
                         help="attach runtime invariant checkers to every "
                              "simulation (fails fast on violations)")
+    parser.add_argument("--obs", action="store_true",
+                        help="attach the telemetry subsystem (spans, "
+                             "metrics, kernel profiler) to every "
+                             "simulation and print a summary")
 
 
 def _config(args) -> SimulationConfig:
@@ -332,6 +341,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict to these scenario names")
     g.set_defaults(func=cmd_golden)
 
+    t = sub.add_parser("trace",
+                       help="capture an instrumented scenario as a "
+                            "Perfetto-loadable Chrome trace")
+    t.add_argument("scenario", nargs="?", default="static-diknn",
+                   help="golden scenario name (default: static-diknn)")
+    t.add_argument("--out", default="trace.json",
+                   help="Chrome trace output path")
+    t.add_argument("--jsonl", default=None,
+                   help="also export the raw event stream as JSON lines")
+    t.add_argument("--csv", default=None,
+                   help="also export the metrics registry as CSV")
+    t.add_argument("--tree", action="store_true",
+                   help="print the query's span tree")
+    t.add_argument("--check", default=None, metavar="FILE",
+                   help="validate an existing Chrome trace file instead "
+                        "of capturing")
+    t.set_defaults(func=cmd_trace)
+
+    st = sub.add_parser("stats",
+                        help="run an instrumented scenario and print the "
+                             "metrics summary + kernel hotspots")
+    st.add_argument("scenario", nargs="?", default="static-diknn",
+                    help="golden scenario name (default: static-diknn)")
+    st.add_argument("--top", type=int, default=10,
+                    help="kernel hotspot rows to show")
+    st.set_defaults(func=cmd_stats)
+
     return parser
 
 
@@ -356,20 +392,79 @@ def cmd_golden(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    import json
+
+    from .obs import validate_chrome_trace
+
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        problems = validate_chrome_trace(data)
+        if problems:
+            for problem in problems:
+                print(f"INVALID {problem}")
+            return 1
+        events = (data["traceEvents"] if isinstance(data, dict) else data)
+        print(f"{args.check}: {len(events)} well-formed trace events")
+        return 0
+
+    from .obs import export_chrome_trace, export_jsonl, export_metrics_csv
+    from .obs.capture import capture_scenario
+
+    result = capture_scenario(args.scenario)
+    n_events = export_chrome_trace(result.telemetry, args.out)
+    print(f"{result.name}: {result.spec}")
+    print(f"wrote {args.out} ({n_events} trace events, "
+          f"{len(result.spans.spans)} spans) — load in ui.perfetto.dev")
+    if args.jsonl:
+        n = export_jsonl(result.telemetry, args.jsonl)
+        print(f"wrote {args.jsonl} ({n} raw events)")
+    if args.csv:
+        n = export_metrics_csv(result.telemetry, args.csv)
+        print(f"wrote {args.csv} ({n} metric series)")
+    if args.tree:
+        print("\n".join(result.spans.tree_lines(query_id=1)))
+    return 0 if result.completed else 1
+
+
+def cmd_stats(args) -> int:
+    from .obs.capture import capture_scenario
+
+    result = capture_scenario(args.scenario)
+    print(f"{result.name}: {result.spec}")
+    print(result.telemetry.report(top=args.top))
+    return 0 if result.completed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "validate", False):
-        from .validate import enable_validation, validation_summary
+        from .validate import enable_validation
         enable_validation(True)
-        status = args.func(args)
+    if getattr(args, "obs", False):
+        from .obs import enable_observability
+        enable_observability(True)
+    status = args.func(args)
+    if getattr(args, "validate", False):
+        from .validate import validation_summary
         summary = validation_summary()
         checks = sum(count for name, count in summary.items()
                      if name not in ("checkpoints", "outcomes"))
         print(f"[validate] {checks} invariant checks passed "
               f"({summary.get('checkpoints', 0)} checkpoints, "
               f"{summary.get('outcomes', 0)} outcomes cross-checked)")
-        return status
-    return args.func(args)
+    if getattr(args, "obs", False):
+        from .obs import active_telemetry, merge_registries
+        telemetries = active_telemetry()
+        for telemetry in telemetries:
+            telemetry.finalize()
+        merged = merge_registries(t.metrics for t in telemetries)
+        spans = sum(len(t.spans.spans) for t in telemetries)
+        print(f"[obs] {len(telemetries)} runs instrumented: "
+              f"{spans} spans, {len(merged)} metric series")
+        print(merged.summary_table())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -203,6 +203,8 @@ class DIKNNProtocol(QueryProtocol):
     def issue(self, sink: SensorNode, query: KNNQuery,
               on_complete: CompletionFn) -> None:
         self._register_query(query, self.config.sectors, on_complete)
+        if self.obs is not None:
+            self.obs.query_issued(query, sink.id, self.network.sim.now)
         if self.config.sector_watchdog_s:
             self._watchdogs[query.query_id] = {
                 "sink": sink, "query": query, "retries": 0,
@@ -214,6 +216,9 @@ class DIKNNProtocol(QueryProtocol):
 
     def _send_query(self, sink: SensorNode, query: KNNQuery,
                     attempt: int) -> None:
+        if self.obs is not None:
+            self.obs.route_attempt(query.query_id, attempt,
+                                   self.network.sim.now)
         payload = {
             "query_id": query.query_id,
             "k": query.k,
@@ -264,6 +269,11 @@ class DIKNNProtocol(QueryProtocol):
         radius = knnb_radius(info, q, self.network.radio.range_m,
                              inner["k"])
         self._initial_radius[query_id] = radius
+        if self.obs is not None:
+            self.obs.home_reached(query_id, node.id, radius,
+                                  inner.get("_route_hops",
+                                            len(inner["L"]["locs"])),
+                                  self.network.sim.now)
         # Dissemination starts immediately: the home node fans the sector
         # tokens out in parallel; collection happens at the sector Q-nodes
         # (keeping the home from serializing a collection window of its
@@ -342,6 +352,8 @@ class DIKNNProtocol(QueryProtocol):
         finished: List[TokenState] = []
         neighbors = node.neighbors()
         for j in targets:
+            if self.obs is not None:
+                self.obs.sector_dispatched(query_id, j, node.id, now)
             token = TokenState(
                 query_id=query_id, sink_id=inner["sink_id"],
                 sink_pos=Vec2(*inner["sink_pos"]), point=q, k=inner["k"],
@@ -412,6 +424,9 @@ class DIKNNProtocol(QueryProtocol):
     def _retry_token(self, node: SensorNode, token: TokenState) -> None:
         if not node.alive:
             return
+        if self.obs is not None:
+            self.obs.token_retry(token.query_id, token.sector, node.id,
+                                 self.network.sim.now)
         itinerary = token.build_itinerary()
         hop = choose_next_qnode(node.position(), node.neighbors(),
                                 itinerary.waypoints, token.waypoint_index,
@@ -432,6 +447,8 @@ class DIKNNProtocol(QueryProtocol):
         self._qnode_hops[token.query_id] = \
             self._qnode_hops.get(token.query_id, 0) + 1
         now = self.network.sim.now
+        if self.obs is not None:
+            self.obs.token_hop(token.query_id, token.sector, node.id, now)
         # The Q-node contributes its own response.
         if token.query_id not in self._responded.get(node.id, set()):
             self._mark_responded(node.id, token.query_id)
@@ -533,6 +550,9 @@ class DIKNNProtocol(QueryProtocol):
         now = self.network.sim.now
         pos = node.position()
         q = token.point
+        if self.obs is not None:
+            self.obs.window_closed(session.query_id, session.sector,
+                                   node.id, len(session.replies), now)
 
         # Fold collected replies into the partial result.
         token.explored += len(session.replies)
@@ -618,6 +638,10 @@ class DIKNNProtocol(QueryProtocol):
     def _send_result_bundle(self, node: SensorNode,
                             tokens: List[TokenState]) -> None:
         first = tokens[0]
+        if self.obs is not None:
+            self.obs.bundle_sent(first.query_id,
+                                 [t.sector for t in tokens], node.id,
+                                 self.network.sim.now)
         merged: List[tuple] = []
         for token in tokens:
             merged = self._merge_wire(merged, token.candidates, first.point,
@@ -677,6 +701,9 @@ class DIKNNProtocol(QueryProtocol):
                     # runner's timeout finalize the partial result
         wd["retries"] += 1
         self.redispatches += len(missing)
+        if self.obs is not None:
+            self.obs.requery_dispatched(query_id, missing,
+                                        self.network.sim.now)
         self._send_requery(sink, wd["query"], missing, wd["retries"])
         wd["handle"] = self.network.sim.schedule_in(
             self.config.sector_watchdog_s,
@@ -729,6 +756,9 @@ class DIKNNProtocol(QueryProtocol):
         result = self._result_of(query_id)
         if result is None:
             return
+        if self.obs is not None:
+            self.obs.bundle_received(query_id, inner["sectors"],
+                                     self.network.sim.now)
         new = [self._from_wire(c) for c in inner["cands"]]
         result.candidates = merge_candidates(
             result.candidates, new, result.query.point,

@@ -131,6 +131,8 @@ class SimulationHandle:
     faults: Optional[FaultInjector] = None
     #: runtime invariant harness; set only when validation is enabled
     validator: Optional[object] = None
+    #: telemetry hub (repro.obs.Telemetry); set only when --obs is on
+    obs: Optional[object] = None
 
     def warm_up(self) -> None:
         """Start beacons, let tables fill, then build protocol structures."""
@@ -191,6 +193,10 @@ def build_simulation(config: SimulationConfig,
     # when validation was switched on for this process.
     from ..validate.harness import maybe_attach
     handle.validator = maybe_attach(handle)
+    # Same pattern for telemetry (--obs); attaching after the validator
+    # lets the telemetry chain behind its energy-ledger observer.
+    from ..obs.telemetry import maybe_attach_obs
+    handle.obs = maybe_attach_obs(handle)
     return handle
 
 

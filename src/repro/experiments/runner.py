@@ -161,6 +161,8 @@ def run_workload(config: SimulationConfig,
                          duration_s=duration,
                          params={"k": k, "max_speed": config.max_speed,
                                  "seed": config.seed})
+    if handle.obs is not None:
+        metrics.obs = handle.obs.run_summary()
     return metrics
 
 

@@ -30,6 +30,8 @@ class RunMetrics:
     energy_j: float = 0.0          # protocol energy over the whole run
     duration_s: float = 0.0
     params: Dict[str, float] = field(default_factory=dict)
+    #: telemetry digest (Telemetry.run_summary()) when --obs was on
+    obs: Optional[Dict[str, object]] = None
 
     @property
     def queries_issued(self) -> int:

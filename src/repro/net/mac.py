@@ -89,6 +89,11 @@ class MacLayer:
         #: returning the extra erasure probability in effect right now,
         #: composed with the radio's base loss as independent erasure.
         self.loss_overlay: Optional[Callable[[], float]] = None
+        #: optional pure observer called as ``fn(kind, value)`` — kinds:
+        #: "backoff_s" (chosen CSMA backoff) and "queue_s" (sender
+        #: serialization delay).  Used by ``repro.obs``; must not draw
+        #: RNG or schedule events; None costs nothing.
+        self.obs_hook: Optional[Callable[[str, float], None]] = None
         self._active: List[_ActiveTx] = []
         # A node has one radio: its frames serialize. Tracks when each
         # sender's queue drains so bursts (e.g. one node unicasting to many
@@ -197,6 +202,8 @@ class MacLayer:
                           self._sender_busy_until.get(sender, 0.0) - now)
         airtime = self.radio.airtime(message.size_bytes)
         self._sender_busy_until[sender] = now + queue_delay + airtime
+        if self.obs_hook is not None and queue_delay > 0.0:
+            self.obs_hook("queue_s", queue_delay)
 
         if queue_delay > 0.0:
             self.sim.schedule_in(
@@ -240,6 +247,8 @@ class MacLayer:
                           attempt: int) -> None:
         self._prune_active()
         backoff = self.backoff_delay(sender_pos)
+        if self.obs_hook is not None:
+            self.obs_hook("backoff_s", backoff)
 
         def _begin() -> None:
             self._do_transmit(sender, sender_pos, message, receivers,

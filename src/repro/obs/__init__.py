@@ -1,0 +1,41 @@
+"""repro.obs — opt-in telemetry for simulation runs.
+
+Layers, bottom-up:
+
+* :mod:`.events` — the raw network event stream (``TraceLog``), the
+  ground truth the golden-trace digests fingerprint;
+* :mod:`.metrics` — named counters/gauges/streaming histograms;
+* :mod:`.spans` — the hierarchical query-lifecycle span tree over
+  simulated time;
+* :mod:`.profiler` — wall-clock accounting per kernel event-handler type;
+* :mod:`.telemetry` — the hub attaching all of the above to a run;
+* :mod:`.exporters` — JSONL / CSV / Chrome-trace (Perfetto) output.
+
+Everything is strictly observational: attaching telemetry never changes
+simulation results (enforced by the obs determinism test suite).
+"""
+
+from .events import (TraceEntry, TraceLog, entry_from_wire,  # noqa: F401
+                     entry_to_wire)
+from .exporters import (chrome_trace_events,  # noqa: F401
+                        export_chrome_trace, export_jsonl,
+                        export_metrics_csv, validate_chrome_trace)
+from .metrics import (Counter, Gauge, Histogram,  # noqa: F401
+                      MetricsRegistry, merge_registries)
+from .profiler import HandlerStats, KernelProfiler  # noqa: F401
+from .spans import Instant, Span, SpanTracker  # noqa: F401
+from .telemetry import (Telemetry, active_telemetry,  # noqa: F401
+                        enable_observability, maybe_attach_obs,
+                        observability_enabled, reset_observability)
+
+__all__ = [
+    "TraceEntry", "TraceLog", "entry_from_wire", "entry_to_wire",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "merge_registries",
+    "Instant", "Span", "SpanTracker",
+    "HandlerStats", "KernelProfiler",
+    "Telemetry", "active_telemetry", "enable_observability",
+    "maybe_attach_obs", "observability_enabled", "reset_observability",
+    "chrome_trace_events", "export_chrome_trace", "export_jsonl",
+    "export_metrics_csv", "validate_chrome_trace",
+]

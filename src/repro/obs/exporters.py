@@ -1,0 +1,151 @@
+"""Telemetry exporters: JSONL raw events, CSV metrics, Chrome trace JSON.
+
+The Chrome trace export follows the Trace Event Format consumed by
+Perfetto (ui.perfetto.dev) and ``chrome://tracing``: one process (the
+simulation), one thread *track per node*, spans as complete (``"X"``)
+slices over simulated microseconds, instants as ``"i"`` markers.  Load
+the file straight into Perfetto to scrub through a run visually.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from .spans import SpanTracker
+
+#: tid used for events not tied to any node (query-global markers)
+_GLOBAL_TID = -1
+
+_VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C", "b", "e", "n",
+                 "s", "t", "f"}
+
+
+def _tid(node) -> int:
+    return _GLOBAL_TID if node is None else int(node)
+
+
+def _args(query_id, attrs: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    if query_id is not None:
+        out["query_id"] = query_id
+    for key, value in attrs.items():
+        out[key] = (value if isinstance(value, (int, float, str, bool,
+                                                type(None)))
+                    else repr(value))
+    return out
+
+
+def chrome_trace_events(spans: SpanTracker) -> List[dict]:
+    """Trace Event Format dicts for a recorded span tree."""
+    events: List[dict] = []
+    tids = sorted({_tid(s.node) for s in spans.spans}
+                  | {_tid(i.node) for i in spans.instants})
+    events.append({"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+                   "args": {"name": "repro simulation"}})
+    for tid in tids:
+        name = "(global)" if tid == _GLOBAL_TID else f"node {tid}"
+        events.append({"ph": "M", "name": "thread_name", "pid": 0,
+                       "tid": tid, "args": {"name": name}})
+        # Sort tracks by node id in the UI.
+        events.append({"ph": "M", "name": "thread_sort_index", "pid": 0,
+                       "tid": tid, "args": {"sort_index": tid}})
+    for span in spans.spans:
+        end = span.end if span.end is not None else span.start
+        events.append({
+            "ph": "X", "name": span.name, "cat": span.category,
+            "ts": span.start * 1e6, "dur": (end - span.start) * 1e6,
+            "pid": 0, "tid": _tid(span.node),
+            "args": _args(span.query_id, span.attrs),
+        })
+    for inst in spans.instants:
+        events.append({
+            "ph": "i", "name": inst.name, "ts": inst.time * 1e6,
+            "pid": 0, "tid": _tid(inst.node), "s": "t",
+            "args": _args(inst.query_id, inst.attrs),
+        })
+    return events
+
+
+def export_chrome_trace(telemetry, path: str) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count.
+
+    ``ts`` is simulated time in microseconds (the format's native unit),
+    so slice durations read directly as simulated latencies.
+    """
+    telemetry.finalize()
+    events = chrome_trace_events(telemetry.spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                  handle)
+    return len(events)
+
+
+def validate_chrome_trace(data) -> List[str]:
+    """Structural problems with a Chrome trace document (empty = valid).
+
+    Accepts the JSON Object Format (``{"traceEvents": [...]}``) or the
+    bare JSON Array Format; checks every event for a known ``ph`` and
+    well-formed ``ts``/``pid``/``tid`` fields.
+    """
+    problems: List[str] = []
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            return ["document has no 'traceEvents' array"]
+    elif isinstance(data, list):
+        events = data
+    else:
+        return ["document is neither an object nor an array"]
+    for i, event in enumerate(events):
+        tag = f"event {i}"
+        if not isinstance(event, dict):
+            problems.append(f"{tag} is not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _VALID_PHASES:
+            problems.append(f"{tag} has invalid ph {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{tag} ({phase}) has no name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{tag} ({event.get('name')}) has "
+                                f"non-integer {field}")
+        if phase == "M":
+            continue  # metadata events carry no timestamp
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{tag} ({event.get('name')}) has invalid "
+                            f"ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{tag} ({event.get('name')}) has "
+                                f"invalid dur {dur!r}")
+    return problems
+
+
+def export_jsonl(telemetry, path: str) -> int:
+    """Write the raw network event stream as JSON lines; returns the
+    entry count (0 when raw-event capture was off)."""
+    if telemetry.events is None:
+        with open(path, "w", encoding="utf-8"):
+            pass
+        return 0
+    return telemetry.events.to_jsonl(path)
+
+
+def export_metrics_csv(telemetry, path: str) -> int:
+    """Write the metrics registry as CSV rows; returns the series count."""
+    telemetry.finalize()
+    rows = telemetry.metrics.rows()
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "kind", "count", "value", "mean",
+                         "p50", "p95", "min", "max"])
+        for row in rows:
+            writer.writerow(["" if cell is None else cell
+                             for cell in row])
+    return len(rows)

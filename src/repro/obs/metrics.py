@@ -1,0 +1,269 @@
+"""Named counters, gauges and streaming histograms (the metrics registry).
+
+The registry aggregates what the raw trace is too fine-grained to answer
+directly: hop counts, MAC backoff delay, per-sector latency, collision
+rate, energy per query.  All three instrument types support ``merge`` so
+per-run registries can be folded into sweep-level summaries.
+
+Histograms are streaming: values land in exponentially-spaced buckets
+(fixed relative width), so memory is bounded regardless of sample count
+and quantile estimates carry a known relative error of at most one bucket
+width.  Exact count/sum/min/max are tracked on the side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing sum (float increments allowed)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A last-value instrument with min/max envelope."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+        self.min = math.inf
+        self.max = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.updates += 1
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold ``other`` in: the envelope unions; the last value wins
+        when this gauge was never set."""
+        if other.updates == 0:
+            return
+        if self.value is None:
+            self.value = other.value
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.updates += other.updates
+
+
+class Histogram:
+    """Streaming histogram over exponentially-spaced buckets.
+
+    Bucket ``i`` holds values in ``(growth^(i-1), growth^i]`` (positive
+    values); zero and negatives get dedicated buckets keyed by index on
+    the mirrored scale.  The default growth of 1.05 bounds the relative
+    quantile error at ~5%.
+    """
+
+    __slots__ = ("name", "growth", "_log_growth", "_buckets", "count",
+                 "sum", "min", "max")
+
+    def __init__(self, name: str, growth: float = 1.05):
+        if growth <= 1.0:
+            raise ValueError("bucket growth factor must be > 1")
+        self.name = name
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    _ZERO_KEY = -(10 ** 9)   # far below any log-derived index
+
+    def _key(self, value: float) -> int:
+        if value == 0.0:
+            return self._ZERO_KEY
+        magnitude = int(math.ceil(math.log(abs(value)) / self._log_growth
+                                  - 1e-12))
+        return magnitude if value > 0.0 else self._ZERO_KEY - 1 - magnitude
+
+    def _bucket_value(self, key: int) -> float:
+        """Representative value of a bucket (geometric midpoint)."""
+        if key == self._ZERO_KEY:
+            return 0.0
+        if key < self._ZERO_KEY:
+            return -self.growth ** (self._ZERO_KEY - 1 - key - 0.5)
+        return self.growth ** (key - 0.5)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name}: NaN observation")
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        key = self._key(value)
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (exact at the extremes)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * (self.count - 1) + 1.0
+        seen = 0
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if seen >= rank:
+                # Clamp to the true envelope so tail estimates never
+                # leave the observed range.
+                return min(max(self._bucket_value(key), self.min), self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        if other.growth != self.growth:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket growth factors")
+        for key, n in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class MetricsRegistry:
+    """A namespace of instruments, created on first use by name."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str, growth: float = 1.05) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, growth=growth)
+        return inst
+
+    def series_names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # -- aggregation ----------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one, by name."""
+        for name, counter in other._counters.items():
+            self.counter(name).merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, hist in other._histograms.items():
+            self.histogram(name, growth=hist.growth).merge(hist)
+
+    # -- reporting ------------------------------------------------------
+
+    def rows(self) -> List[Tuple]:
+        """(name, kind, count, value, mean, p50, p95, min, max) rows,
+        sorted by name; non-applicable cells are None."""
+        out: List[Tuple] = []
+        for name, c in self._counters.items():
+            out.append((name, "counter", None, c.value, None, None, None,
+                        None, None))
+        for name, g in self._gauges.items():
+            if g.updates:
+                out.append((name, "gauge", g.updates, g.value, None, None,
+                            None, g.min, g.max))
+        for name, h in self._histograms.items():
+            if h.count:
+                out.append((name, "histogram", h.count, None, h.mean,
+                            h.quantile(0.5), h.quantile(0.95), h.min,
+                            h.max))
+        return sorted(out)
+
+    def to_dict(self) -> Dict[str, dict]:
+        """JSON-safe snapshot of every series."""
+        out: Dict[str, dict] = {}
+        for name, c in self._counters.items():
+            out[name] = {"kind": "counter", "value": c.value}
+        for name, g in self._gauges.items():
+            out[name] = {"kind": "gauge", "value": g.value,
+                         "min": (None if g.updates == 0 else g.min),
+                         "max": (None if g.updates == 0 else g.max),
+                         "updates": g.updates}
+        for name, h in self._histograms.items():
+            out[name] = {
+                "kind": "histogram", "count": h.count, "sum": h.sum,
+                "min": (None if h.count == 0 else h.min),
+                "max": (None if h.count == 0 else h.max),
+                "mean": (None if h.count == 0 else h.mean),
+                "p50": (None if h.count == 0 else h.quantile(0.5)),
+                "p90": (None if h.count == 0 else h.quantile(0.9)),
+                "p99": (None if h.count == 0 else h.quantile(0.99)),
+            }
+        return out
+
+    def summary_table(self) -> str:
+        """Fixed-width human-readable table of all populated series."""
+        header = (f"{'series':<28} {'kind':<9} {'count':>7} "
+                  f"{'value/mean':>12} {'p50':>10} {'p95':>10} {'max':>10}")
+        lines = [header, "-" * len(header)]
+        for (name, kind, count, value, mean, p50, p95,
+             _mn, mx) in self.rows():
+            shown = value if value is not None else mean
+
+            def fmt(x, width=10):
+                return f"{x:>{width}.4g}" if x is not None else " " * width
+
+            lines.append(f"{name:<28} {kind:<9} "
+                         f"{count if count is not None else '':>7} "
+                         f"{fmt(shown, 12)} {fmt(p50)} {fmt(p95)} "
+                         f"{fmt(mx)}")
+        return "\n".join(lines)
+
+
+def merge_registries(registries: Iterable[MetricsRegistry]
+                     ) -> MetricsRegistry:
+    """A fresh registry holding the union of ``registries``."""
+    total = MetricsRegistry()
+    for reg in registries:
+        total.merge(reg)
+    return total

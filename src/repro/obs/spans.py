@@ -1,0 +1,182 @@
+"""Hierarchical spans over simulated time (the query-lifecycle tree).
+
+A *span* is a named interval of simulated time attached to a node and —
+for protocol spans — a query, with an optional parent link.  A whole KNN
+query renders as one tree:
+
+    query q7                         (sink, issue -> finalize)
+    ├── route                        (sink -> home node, info gathering)
+    ├── sector 0                     (dispatch -> bundle at sink)
+    │   ├── window @node 12          (collection window of one Q-node)
+    │   ├── window @node 31
+    │   └── return                   (bundle routed back to the sink)
+    ├── sector 1 ...
+    └── ...
+
+Span timestamps come from the simulation clock, never the wall clock, so
+an instrumented run records exactly what an uninstrumented one executed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One interval in the span tree."""
+
+    span_id: int
+    name: str
+    category: str                 # "query" | "route" | "sector" | ...
+    start: float                  # simulated seconds
+    node: Optional[int] = None    # acting node (Chrome-trace track)
+    query_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    end: Optional[float] = None   # None while open
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return math.nan
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker (retry fired, watchdog re-dispatch, ...)."""
+
+    name: str
+    time: float
+    node: Optional[int] = None
+    query_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class SpanTracker:
+    """Records spans and instants; validates tree integrity."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self._by_id: Dict[int, Span] = {}
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------
+
+    def begin(self, name: str, category: str, at: float,
+              node: Optional[int] = None, query_id: Optional[int] = None,
+              parent: Optional[int] = None, **attrs) -> int:
+        """Open a span starting ``at``; returns its id."""
+        if parent is not None:
+            parent_span = self._by_id.get(parent)
+            if parent_span is None:
+                raise ValueError(f"unknown parent span id {parent}")
+            if at < parent_span.start - 1e-12:
+                raise ValueError(
+                    f"child span {name!r} starts at {at} before its "
+                    f"parent {parent_span.name!r} at {parent_span.start}")
+        span = Span(span_id=self._next_id, name=name, category=category,
+                    start=at, node=node, query_id=query_id,
+                    parent_id=parent, attrs=dict(attrs))
+        self._next_id += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span.span_id
+
+    def end(self, span_id: int, at: float, **attrs) -> Span:
+        """Close an open span at ``at``; extra attrs are merged in."""
+        span = self._by_id.get(span_id)
+        if span is None:
+            raise ValueError(f"unknown span id {span_id}")
+        if span.end is not None:
+            raise ValueError(f"span {span.name!r} (#{span_id}) is "
+                             "already closed")
+        if at < span.start - 1e-12:
+            raise ValueError(f"span {span.name!r} cannot end at {at} "
+                             f"before its start {span.start}")
+        span.end = at
+        span.attrs.update(attrs)
+        return span
+
+    def instant(self, name: str, at: float, node: Optional[int] = None,
+                query_id: Optional[int] = None, **attrs) -> None:
+        self.instants.append(Instant(name=name, time=at, node=node,
+                                     query_id=query_id, attrs=dict(attrs)))
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def is_open(self, span_id: int) -> bool:
+        span = self._by_id.get(span_id)
+        return span is not None and span.end is None
+
+    def open_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.end is None]
+
+    def for_query(self, query_id: int) -> List[Span]:
+        return [s for s in self.spans if s.query_id == query_id]
+
+    def roots(self, query_id: Optional[int] = None) -> List[Span]:
+        out = [s for s in self.spans if s.parent_id is None]
+        if query_id is not None:
+            out = [s for s in out if s.query_id == query_id]
+        return out
+
+    def children(self, span_id: int) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def tree_lines(self, query_id: int) -> List[str]:
+        """Indented rendering of one query's span tree."""
+        lines: List[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            dur = ("open" if span.end is None
+                   else f"{span.duration * 1e3:.2f} ms")
+            where = f" @node {span.node}" if span.node is not None else ""
+            lines.append(f"{'  ' * depth}{span.name}{where} [{dur}]")
+            for child in self.children(span.span_id):
+                walk(child, depth + 1)
+
+        for root in self.roots(query_id):
+            walk(root, 0)
+        return lines
+
+    # -- integrity ------------------------------------------------------
+
+    def check_integrity(self) -> List[str]:
+        """Structural problems with the recorded tree (empty = sound):
+        every span closed, parents exist and precede (and contain) their
+        children, no dangling parent ids."""
+        problems: List[str] = []
+        for span in self.spans:
+            tag = f"span #{span.span_id} {span.name!r}"
+            if span.end is None:
+                problems.append(f"{tag} was never closed")
+            if span.parent_id is None:
+                continue
+            parent = self._by_id.get(span.parent_id)
+            if parent is None:
+                problems.append(f"{tag} has dangling parent id "
+                                f"{span.parent_id}")
+                continue
+            if parent.start > span.start + 1e-12:
+                problems.append(f"{tag} starts before its parent "
+                                f"{parent.name!r}")
+            if (parent.end is not None and span.end is not None
+                    and span.end > parent.end + 1e-9):
+                problems.append(f"{tag} ends after its parent "
+                                f"{parent.name!r}")
+            if span.query_id != parent.query_id:
+                problems.append(f"{tag} belongs to query {span.query_id} "
+                                f"but its parent to {parent.query_id}")
+        return problems

@@ -1,0 +1,417 @@
+"""The telemetry hub: one object wiring spans, metrics, raw events and
+the kernel profiler to a running simulation.
+
+``Telemetry`` is opt-in and zero-cost when off: every hook point in the
+substrate (simulator, MAC, router, protocol, itinerary builder) is a
+``None``-guarded attribute, so an unattached run pays one comparison per
+event.  All attached callbacks are *pure observers* — they never draw
+randomness, schedule events or mutate simulation state — so an
+instrumented run is bit-identical to an uninstrumented one (the
+golden-trace determinism suite enforces this).
+
+Enable per-process with :func:`enable_observability` (the CLI's ``--obs``
+flag); ``build_simulation`` then attaches a ``Telemetry`` to every handle
+it constructs, exactly like ``repro.validate``'s ``--validate``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .events import TraceLog
+from .metrics import MetricsRegistry
+from .profiler import KernelProfiler
+from .spans import SpanTracker
+
+
+class Telemetry:
+    """Telemetry state of one simulation run."""
+
+    def __init__(self, profile_kernel: bool = True,
+                 trace_events: bool = True):
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracker()
+        self.profiler: Optional[KernelProfiler] = (
+            KernelProfiler() if profile_kernel else None)
+        self.events: Optional[TraceLog] = None
+        self._trace_events = trace_events
+        self._sim = None
+        self._network = None
+        self._router = None
+        self._protocol = None
+        self._prev_ledger_observer = None
+        self._finalized = False
+        # span bookkeeping: open span ids by role
+        self._root: Dict[int, int] = {}
+        self._route: Dict[int, int] = {}
+        self._sector: Dict[Tuple[int, int], int] = {}
+        self._window: Dict[Tuple[int, int], int] = {}
+        self._return: Dict[Tuple[int, frozenset], int] = {}
+        self._energy0: Dict[int, float] = {}
+        self._issued_at: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        return self._sim is not None
+
+    def attach(self, sim, network, protocol=None, router=None) -> None:
+        """Install observation hooks on a built simulation."""
+        if self._sim is not None:
+            raise RuntimeError("telemetry is already attached")
+        self._sim = sim
+        self._network = network
+        self._router = router
+        self._protocol = protocol
+        if self._trace_events:
+            self.events = TraceLog(network)
+        if self.profiler is not None:
+            self.profiler.install(sim)
+        network.add_beacon_hook(self._on_beacon)
+        network.mac.obs_hook = self._on_mac
+        # Chain behind any observer the validation layer installed.
+        self._prev_ledger_observer = network.ledger.observer
+        network.ledger.observer = self._on_charge
+        if router is not None:
+            router.obs = self
+        if protocol is not None:
+            protocol.obs = self
+        from ..core import itinerary
+        itinerary.set_build_observer(self._on_itinerary_build)
+
+    def attach_handle(self, handle) -> None:
+        """Attach to a :class:`~repro.experiments.config.SimulationHandle`."""
+        self.attach(handle.sim, handle.network,
+                    protocol=handle.protocol, router=handle.router)
+
+    def detach(self) -> None:
+        """Remove every installed hook (idempotent)."""
+        if self._sim is None:
+            return
+        if self.events is not None:
+            self.events.detach()
+        if self.profiler is not None:
+            self.profiler.uninstall()
+        # Bound methods are recreated per attribute access, so these
+        # slots compare with == (method equality), never ``is``.
+        hooks = self._network._beacon_hooks
+        if self._on_beacon in hooks:
+            hooks.remove(self._on_beacon)
+        if self._network.mac.obs_hook == self._on_mac:
+            self._network.mac.obs_hook = None
+        if self._network.ledger.observer == self._on_charge:
+            self._network.ledger.observer = self._prev_ledger_observer
+        if self._router is not None and self._router.obs is self:
+            self._router.obs = None
+        if self._protocol is not None and self._protocol.obs is self:
+            self._protocol.obs = None
+        from ..core import itinerary
+        if itinerary._build_observer == self._on_itinerary_build:
+            itinerary.set_build_observer(None)
+        self._sim = None
+
+    def finalize(self) -> None:
+        """End-of-run sweep: snapshot substrate counters into gauges and
+        close any span the protocol never got to (node death, timeout
+        after ``abandon`` was skipped).  Idempotent."""
+        if self._finalized:
+            return
+        self._finalized = True
+        now = self._sim.now if self._sim is not None else 0.0
+        for span in self.spans.open_spans():
+            self.spans.end(span.span_id, at=max(now, span.start),
+                           status="unfinished")
+        if self._network is None:
+            return
+        mac = self._network.mac.stats
+        # Losses are counted per receiver; a broadcast frame can lose at
+        # several receivers at once, so normalize by receive attempts.
+        attempts = (mac.frames_delivered + mac.frames_lost_channel
+                    + mac.frames_lost_collision)
+        gauges = {
+            "mac.frames_sent": mac.frames_sent,
+            "mac.frames_delivered": mac.frames_delivered,
+            "mac.frames_lost_channel": mac.frames_lost_channel,
+            "mac.frames_lost_collision": mac.frames_lost_collision,
+            "mac.unicast_retries": mac.unicast_retries,
+            "mac.unicast_failures": mac.unicast_failures,
+            "mac.collision_rate": (mac.frames_lost_collision / attempts
+                                   if attempts else 0.0),
+            "net.messages_sent": self._network.stats.messages_sent,
+            "net.deliveries": self._network.stats.deliveries,
+            "net.beacons_sent": self._network.stats.beacons_sent,
+            "energy.total_j": self._network.ledger.total_j(),
+            "energy.beacon_total_j":
+                self._network.beacon_ledger.total_j(),
+        }
+        for name, value in gauges.items():
+            self.metrics.gauge(name).set(float(value))
+
+    # ------------------------------------------------------------------
+    # substrate observers
+    # ------------------------------------------------------------------
+
+    def _on_beacon(self, _receiver_id: int, _src_id: int,
+                   _time: float) -> None:
+        self.metrics.counter("net.beacons.delivered").inc()
+
+    def _on_mac(self, kind: str, value: float) -> None:
+        self.metrics.histogram(f"mac.{kind}").observe(value)
+
+    def _on_charge(self, node_id: int, kind: str, cost: float) -> None:
+        self.metrics.counter(f"energy.{kind}_j").inc(cost)
+        if self._prev_ledger_observer is not None:
+            self._prev_ledger_observer(node_id, kind, cost)
+
+    def _on_itinerary_build(self, itinerary) -> None:
+        self.metrics.counter("itinerary.builds").inc()
+        self.metrics.histogram("itinerary.waypoints").observe(
+            len(itinerary.waypoints))
+
+    # -- router observer (GpsrRouter.obs) -------------------------------
+
+    def route_hop(self, inner_kind: str, perimeter: bool) -> None:
+        self.metrics.counter("gpsr.forwards").inc()
+        if perimeter:
+            self.metrics.counter("gpsr.perimeter_hops").inc()
+
+    def route_link_retry(self, _inner_kind: str) -> None:
+        self.metrics.counter("gpsr.link_retries").inc()
+
+    def route_delivered(self, _inner_kind: str, hops: int) -> None:
+        self.metrics.counter("gpsr.deliveries").inc()
+        self.metrics.histogram("gpsr.route.hops").observe(hops)
+
+    def route_dropped(self, _inner_kind: str, reason: str) -> None:
+        self.metrics.counter("gpsr.drops").inc()
+        self.metrics.counter(f"gpsr.drops.{reason}").inc()
+
+    # ------------------------------------------------------------------
+    # protocol lifecycle observers (DIKNN)
+    # ------------------------------------------------------------------
+
+    def query_issued(self, query, sink_id: int, at: float) -> None:
+        qid = query.query_id
+        self.metrics.counter("diknn.query.issued").inc()
+        self._issued_at[qid] = at
+        self._energy0[qid] = self._network.ledger.total_j()
+        self._root[qid] = self.spans.begin(
+            f"query q{qid}", "query", at=at, node=sink_id, query_id=qid,
+            k=query.k)
+
+    def route_attempt(self, qid: int, attempt: int, at: float) -> None:
+        root = self._root.get(qid)
+        if root is None:
+            return
+        if attempt == 0 and qid not in self._route:
+            self._route[qid] = self.spans.begin(
+                "route", "route", at=at,
+                node=self.spans.get(root).node, query_id=qid, parent=root)
+        else:
+            self.metrics.counter("diknn.query.route_retries").inc()
+            self.spans.instant("route retry", at=at, query_id=qid,
+                               attempt=attempt)
+
+    def home_reached(self, qid: int, node_id: int, radius: float,
+                     hops: int, at: float) -> None:
+        self.metrics.histogram("diknn.route.hops").observe(hops)
+        self.metrics.histogram("diknn.knnb.radius_m").observe(radius)
+        span_id = self._route.pop(qid, None)
+        if span_id is not None and self.spans.is_open(span_id):
+            self.spans.end(span_id, at=at, home=node_id, hops=hops,
+                           radius_m=radius)
+
+    def sector_dispatched(self, qid: int, sector: int, node_id: int,
+                          at: float) -> None:
+        key = (qid, sector)
+        if key in self._sector and self.spans.is_open(self._sector[key]):
+            # Watchdog re-dispatch into a still-unreported sector: the
+            # traversal restarts inside the same sector span.
+            self.spans.instant("sector redispatch", at=at, node=node_id,
+                               query_id=qid, sector=sector)
+            return
+        self.metrics.counter("diknn.sector.dispatched").inc()
+        self._sector[key] = self.spans.begin(
+            f"sector {sector}", "sector", at=at, node=node_id,
+            query_id=qid, parent=self._root.get(qid), sector=sector)
+
+    def token_hop(self, qid: int, sector: int, node_id: int,
+                  at: float) -> None:
+        self.metrics.counter("diknn.token.hops").inc()
+        key = (qid, sector)
+        prev = self._window.pop(key, None)
+        if prev is not None and self.spans.is_open(prev):
+            # The Q-node died before its window closed; the token only
+            # moves on via a fresh dispatch.
+            self.spans.end(prev, at=at, status="superseded")
+        self._window[key] = self.spans.begin(
+            f"window @{node_id}", "window", at=at, node=node_id,
+            query_id=qid, parent=self._sector.get(key), sector=sector)
+
+    def token_retry(self, qid: int, sector: int, node_id: int,
+                    at: float) -> None:
+        self.metrics.counter("diknn.token.retries").inc()
+        self.spans.instant("token retry", at=at, node=node_id,
+                           query_id=qid, sector=sector)
+
+    def window_closed(self, qid: int, sector: int, node_id: int,
+                      replies: int, at: float) -> None:
+        self.metrics.histogram("diknn.window.replies").observe(replies)
+        span_id = self._window.pop((qid, sector), None)
+        if span_id is not None and self.spans.is_open(span_id):
+            self.spans.end(span_id, at=at, replies=replies)
+
+    def bundle_sent(self, qid: int, sectors: List[int], node_id: int,
+                    at: float) -> None:
+        self.metrics.counter("diknn.bundle.sent").inc()
+        key = (qid, frozenset(sectors))
+        if key in self._return and self.spans.is_open(self._return[key]):
+            self.spans.instant("bundle resent", at=at, node=node_id,
+                               query_id=qid)
+            return
+        self._return[key] = self.spans.begin(
+            "return", "return", at=at, node=node_id, query_id=qid,
+            parent=self._sector.get((qid, sectors[0])),
+            sectors=list(sectors))
+
+    def bundle_received(self, qid: int, sectors: List[int],
+                        at: float) -> None:
+        fresh = False
+        for key, span_id in list(self._return.items()):
+            if key[0] == qid and key[1] & set(sectors) \
+                    and self.spans.is_open(span_id):
+                self.spans.end(span_id, at=at)
+        for sector in sectors:
+            span_id = self._sector.get((qid, sector))
+            if span_id is not None and self.spans.is_open(span_id):
+                fresh = True
+                span = self.spans.end(span_id, at=at)
+                self.metrics.histogram("diknn.sector.latency_s").observe(
+                    at - span.start)
+        if fresh:
+            self.metrics.counter("diknn.bundle.received").inc()
+        else:
+            self.metrics.counter("diknn.bundle.duplicates").inc()
+
+    def requery_dispatched(self, qid: int, sectors: List[int],
+                           at: float) -> None:
+        self.metrics.counter("diknn.requery.dispatched").inc(len(sectors))
+        self.spans.instant("watchdog requery", at=at, query_id=qid,
+                           sectors=list(sectors))
+
+    def query_finalized(self, qid: int, completed: bool,
+                        at: float) -> None:
+        root = self._root.pop(qid, None)
+        if root is None:
+            return  # a protocol this layer does not instrument
+        status = "completed" if completed else "abandoned"
+        self.metrics.counter(f"diknn.query.{status}").inc()
+        # Close every straggler bottom-up so children end before parents.
+        for store, extra in ((self._window, {"status": "unfinished"}),
+                             (self._return, {"status": "lost"}),
+                             (self._sector, {"status": "unreported"})):
+            for key in [k for k in store if k[0] == qid]:
+                span_id = store.pop(key)
+                if self.spans.is_open(span_id):
+                    self.spans.end(span_id, at=at, **extra)
+        span_id = self._route.pop(qid, None)
+        if span_id is not None and self.spans.is_open(span_id):
+            self.spans.end(span_id, at=at, status="unfinished")
+        self.spans.end(root, at=at, status=status)
+        issued = self._issued_at.pop(qid, None)
+        if completed and issued is not None:
+            self.metrics.histogram("diknn.query.latency_s").observe(
+                at - issued)
+        energy0 = self._energy0.pop(qid, None)
+        if energy0 is not None:
+            # Approximate under overlapping queries (ledger deltas are
+            # network-wide), exactly like the runner's per-query energy.
+            self.metrics.histogram("diknn.query.energy_j").observe(
+                self._network.ledger.total_j() - energy0)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def run_summary(self) -> Dict[str, object]:
+        """JSON-safe digest of the run's telemetry (for RunMetrics)."""
+        self.finalize()
+        problems = self.spans.check_integrity()
+        out: Dict[str, object] = {
+            "metrics": self.metrics.to_dict(),
+            "spans": len(self.spans.spans),
+            "open_spans": len(self.spans.open_spans()),
+            "span_problems": problems,
+            "instants": len(self.spans.instants),
+            "raw_events": (len(self.events)
+                           if self.events is not None else 0),
+        }
+        if self.profiler is not None:
+            out["kernel_hotspots"] = [
+                {"handler": label, "calls": calls, "total_s": total_s,
+                 "mean_us": mean_us, "share": share}
+                for label, calls, total_s, mean_us, share
+                in self.profiler.to_rows(10)]
+        return out
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable end-of-run telemetry report."""
+        self.finalize()
+        parts = [self.metrics.summary_table()]
+        queries = sorted({s.query_id for s in self.spans.spans
+                          if s.query_id is not None})
+        parts.append(f"\nspan trees: {len(queries)} queries, "
+                     f"{len(self.spans.spans)} spans, "
+                     f"{len(self.spans.instants)} instants")
+        if self.profiler is not None and self.profiler.events_timed:
+            parts.append("\n" + self.profiler.report(top))
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# process-wide switch (what the CLI's --obs flips)
+# ---------------------------------------------------------------------------
+
+_ENABLED = False
+_ACTIVE: List[Telemetry] = []
+
+
+def enable_observability(enabled: bool = True) -> None:
+    """Turn telemetry on/off for subsequently built simulations."""
+    global _ENABLED
+    _ENABLED = enabled
+
+
+def observability_enabled() -> bool:
+    return _ENABLED
+
+
+def maybe_attach_obs(handle) -> Optional[Telemetry]:
+    """Attach a :class:`Telemetry` to ``handle`` when observability is on.
+
+    Called by :func:`repro.experiments.config.build_simulation`; returns
+    the telemetry (also recorded on ``handle.obs``) or None.
+    """
+    if not _ENABLED:
+        return None
+    telemetry = Telemetry()
+    telemetry.attach_handle(handle)
+    _ACTIVE.append(telemetry)
+    return telemetry
+
+
+def active_telemetry() -> List[Telemetry]:
+    """Every telemetry attached this process (latest last)."""
+    return list(_ACTIVE)
+
+
+def reset_observability() -> None:
+    """Disable telemetry and detach everything (tests)."""
+    global _ENABLED
+    _ENABLED = False
+    for telemetry in _ACTIVE:
+        telemetry.detach()
+    _ACTIVE.clear()

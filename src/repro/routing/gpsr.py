@@ -69,6 +69,10 @@ class GpsrRouter(Router):
         self.drops = 0
         self.drop_reasons: Dict[str, int] = {}
         self.deliveries = 0
+        #: optional pure routing observer (repro.obs); called on hop
+        #: forwards, link retries, deliveries and drops.  None costs a
+        #: single attribute check per event.
+        self.obs = None
         network.register_handler(self.KIND, self._handle)
 
     # -- registration --------------------------------------------------------
@@ -252,10 +256,15 @@ class GpsrRouter(Router):
         state["prev_id"] = node.id
         state["route_hops"] += 1
         state["trace"].append(next_id)
+        if self.obs is not None:
+            self.obs.route_hop(state["inner_kind"],
+                               perimeter=(state["mode"] == _PERIMETER))
 
         def _on_fail(_msg: Message) -> None:
             # Stale neighbor: evict and re-route from this node.
             node.forget_neighbor(next_id)
+            if self.obs is not None:
+                self.obs.route_link_retry(state["inner_kind"])
             state["prev_id"] = None
             state["route_hops"] -= 1
             state["trace"].pop()
@@ -295,6 +304,9 @@ class GpsrRouter(Router):
 
     def _deliver(self, node: SensorNode, state: Dict[str, Any]) -> None:
         self.deliveries += 1
+        if self.obs is not None:
+            self.obs.route_delivered(state["inner_kind"],
+                                     state["route_hops"])
         self._drop_handlers.pop(state["route_id"], None)
         handler = self._delivery.get(state["inner_kind"])
         if handler is not None:
@@ -307,6 +319,8 @@ class GpsrRouter(Router):
               reason: str) -> None:
         self.drops += 1
         self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        if self.obs is not None:
+            self.obs.route_dropped(state["inner_kind"], reason)
         on_drop = self._drop_handlers.pop(state["route_id"], None)
         if on_drop is not None:
             on_drop(dict(state["inner"]), node)

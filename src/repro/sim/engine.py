@@ -12,6 +12,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from .errors import SimulationError
@@ -64,6 +65,11 @@ class Simulator:
         # or draw RNG (repro.validate relies on this to stay side-effect
         # free); with none registered the execution path is unchanged.
         self._observers: List[Callable[[float], None]] = []
+        # Optional wall-clock accountant (repro.obs.KernelProfiler): when
+        # set, every callback is timed with perf_counter.  The profiler
+        # only reads the wall clock — never the seeded RNG — so results
+        # stay bit-identical with or without it.
+        self.profiler = None
 
     # -- observation ---------------------------------------------------------
 
@@ -108,7 +114,12 @@ class Simulator:
             if self._observers:
                 for observer in self._observers:
                     observer(event.time)
-            event.callback()
+            if self.profiler is not None:
+                t0 = perf_counter()
+                event.callback()
+                self.profiler.record(event.callback, perf_counter() - t0)
+            else:
+                event.callback()
             return True
         return False
 
@@ -141,7 +152,13 @@ class Simulator:
                 if self._observers:
                     for observer in self._observers:
                         observer(event.time)
-                event.callback()
+                if self.profiler is not None:
+                    t0 = perf_counter()
+                    event.callback()
+                    self.profiler.record(event.callback,
+                                         perf_counter() - t0)
+                else:
+                    event.callback()
             if until is not None and self.now < until:
                 self.now = until
         finally:

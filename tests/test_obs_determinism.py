@@ -1,0 +1,58 @@
+"""Telemetry is strictly observational: an ``--obs``-instrumented run is
+bit-identical to the uninstrumented one on every golden scenario.
+
+The capture harness replays the exact golden recipe with a full
+``Telemetry`` attached (spans + metrics + kernel profiler + chained
+energy observer + MAC/GPSR/itinerary hooks); its raw-event digest must
+equal the committed fixture sha256 for all 8 scenarios.  Any telemetry
+code path that draws randomness, schedules an event, or perturbs state
+ordering diverges the digest and fails here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import reset_observability
+from repro.obs.capture import capture_scenario
+from repro.validate.golden import DEFAULT_FIXTURE_PATH, GOLDEN_SPECS
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    data = json.loads(DEFAULT_FIXTURE_PATH.read_text())
+    return data["traces"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SPECS,
+                         ids=[s.name for s in GOLDEN_SPECS])
+def test_instrumented_run_matches_golden_digest(spec, fixtures):
+    recorded = fixtures[spec.name]
+    result = capture_scenario(spec.name)
+    assert result.digest == recorded["digest"], (
+        f"{spec.name}: telemetry changed simulation behavior "
+        f"({result.digest[:16]}… != {recorded['digest'][:16]}…)")
+    assert len(result.telemetry.events) == recorded["entries"]
+    assert result.completed == recorded["completed"]
+    # and the telemetry itself is sound on every scenario
+    assert result.spans.check_integrity() == []
+
+
+def test_instrumented_diknn_produces_full_coverage(fixtures):
+    """On the DIKNN scenarios the span tree must cover the query even
+    under faults and mobility (watchdog redispatches included)."""
+    result = capture_scenario("rwp-diknn-faults")
+    spans = result.spans.for_query(1)
+    assert any(s.category == "query" for s in spans)
+    assert any(s.category == "sector" for s in spans)
+    assert all(s.closed for s in spans)
+    assert len(result.metrics.series_names()) >= 10

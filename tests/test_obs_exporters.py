@@ -1,0 +1,134 @@
+"""Exporters: Chrome trace schema, CSV/JSONL output, CLI surface."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (chrome_trace_events, export_chrome_trace,
+                       export_jsonl, export_metrics_csv,
+                       validate_chrome_trace)
+from repro.obs.capture import capture_scenario
+from repro.validate import trace_digest
+
+
+@pytest.fixture(scope="module")
+def captured():
+    return capture_scenario("static-diknn")
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    from repro.obs import reset_observability
+    yield
+    reset_observability()
+
+
+class TestChromeTrace:
+    def test_export_is_schema_valid(self, captured, tmp_path):
+        path = tmp_path / "trace.json"
+        n = export_chrome_trace(captured.telemetry, str(path))
+        data = json.loads(path.read_text())
+        assert validate_chrome_trace(data) == []
+        assert len(data["traceEvents"]) == n > 0
+
+    def test_spans_become_complete_slices_on_node_tracks(self, captured):
+        events = chrome_trace_events(captured.spans)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(captured.spans.spans)
+        root = next(e for e in slices if e["cat"] == "query")
+        # ts/dur are simulated microseconds on the sink's track
+        span = captured.spans.roots(query_id=1)[0]
+        assert root["ts"] == pytest.approx(span.start * 1e6)
+        assert root["dur"] == pytest.approx(span.duration * 1e6)
+        assert root["tid"] == span.node
+        assert root["args"]["query_id"] == 1
+        # every node hosting a span got a named track
+        names = {e["tid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {e["tid"] for e in slices} <= names
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_chrome_trace(42) != []
+        assert validate_chrome_trace({"foo": []}) != []
+        bad = validate_chrome_trace([
+            {"ph": "Z", "name": "x", "ts": 0, "pid": 0, "tid": 0},
+            {"ph": "X", "ts": -5, "pid": 0, "tid": 0, "name": "y",
+             "dur": 1},
+            {"ph": "i", "name": "z", "ts": 1.0, "pid": "0", "tid": 0},
+            {"ph": "X", "name": "w", "ts": 0, "pid": 0, "tid": 0},
+        ])
+        assert len(bad) == 4
+        assert any("invalid ph" in p for p in bad)
+        assert any("invalid ts" in p for p in bad)
+        assert any("non-integer pid" in p for p in bad)
+        assert any("invalid dur" in p for p in bad)
+
+    def test_validator_accepts_metadata_without_ts(self):
+        assert validate_chrome_trace(
+            [{"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+              "args": {"name": "x"}}]) == []
+
+
+class TestFlatExports:
+    def test_jsonl_preserves_the_digest(self, captured, tmp_path):
+        from repro.net.tracelog import TraceLog
+        path = tmp_path / "events.jsonl"
+        n = export_jsonl(captured.telemetry, str(path))
+        assert n == len(captured.telemetry.events)
+        back = TraceLog.read_jsonl(str(path))
+        assert trace_digest(back) == captured.digest
+
+    def test_csv_lists_every_series(self, captured, tmp_path):
+        path = tmp_path / "metrics.csv"
+        n = export_metrics_csv(captured.telemetry, str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "series"
+        assert len(rows) == n + 1
+        names = {row[0] for row in rows[1:]}
+        assert "diknn.query.latency_s" in names
+        assert "mac.backoff_s" in names
+
+
+class TestCli:
+    def test_trace_command_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        csv_path = tmp_path / "metrics.csv"
+        code = main(["trace", "static-diknn", "--out", str(out),
+                     "--jsonl", str(jsonl), "--csv", str(csv_path),
+                     "--tree"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "perfetto" in text and "query q1" in text
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+        assert jsonl.exists() and csv_path.exists()
+        # --check mode validates the file we just wrote
+        assert main(["trace", "--check", str(out)]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+    def test_trace_check_rejects_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"traceEvents": [{"ph": "X", "name": "x", "ts": -1,
+                              "pid": 0, "tid": 0, "dur": 0}]}))
+        assert main(["trace", "--check", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "static-diknn", "--top", "3"]) == 0
+        text = capsys.readouterr().out
+        assert "kernel profile" in text
+        assert "diknn.query.latency_s" in text
+
+    def test_query_with_obs_flag(self, capsys):
+        code = main(["query", "--obs", "-k", "10", "--seed", "3",
+                     "--speed", "0"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "[obs] 1 runs instrumented" in text
+        assert "diknn.query.issued" in text

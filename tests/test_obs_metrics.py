@@ -1,0 +1,160 @@
+"""Metrics registry: instrument semantics, merge laws, quantile error."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
+                       merge_registries)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_merge(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_envelope(self):
+        g = Gauge("x")
+        for v in (5.0, -2.0, 3.0):
+            g.set(v)
+        assert (g.value, g.min, g.max, g.updates) == (3.0, -2.0, 5.0, 3)
+
+    def test_merge_keeps_own_last_value(self):
+        a, b = Gauge("x"), Gauge("x")
+        a.set(1.0)
+        b.set(9.0)
+        a.merge(b)
+        assert a.value == 1.0 and a.max == 9.0 and a.updates == 2
+
+    def test_merge_into_unset(self):
+        a, b = Gauge("x"), Gauge("x")
+        b.set(9.0)
+        a.merge(b)
+        assert a.value == 9.0
+        # merging an unset gauge is a no-op
+        a.merge(Gauge("x"))
+        assert a.updates == 1
+
+
+class TestHistogram:
+    def test_exact_side_stats(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 0.0):
+            h.observe(v)
+        assert (h.count, h.sum, h.min, h.max) == (4, 6.0, 0.0, 3.0)
+        assert h.mean == 1.5
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Histogram("x").observe(math.nan)
+
+    def test_quantile_extremes_are_exact(self):
+        h = Histogram("x")
+        for v in (0.3, 7.0, 42.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.3
+        assert h.quantile(1.0) == 42.0
+        assert math.isnan(Histogram("e").quantile(0.5))
+
+    def test_zero_and_negative_values(self):
+        h = Histogram("x")
+        for v in (-5.0, -1.0, 0.0, 1.0, 5.0):
+            h.observe(v)
+        assert h.quantile(0.0) == -5.0
+        assert h.quantile(1.0) == 5.0
+        # median lands on the dedicated zero bucket
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantiles_match_numpy_within_relative_error(self):
+        rng = np.random.default_rng(42)
+        data = rng.lognormal(mean=0.0, sigma=1.5, size=20_000)
+        h = Histogram("x")
+        for v in data:
+            h.observe(float(v))
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(data, q))
+            est = h.quantile(q)
+            # one bucket of relative width 1.05, plus sampling slack
+            assert est == pytest.approx(exact, rel=0.06), q
+
+    def test_merge_equals_union_stream(self):
+        rng = np.random.default_rng(7)
+        a_data = rng.exponential(2.0, size=5_000)
+        b_data = rng.exponential(0.5, size=3_000)
+        a, b, u = Histogram("x"), Histogram("x"), Histogram("x")
+        for v in a_data:
+            a.observe(float(v))
+            u.observe(float(v))
+        for v in b_data:
+            b.observe(float(v))
+            u.observe(float(v))
+        a.merge(b)
+        assert a.count == u.count and a.sum == pytest.approx(u.sum)
+        assert a.min == u.min and a.max == u.max
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == u.quantile(q)
+
+    def test_merge_rejects_mismatched_growth(self):
+        with pytest.raises(ValueError):
+            Histogram("x", growth=1.05).merge(Histogram("x", growth=1.1))
+
+
+class TestRegistry:
+    def test_instruments_created_once_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+        assert reg.gauge("c") is reg.gauge("c")
+        assert len(reg) == 3
+        assert reg.series_names() == ["a", "b", "c"]
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(2)
+        b.counter("hits").inc(3)
+        b.counter("misses").inc(1)
+        a.histogram("lat").observe(1.0)
+        b.histogram("lat").observe(3.0)
+        b.gauge("level").set(4.0)
+        total = merge_registries([a, b])
+        assert total.counter("hits").value == 5
+        assert total.counter("misses").value == 1
+        assert total.histogram("lat").count == 2
+        assert total.gauge("level").value == 4.0
+
+    def test_to_dict_and_rows_and_table(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.gauge("level").set(1.5)
+        reg.histogram("lat").observe(0.25)
+        snap = reg.to_dict()
+        assert snap["hits"] == {"kind": "counter", "value": 2.0}
+        assert snap["level"]["value"] == 1.5
+        assert snap["lat"]["count"] == 1
+        assert {row[0] for row in reg.rows()} == {"hits", "level", "lat"}
+        table = reg.summary_table()
+        assert "hits" in table and "histogram" in table
+
+    def test_empty_instruments_omitted_from_rows(self):
+        reg = MetricsRegistry()
+        reg.gauge("never_set")
+        reg.histogram("never_observed")
+        assert reg.rows() == []

@@ -1,0 +1,100 @@
+"""Span tree recording and integrity checking."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import SpanTracker
+
+
+def test_begin_end_roundtrip():
+    t = SpanTracker()
+    sid = t.begin("query", "query", at=1.0, node=5, query_id=7, k=8)
+    assert t.is_open(sid)
+    span = t.end(sid, at=3.5, status="done")
+    assert span.closed and span.duration == 2.5
+    assert span.attrs == {"k": 8, "status": "done"}
+    assert not t.is_open(sid)
+
+
+def test_open_span_duration_is_nan():
+    t = SpanTracker()
+    sid = t.begin("x", "x", at=0.0)
+    assert math.isnan(t.get(sid).duration)
+
+
+def test_parent_child_links():
+    t = SpanTracker()
+    root = t.begin("query", "query", at=0.0, query_id=1)
+    child = t.begin("sector", "sector", at=1.0, query_id=1, parent=root)
+    assert [s.span_id for s in t.children(root)] == [child]
+    assert [s.span_id for s in t.roots(1)] == [root]
+    assert len(t.for_query(1)) == 2
+
+
+def test_begin_rejects_bad_parents():
+    t = SpanTracker()
+    with pytest.raises(ValueError, match="unknown parent"):
+        t.begin("x", "x", at=0.0, parent=99)
+    root = t.begin("root", "query", at=5.0)
+    with pytest.raises(ValueError, match="before its parent"):
+        t.begin("child", "sector", at=4.0, parent=root)
+
+
+def test_end_rejects_misuse():
+    t = SpanTracker()
+    with pytest.raises(ValueError, match="unknown span"):
+        t.end(1, at=0.0)
+    sid = t.begin("x", "x", at=2.0)
+    with pytest.raises(ValueError, match="before its start"):
+        t.end(sid, at=1.0)
+    t.end(sid, at=3.0)
+    with pytest.raises(ValueError, match="already closed"):
+        t.end(sid, at=4.0)
+
+
+def test_integrity_clean_tree():
+    t = SpanTracker()
+    root = t.begin("query", "query", at=0.0, query_id=1)
+    child = t.begin("sector", "sector", at=1.0, query_id=1, parent=root)
+    t.end(child, at=2.0)
+    t.end(root, at=3.0)
+    assert t.check_integrity() == []
+
+
+def test_integrity_flags_unclosed_and_overhang():
+    t = SpanTracker()
+    root = t.begin("query", "query", at=0.0, query_id=1)
+    child = t.begin("sector", "sector", at=1.0, query_id=1, parent=root)
+    stray = t.begin("window", "window", at=1.5, query_id=2, parent=child)
+    t.end(root, at=2.0)
+    t.end(child, at=5.0)   # ends after its parent
+    problems = "\n".join(t.check_integrity())
+    assert "never closed" in problems          # stray is still open
+    assert "ends after its parent" in problems
+    assert "query 2" in problems               # query-id mismatch
+    assert stray  # silence unused warning
+
+
+def test_integrity_flags_dangling_parent():
+    t = SpanTracker()
+    sid = t.begin("x", "x", at=0.0)
+    t.get(sid).parent_id = 404   # corrupt deliberately
+    t.end(sid, at=1.0)
+    assert any("dangling parent" in p for p in t.check_integrity())
+
+
+def test_instants_and_tree_lines():
+    t = SpanTracker()
+    root = t.begin("query q1", "query", at=0.0, node=9, query_id=1)
+    child = t.begin("sector 0", "sector", at=0.5, node=3, query_id=1,
+                    parent=root)
+    t.instant("retry", at=0.7, node=3, query_id=1, attempt=1)
+    t.end(child, at=1.0)
+    t.end(root, at=2.0)
+    assert len(t.instants) == 1 and t.instants[0].attrs == {"attempt": 1}
+    lines = t.tree_lines(1)
+    assert lines[0].startswith("query q1 @node 9")
+    assert lines[1].strip().startswith("sector 0")
