@@ -4,6 +4,16 @@ These measure the simulator itself, not the paper's metrics: event
 throughput, spatial queries, planarization, itinerary construction and
 KNNB — the pieces every simulated second is built from.  Useful for
 catching performance regressions in the substrate.
+
+Every benchmark carries a stable ``bench_id`` in ``extra_info`` so the
+macro-benchmark harness can ingest pytest-benchmark output into the same
+``BENCH_*.json`` artifact the suite runner emits::
+
+    pytest benchmarks/test_perf_kernel.py --benchmark-json=micro.json
+    python -m repro bench run --suite small --microbench micro.json
+
+Renaming a test must not change its ``bench_id`` — the id is the join
+key ``repro bench compare`` tracks across runs.
 """
 
 import numpy as np
@@ -19,6 +29,7 @@ FIELD = Rect.from_size(115.0, 115.0)
 
 def test_perf_event_throughput(benchmark):
     """Schedule and drain 20k events."""
+    benchmark.extra_info["bench_id"] = "kernel.event_throughput"
 
     def run():
         sim = Simulator()
@@ -34,6 +45,7 @@ def test_perf_event_throughput(benchmark):
 
 def test_perf_spatial_grid_queries(benchmark):
     """1k range queries over a 200-point grid."""
+    benchmark.extra_info["bench_id"] = "geometry.spatial_grid_queries"
     rng = np.random.default_rng(3)
     points = UniformDeployment().generate(200, FIELD, rng)
     grid = SpatialGrid(20.0)
@@ -51,6 +63,7 @@ def test_perf_spatial_grid_queries(benchmark):
 
 def test_perf_planarization(benchmark):
     """Gabriel-planarize a 200-node unit-disk graph."""
+    benchmark.extra_info["bench_id"] = "geometry.planarization"
     rng = np.random.default_rng(5)
     positions = dict(enumerate(
         UniformDeployment().generate(200, FIELD, rng)))
@@ -64,6 +77,7 @@ def test_perf_planarization(benchmark):
 
 def test_perf_itinerary_construction(benchmark):
     """Build all 8 sub-itineraries for a large boundary."""
+    benchmark.extra_info["bench_id"] = "core.itinerary_construction"
     w = full_coverage_width(20.0)
 
     def run():
@@ -75,6 +89,7 @@ def test_perf_itinerary_construction(benchmark):
 
 def test_perf_knnb(benchmark):
     """Algorithm 1 over a 30-hop information list."""
+    benchmark.extra_info["bench_id"] = "core.knnb_radius"
     info = InfoList()
     for i in range(30):
         info.append(Vec2(400.0 - i * 13.0, 50.0), 4)
@@ -87,6 +102,7 @@ def test_perf_knnb(benchmark):
 
 def test_perf_full_simulated_second(benchmark):
     """One simulated second of a warm 200-node beaconing network."""
+    benchmark.extra_info["bench_id"] = "net.full_simulated_second"
     from repro.mobility import RandomWaypointMobility
     from repro.net import Network, SensorNode
 

@@ -1,0 +1,33 @@
+"""repro.bench — continuous macro-benchmarking & regression analytics.
+
+Built on :mod:`repro.obs`: every suite run executes the pinned scenario
+matrix under kernel-profiler instrumentation and emits a schema-versioned
+``BENCH_<n>.json`` artifact (wall time, events/sec, per-handler hotspots,
+tracemalloc peak memory, obs metric snapshot).  The comparator diffs two
+artifacts with per-metric noise tolerances and exits nonzero on
+regressions — the gate that turns "made it faster" into a plotted,
+enforced trajectory.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .compare import (Comparison, Delta,  # noqa: F401
+                      MEM_TOLERANCE, WALL_TOLERANCE, compare_artifacts)
+from .report import (collapsed_stacks, hotspot_table,  # noqa: F401
+                     merge_hotspots)
+from .runner import (ScenarioResult, artifact_paths,  # noqa: F401
+                     environment, ingest_pytest_benchmark, load_artifact,
+                     next_artifact_path, run_scenario, run_suite,
+                     write_artifact)
+from .scenarios import (SUITES, BenchScenario, suite,  # noqa: F401
+                        suite_names)
+from .schema import (ARTIFACT_FORMAT, ARTIFACT_KIND,  # noqa: F401
+                     validate_artifact)
+
+__all__ = [
+    "ARTIFACT_FORMAT", "ARTIFACT_KIND", "BenchScenario", "Comparison",
+    "Delta", "MEM_TOLERANCE", "SUITES", "ScenarioResult",
+    "WALL_TOLERANCE", "artifact_paths", "collapsed_stacks",
+    "compare_artifacts", "environment", "hotspot_table",
+    "ingest_pytest_benchmark", "load_artifact", "merge_hotspots",
+    "next_artifact_path", "run_scenario", "run_suite", "suite",
+    "suite_names", "validate_artifact", "write_artifact",
+]

@@ -1,0 +1,163 @@
+"""Cross-run regression analytics: diff two ``BENCH_*.json`` artifacts.
+
+Per-metric comparison policy (``new`` vs ``old``, the committed
+baseline):
+
+* ``wall_min_s`` — wall time is noisy, so a regression needs *both* a
+  relative excess beyond the tolerance (default 25%) and an absolute
+  excess beyond ``wall_floor_s`` (ignores jitter on sub-50 ms
+  scenarios).  Symmetric improvements are reported but never fail.
+* ``events_per_sec`` — throughput; regression below ``1 - tolerance``.
+* ``peak_mem_kib`` — memory tolerance is wider (default 50%) with a
+  512 KiB absolute floor; allocator layout moves more than time does.
+* ``events_executed`` / ``completed`` — bit-stable for a pinned
+  scenario.  A changed event count is flagged as a *behavior note*
+  (the golden-trace gate owns behavioral regressions); a query that
+  stopped completing is a hard regression.
+* microbenchmarks — ``min_s`` under the wall tolerance.
+
+Scenarios present only in the baseline are notes (a shrunk suite should
+be loud but is a deliberate act); new scenarios pass silently.
+``exit_code`` is nonzero iff at least one hard regression survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: default relative tolerances
+WALL_TOLERANCE = 0.25
+MEM_TOLERANCE = 0.50
+WALL_FLOOR_S = 0.05
+MEM_FLOOR_KIB = 512.0
+
+OK = "ok"
+IMPROVED = "improved"
+REGRESSION = "REGRESSION"
+NOTE = "note"
+
+
+@dataclass
+class Delta:
+    """One compared metric."""
+
+    scenario: str
+    metric: str
+    old: Optional[float]
+    new: Optional[float]
+    status: str
+    detail: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.old and self.new is not None and self.old != 0:
+            return self.new / self.old
+        return None
+
+
+@dataclass
+class Comparison:
+    """The full diff of two artifacts."""
+
+    deltas: List[Delta] = field(default_factory=list)
+
+    def add(self, *args, **kw) -> None:
+        self.deltas.append(Delta(*args, **kw))
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == REGRESSION]
+
+    @property
+    def notes(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == NOTE]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def table(self) -> str:
+        header = (f"{'scenario':<18} {'metric':<18} {'old':>12} "
+                  f"{'new':>12} {'ratio':>7}  status")
+        lines = [header, "-" * len(header)]
+        for d in self.deltas:
+            def fmt(x):
+                return f"{x:>12.4g}" if x is not None else " " * 12
+            ratio = (f"{d.ratio:>6.2f}x" if d.ratio is not None
+                     else " " * 7)
+            tail = f"  {d.status}" + (f" ({d.detail})" if d.detail
+                                      else "")
+            lines.append(f"{d.scenario:<18} {d.metric:<18} "
+                         f"{fmt(d.old)} {fmt(d.new)} {ratio}{tail}")
+        lines.append(f"{len(self.regressions)} regression(s), "
+                     f"{len(self.notes)} note(s), "
+                     f"{len(self.deltas)} metrics compared")
+        return "\n".join(lines)
+
+
+def _rel_check(com: Comparison, scenario: str, metric: str,
+               old, new, tolerance: float, floor: float = 0.0,
+               higher_is_better: bool = False) -> None:
+    """Tolerance-banded relative comparison of one numeric metric."""
+    if old is None or new is None:
+        com.add(scenario, metric, old, new, NOTE,
+                "missing on one side")
+        return
+    if old <= 0:
+        com.add(scenario, metric, old, new, NOTE, "non-positive old")
+        return
+    worse = (old - new) if higher_is_better else (new - old)
+    rel = worse / old
+    if rel > tolerance and abs(worse) > floor:
+        com.add(scenario, metric, old, new, REGRESSION,
+                f"{rel:+.0%} beyond ±{tolerance:.0%}")
+    elif rel < -tolerance:
+        com.add(scenario, metric, old, new, IMPROVED, f"{rel:+.0%}")
+    else:
+        com.add(scenario, metric, old, new, OK)
+
+
+def compare_artifacts(old: dict, new: dict,
+                      tolerance: float = WALL_TOLERANCE,
+                      mem_tolerance: float = MEM_TOLERANCE,
+                      wall_floor_s: float = WALL_FLOOR_S) -> Comparison:
+    """Diff two schema-valid artifacts (``old`` is the baseline)."""
+    com = Comparison()
+    old_scenarios: Dict[str, dict] = old.get("scenarios", {})
+    new_scenarios: Dict[str, dict] = new.get("scenarios", {})
+    for name, want in old_scenarios.items():
+        got = new_scenarios.get(name)
+        if got is None:
+            com.add(name, "scenario", None, None, NOTE,
+                    "missing from new artifact")
+            continue
+        _rel_check(com, name, "wall_min_s", want.get("wall_min_s"),
+                   got.get("wall_min_s"), tolerance, floor=wall_floor_s)
+        _rel_check(com, name, "events_per_sec",
+                   want.get("events_per_sec"), got.get("events_per_sec"),
+                   tolerance, higher_is_better=True)
+        _rel_check(com, name, "peak_mem_kib", want.get("peak_mem_kib"),
+                   got.get("peak_mem_kib"), mem_tolerance,
+                   floor=MEM_FLOOR_KIB)
+        if want.get("events_executed") != got.get("events_executed"):
+            com.add(name, "events_executed",
+                    want.get("events_executed"),
+                    got.get("events_executed"), NOTE,
+                    "behavior changed — check golden traces")
+        else:
+            com.add(name, "events_executed",
+                    want.get("events_executed"),
+                    got.get("events_executed"), OK)
+        if bool(want.get("completed")) and not bool(got.get("completed")):
+            com.add(name, "completed", 1.0, 0.0, REGRESSION,
+                    "query no longer completes")
+    for bench_id, want in (old.get("microbench") or {}).items():
+        got = (new.get("microbench") or {}).get(bench_id)
+        if got is None:
+            com.add("microbench", bench_id, None, None, NOTE,
+                    "missing from new artifact")
+            continue
+        _rel_check(com, "microbench", bench_id, want.get("min_s"),
+                   got.get("min_s"), tolerance)
+    return com

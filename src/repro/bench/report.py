@@ -1,0 +1,84 @@
+"""Aggregated hotspot analytics over a ``BENCH_*.json`` artifact.
+
+Per-scenario artifacts carry the kernel profiler's top-N handler table;
+this module merges those tables across every scenario of a suite into
+one ranked view of where simulator wall-time goes, and exports it in
+the collapsed-stack text format (``frame;frame value`` lines) consumed
+by Brendan Gregg's ``flamegraph.pl`` and by speedscope — the value unit
+is integer microseconds of handler wall-time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+def merge_hotspots(artifact: dict) -> List[dict]:
+    """Sum per-scenario handler tables into one ranked table.
+
+    Returns ``{"handler", "calls", "total_s", "share", "scenarios"}``
+    rows, hottest first; ``share`` is of the merged total.
+    """
+    merged: Dict[str, dict] = {}
+    for name, scn in artifact.get("scenarios", {}).items():
+        for row in scn.get("hotspots", []):
+            slot = merged.setdefault(
+                row["handler"],
+                {"handler": row["handler"], "calls": 0, "total_s": 0.0,
+                 "scenarios": []})
+            slot["calls"] += int(row["calls"])
+            slot["total_s"] += float(row["total_s"])
+            slot["scenarios"].append(name)
+    total = sum(slot["total_s"] for slot in merged.values()) or 1.0
+    ranked = sorted(merged.values(), key=lambda s: s["total_s"],
+                    reverse=True)
+    for slot in ranked:
+        slot["share"] = slot["total_s"] / total
+        slot["scenarios"] = sorted(set(slot["scenarios"]))
+    return ranked
+
+
+def _frames(handler: str) -> Tuple[str, ...]:
+    """Split a profiler label into collapsed-stack frames.
+
+    ``module:qualname:lineno`` becomes two frames — the module and the
+    qualified name with its line — so flame graphs group by module.
+    """
+    parts = handler.split(":")
+    if len(parts) >= 3 and parts[-1].isdigit():
+        module, qualname, lineno = (parts[0], ":".join(parts[1:-1]),
+                                    parts[-1])
+        return (module, f"{qualname}:L{lineno}")
+    if len(parts) >= 2:
+        return (parts[0], ":".join(parts[1:]))
+    return (handler,)
+
+
+def collapsed_stacks(artifact: dict, root: str = "repro") -> List[str]:
+    """Flamegraph-compatible collapsed-stack lines, merged across the
+    suite's scenarios (value = integer µs of handler wall-time)."""
+    lines: List[str] = []
+    for slot in merge_hotspots(artifact):
+        micros = int(round(slot["total_s"] * 1e6))
+        if micros <= 0:
+            continue
+        stack = ";".join((root,) + _frames(slot["handler"]))
+        lines.append(f"{stack} {micros}")
+    return lines
+
+
+def hotspot_table(artifact: dict, top: int = 15) -> str:
+    """Human-readable merged top-N table."""
+    rows = merge_hotspots(artifact)
+    header = (f"{'handler':<52} {'calls':>9} {'total ms':>10} "
+              f"{'share':>7}  scenarios")
+    lines = [f"merged kernel hotspots over "
+             f"{len(artifact.get('scenarios', {}))} scenario(s) "
+             f"(suite {artifact.get('suite', '?')!r})",
+             header, "-" * len(header)]
+    for slot in rows[:top]:
+        lines.append(
+            f"{slot['handler']:<52} {slot['calls']:>9} "
+            f"{slot['total_s'] * 1e3:>10.3f} {slot['share']:>6.1%}  "
+            f"{len(slot['scenarios'])}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""The curated macro-benchmark scenario matrix.
+
+Each :class:`BenchScenario` pins one canonical workload the perf
+trajectory tracks: the paper's §5.1 defaults, the Figure-8 scalability
+point (k = 100), the Figure-9 mobility point (µmax = 30 m/s), fault
+injection, and the two opt-in subsystems (``repro.validate``,
+``repro.obs``) measured against the bare run so their overhead is a
+first-class number.  Every scenario is deterministic (fixed seed, fixed
+single query, full timeout window — the golden-trace discipline), so
+``events_executed`` is bit-stable and only the wall-clock numbers carry
+machine noise.
+
+Suites:
+
+* ``smoke`` — two tiny scenarios (< 5 s total); harness self-tests.
+* ``small`` — the six canonical scenarios at paper scale, three timed
+  repeats each (min-of-3 is what comparisons use; ~2 min); what CI
+  runs per PR.
+* ``full``  — the small matrix plus a 400-node scaling point, five
+  timed repeats (~5 min); for refreshing committed baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One pinned macro-benchmark workload."""
+
+    name: str
+    title: str
+    n_nodes: int = 200
+    field_size: Tuple[float, float] = (115.0, 115.0)
+    max_speed: float = 10.0
+    seed: int = 1
+    k: int = 20
+    point: Tuple[float, float] = (60.0, 60.0)
+    timeout: float = 12.0          # simulated seconds after the query
+    crash_rate: float = 0.0
+    node_downtime_s: float = 5.0
+    validate: bool = False         # attach repro.validate's harness
+    obs: bool = False              # attach the full Telemetry hub
+    repeats: int = 3               # timed repeats (min is compared)
+
+    def describe(self) -> str:
+        mobility = (f"rwp@{self.max_speed:g}" if self.max_speed
+                    else "static")
+        extras = "".join(
+            [f" crash={self.crash_rate:g}" if self.crash_rate else "",
+             " +validate" if self.validate else "",
+             " +obs" if self.obs else ""])
+        return (f"{mobility} seed={self.seed} n={self.n_nodes} "
+                f"k={self.k} t={self.timeout:g}s{extras}")
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["field_size"] = list(self.field_size)
+        out["point"] = list(self.point)
+        return out
+
+
+def _paper(name: str, title: str, **kw) -> BenchScenario:
+    return BenchScenario(name=name, title=title, **kw)
+
+
+#: the six canonical scenarios of the perf trajectory (paper scale)
+_CANONICAL: Tuple[BenchScenario, ...] = (
+    _paper("paper-default",
+           "paper §5.1 defaults, one k=20 query (bare simulator)"),
+    _paper("fig8-k100",
+           "Figure 8 scalability point: k=100", k=100, timeout=15.0),
+    _paper("fig9-speed30",
+           "Figure 9 mobility point: µmax=30 m/s", max_speed=30.0, k=40),
+    _paper("faults-on",
+           "paper defaults under Poisson crash injection",
+           crash_rate=0.05),
+    _paper("validate-on",
+           "paper defaults with runtime invariant checkers attached",
+           validate=True),
+    _paper("obs-on",
+           "paper defaults with the full telemetry hub attached",
+           obs=True),
+)
+
+
+def _scaled(scn: BenchScenario, repeats: int) -> BenchScenario:
+    return BenchScenario(**{**scn.to_dict(),
+                            "field_size": scn.field_size,
+                            "point": scn.point,
+                            "repeats": repeats})
+
+
+SUITES: Dict[str, Tuple[BenchScenario, ...]] = {
+    "smoke": (
+        BenchScenario("smoke-static", "tiny static smoke scenario",
+                      n_nodes=40, field_size=(60.0, 60.0), max_speed=0.0,
+                      k=6, point=(30.0, 30.0), timeout=3.0, seed=11,
+                      repeats=1),
+        BenchScenario("smoke-obs", "tiny instrumented smoke scenario",
+                      n_nodes=40, field_size=(60.0, 60.0), max_speed=0.0,
+                      k=6, point=(30.0, 30.0), timeout=3.0, seed=11,
+                      obs=True, repeats=1),
+    ),
+    "small": _CANONICAL,
+    "full": tuple([_scaled(s, repeats=5) for s in _CANONICAL]
+                  + [BenchScenario(
+                      "scale-n400",
+                      "2x node-count scaling point (n=400)",
+                      n_nodes=400, field_size=(163.0, 163.0), k=40,
+                      point=(80.0, 80.0), timeout=15.0, repeats=5)]),
+}
+
+
+def suite(name: str) -> Sequence[BenchScenario]:
+    """The scenario list of a named suite."""
+    if name not in SUITES:
+        raise ValueError(f"unknown suite {name!r}; "
+                         f"choose from {sorted(SUITES)}")
+    return SUITES[name]
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)

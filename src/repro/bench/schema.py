@@ -1,0 +1,125 @@
+"""The ``BENCH_*.json`` artifact schema and its validator.
+
+Artifacts are schema-versioned (``format``) so the comparator can refuse
+to diff incompatible shapes instead of mis-reading them.  The validator
+is deliberately dependency-free (no jsonschema): it walks the document
+and returns a list of human-readable problems, empty meaning valid —
+the same contract as ``repro.obs.validate_chrome_trace``.
+
+Top-level shape (format 1)::
+
+    {
+      "format": 1,
+      "kind": "repro-bench",
+      "suite": "small",
+      "created_utc": "2026-08-06T12:00:00Z",
+      "env": {"python": "...", "platform": "...", ...},
+      "scenarios": {
+        "<name>": {
+          "title": ..., "spec": ..., "repeats": 1,
+          "wall_s": [..], "wall_min_s": .., "wall_mean_s": ..,
+          "phases_s": {"build": .., "warmup": .., "query": ..},
+          "events_executed": .., "events_per_sec": ..,
+          "peak_mem_kib": .. | null,
+          "completed": true,
+          "hotspots": [{"handler", "calls", "total_s", "mean_us",
+                        "share"}, ...],
+          "metrics": {"<series>": {"kind": ...}, ...},
+          "validate": {"checkpoints": .., "outcomes": ..} | null
+        }, ...
+      },
+      "microbench": {
+        "<bench_id>": {"name": .., "min_s": .., "mean_s": ..,
+                       "stddev_s": .., "rounds": ..}, ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+ARTIFACT_FORMAT = 1
+ARTIFACT_KIND = "repro-bench"
+
+#: per-scenario numeric fields every artifact must carry
+_SCENARIO_NUMBERS = ("wall_min_s", "wall_mean_s", "events_executed",
+                     "events_per_sec")
+_HOTSPOT_FIELDS = ("handler", "calls", "total_s", "mean_us", "share")
+_MICRO_NUMBERS = ("min_s", "mean_s", "stddev_s", "rounds")
+
+
+def _is_num(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_artifact(data) -> List[str]:
+    """Structural problems with a BENCH artifact (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["artifact is not a JSON object"]
+    if data.get("format") != ARTIFACT_FORMAT:
+        problems.append(f"format {data.get('format')!r} != "
+                        f"{ARTIFACT_FORMAT}")
+    if data.get("kind") != ARTIFACT_KIND:
+        problems.append(f"kind {data.get('kind')!r} != "
+                        f"{ARTIFACT_KIND!r}")
+    if not isinstance(data.get("suite"), str):
+        problems.append("missing suite name")
+    if not isinstance(data.get("env"), dict):
+        problems.append("missing env object")
+    scenarios = data.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        problems.append("missing or empty scenarios object")
+        scenarios = {}
+    for name, scn in scenarios.items():
+        tag = f"scenario {name!r}"
+        if not isinstance(scn, dict):
+            problems.append(f"{tag} is not an object")
+            continue
+        for key in _SCENARIO_NUMBERS:
+            if not _is_num(scn.get(key)):
+                problems.append(f"{tag}: non-numeric {key} "
+                                f"{scn.get(key)!r}")
+        walls = scn.get("wall_s")
+        if (not isinstance(walls, list) or not walls
+                or not all(_is_num(w) for w in walls)):
+            problems.append(f"{tag}: wall_s is not a list of numbers")
+        phases = scn.get("phases_s")
+        if not isinstance(phases, dict) or not all(
+                _is_num(phases.get(p)) for p in ("build", "warmup",
+                                                 "query")):
+            problems.append(f"{tag}: phases_s missing "
+                            "build/warmup/query numbers")
+        if not isinstance(scn.get("completed"), bool):
+            problems.append(f"{tag}: completed is not a bool")
+        peak = scn.get("peak_mem_kib")
+        if peak is not None and not _is_num(peak):
+            problems.append(f"{tag}: peak_mem_kib {peak!r} is neither "
+                            "numeric nor null")
+        hotspots = scn.get("hotspots")
+        if not isinstance(hotspots, list):
+            problems.append(f"{tag}: hotspots is not a list")
+        else:
+            for i, row in enumerate(hotspots):
+                if not isinstance(row, dict) or not all(
+                        field in row for field in _HOTSPOT_FIELDS):
+                    problems.append(f"{tag}: hotspot {i} lacks "
+                                    f"{'/'.join(_HOTSPOT_FIELDS)}")
+                    break
+        if not isinstance(scn.get("metrics"), dict):
+            problems.append(f"{tag}: metrics is not an object")
+    micro = data.get("microbench", {})
+    if not isinstance(micro, dict):
+        problems.append("microbench is not an object")
+        micro = {}
+    for bench_id, stats in micro.items():
+        tag = f"microbench {bench_id!r}"
+        if not isinstance(stats, dict):
+            problems.append(f"{tag} is not an object")
+            continue
+        for key in _MICRO_NUMBERS:
+            if not _is_num(stats.get(key)):
+                problems.append(f"{tag}: non-numeric {key} "
+                                f"{stats.get(key)!r}")
+    return problems

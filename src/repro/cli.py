@@ -13,6 +13,12 @@ Commands:
   (load the JSON in ui.perfetto.dev), plus optional JSONL/CSV exports.
 * ``stats``     — run an instrumented scenario and print the metrics
   summary and sim-kernel hotspot report.
+* ``bench``     — the perf trajectory: ``bench run`` executes a pinned
+  macro-benchmark suite and emits a schema-versioned ``BENCH_*.json``;
+  ``bench compare`` diffs two artifacts with noise tolerances (nonzero
+  exit on regression); ``bench hotspots`` merges kernel hotspots across
+  the suite (optionally as a flamegraph-compatible collapsed-stack
+  file); ``bench validate`` schema-checks an artifact.
 
 Most run commands accept ``--validate``, which attaches the runtime
 invariant checkers (``repro.validate``) to every simulation they build
@@ -368,7 +374,175 @@ def build_parser() -> argparse.ArgumentParser:
                     help="kernel hotspot rows to show")
     st.set_defaults(func=cmd_stats)
 
+    b = sub.add_parser("bench",
+                       help="macro-benchmark suite + cross-run "
+                            "regression analytics (BENCH_*.json)")
+    bsub = b.add_subparsers(dest="bench_command", required=True)
+
+    br = bsub.add_parser("run", help="run a suite, emit BENCH_<n>.json")
+    br.add_argument("--suite", default="small",
+                    help="suite name: smoke, small or full "
+                         "(default: small)")
+    br.add_argument("--out-dir", default="bench_results",
+                    help="directory for numbered artifacts "
+                         "(default: bench_results)")
+    br.add_argument("--out", default=None,
+                    help="explicit artifact path (overrides --out-dir "
+                         "numbering)")
+    br.add_argument("--repeats", type=int, default=None,
+                    help="override every scenario's timed repeat count")
+    br.add_argument("--no-memory", action="store_true",
+                    help="skip the tracemalloc peak-memory pass")
+    br.add_argument("--microbench", default=None, metavar="FILE",
+                    help="pytest-benchmark JSON to ingest into the "
+                         "artifact's microbench section")
+    br.set_defaults(func=cmd_bench_run)
+
+    bc = bsub.add_parser("compare",
+                         help="diff two artifacts; nonzero exit on "
+                              "regression")
+    bc.add_argument("old", help="baseline BENCH_*.json")
+    bc.add_argument("new", help="candidate BENCH_*.json")
+    bc.add_argument("--tolerance", type=float, default=None,
+                    help="relative wall-time/throughput tolerance "
+                         "(default: 0.25)")
+    bc.add_argument("--mem-tolerance", type=float, default=None,
+                    help="relative peak-memory tolerance (default: 0.5)")
+    bc.set_defaults(func=cmd_bench_compare)
+
+    bh = bsub.add_parser("hotspots",
+                         help="merged kernel hotspots across a suite "
+                              "artifact")
+    bh.add_argument("artifact", help="BENCH_*.json to aggregate")
+    bh.add_argument("--top", type=int, default=15,
+                    help="rows in the merged table")
+    bh.add_argument("--collapsed", default=None, metavar="FILE",
+                    help="also write flamegraph-compatible "
+                         "collapsed stacks")
+    bh.set_defaults(func=cmd_bench_hotspots)
+
+    bv = bsub.add_parser("validate",
+                         help="schema-check a BENCH_*.json artifact")
+    bv.add_argument("artifact", help="artifact file to validate")
+    bv.set_defaults(func=cmd_bench_validate)
+
+    bl = bsub.add_parser("list", help="list suites and their scenarios")
+    bl.set_defaults(func=cmd_bench_list)
+
     return parser
+
+
+def cmd_bench_run(args) -> int:
+    from .bench import (ingest_pytest_benchmark, run_suite,
+                        validate_artifact, write_artifact)
+
+    def progress(scn):
+        print(f"[bench] {scn.name}: {scn.title}", flush=True)
+
+    try:
+        artifact = run_suite(args.suite, memory=not args.no_memory,
+                             repeats=args.repeats, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.microbench:
+        try:
+            artifact["microbench"] = ingest_pytest_benchmark(
+                args.microbench)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot ingest {args.microbench}: {exc}")
+            return 2
+        problems = validate_artifact(artifact)
+        if problems:
+            print("\n".join(f"INVALID {p}" for p in problems))
+            return 2
+    path = write_artifact(artifact, directory=args.out_dir,
+                          path=args.out)
+    for name, scn in artifact["scenarios"].items():
+        mem = (f"{scn['peak_mem_kib']:8.0f} KiB"
+               if scn["peak_mem_kib"] is not None else "     (n/a)")
+        print(f"  {name:<16} {scn['wall_min_s']:7.3f} s  "
+              f"{scn['events_per_sec']:>9.0f} ev/s  {mem}  "
+              f"{'ok' if scn['completed'] else 'INCOMPLETE'}")
+    if artifact["microbench"]:
+        print(f"  + {len(artifact['microbench'])} microbenchmarks "
+              "ingested")
+    print(f"wrote {path} ({len(artifact['scenarios'])} scenarios, "
+          f"suite {args.suite!r})")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from .bench import (MEM_TOLERANCE, WALL_TOLERANCE, compare_artifacts,
+                        load_artifact)
+
+    try:
+        old = load_artifact(args.old)
+        new = load_artifact(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    comparison = compare_artifacts(
+        old, new,
+        tolerance=(args.tolerance if args.tolerance is not None
+                   else WALL_TOLERANCE),
+        mem_tolerance=(args.mem_tolerance if args.mem_tolerance
+                       is not None else MEM_TOLERANCE))
+    print(comparison.table())
+    return comparison.exit_code
+
+
+def cmd_bench_hotspots(args) -> int:
+    from .bench import collapsed_stacks, hotspot_table, load_artifact
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(hotspot_table(artifact, top=args.top))
+    if args.collapsed:
+        lines = collapsed_stacks(artifact)
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"wrote {args.collapsed} ({len(lines)} collapsed stacks "
+              "— feed to flamegraph.pl or speedscope)")
+    return 0
+
+
+def cmd_bench_validate(args) -> int:
+    import json as _json
+
+    from .bench import validate_artifact
+
+    try:
+        with open(args.artifact, "r", encoding="utf-8") as handle:
+            data = _json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.artifact}: {exc}")
+        return 2
+    except _json.JSONDecodeError as exc:
+        print(f"error: {args.artifact} is not valid JSON: {exc}")
+        return 2
+    problems = validate_artifact(data)
+    if problems:
+        for problem in problems:
+            print(f"INVALID {problem}")
+        return 1
+    print(f"{args.artifact}: schema-valid BENCH artifact "
+          f"({len(data['scenarios'])} scenarios, "
+          f"{len(data.get('microbench') or {})} microbenchmarks)")
+    return 0
+
+
+def cmd_bench_list(args) -> int:
+    from .bench import SUITES
+
+    for name in sorted(SUITES):
+        print(f"{name}:")
+        for scn in SUITES[name]:
+            print(f"  {scn.name:<16} {scn.title} [{scn.describe()}]")
+    return 0
 
 
 def cmd_golden(args) -> int:
@@ -398,8 +572,15 @@ def cmd_trace(args) -> int:
     from .obs import validate_chrome_trace
 
     if args.check:
-        with open(args.check, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
+        try:
+            with open(args.check, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read {args.check}: {exc}")
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.check} is not valid JSON: {exc}")
+            return 2
         problems = validate_chrome_trace(data)
         if problems:
             for problem in problems:
@@ -412,7 +593,11 @@ def cmd_trace(args) -> int:
     from .obs import export_chrome_trace, export_jsonl, export_metrics_csv
     from .obs.capture import capture_scenario
 
-    result = capture_scenario(args.scenario)
+    try:
+        result = capture_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     n_events = export_chrome_trace(result.telemetry, args.out)
     print(f"{result.name}: {result.spec}")
     print(f"wrote {args.out} ({n_events} trace events, "
@@ -431,7 +616,11 @@ def cmd_trace(args) -> int:
 def cmd_stats(args) -> int:
     from .obs.capture import capture_scenario
 
-    result = capture_scenario(args.scenario)
+    try:
+        result = capture_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     print(f"{result.name}: {result.spec}")
     print(result.telemetry.report(top=args.top))
     return 0 if result.completed else 1

@@ -1,14 +1,23 @@
-"""Compatibility re-export: the structured trace moved to ``repro.obs``.
+"""Deprecated compatibility re-export: the structured trace moved to
+``repro.obs``.
 
 ``TraceLog`` is the raw-event layer of the telemetry subsystem and now
 lives at :mod:`repro.obs.events`; importing it from here keeps existing
-call sites working.
+call sites working but emits a :class:`DeprecationWarning` — update the
+import, this shim will be removed.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..obs.events import (_MAX_PAYLOAD_DEPTH, TraceEntry,  # noqa: F401
                           TraceLog, _kind_of, _query_id_of,
                           entry_from_wire, entry_to_wire)
+
+warnings.warn(
+    "repro.net.tracelog is deprecated; import TraceLog/TraceEntry from "
+    "repro.obs.events (or repro.obs) instead",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = ["TraceEntry", "TraceLog", "entry_from_wire", "entry_to_wire"]

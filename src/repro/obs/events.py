@@ -19,9 +19,8 @@ import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
-from ..net.messages import Message
-
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.messages import Message
     from ..net.network import Network
 
 

@@ -2,11 +2,15 @@
 
 Answers "where does simulator wall-time go?" by accounting the real
 (``perf_counter``) cost of every executed event callback, keyed by the
-callback's qualified name — ``MacLayer._transmit_attempt.<locals>._begin``
-and friends — which maps one-to-one onto the kernel's event-handler
-types.  Timing happens strictly outside the seeded-RNG path: the profiler
-reads the wall clock and a dict, so simulation results stay bit-identical
-whether or not it is installed.
+callback code object's ``module:qualname:lineno`` —
+``mac:MacLayer._transmit_attempt.<locals>._begin:312`` and friends —
+which maps one-to-one onto the kernel's event-handler types.  Keying on
+the code object (not just ``__qualname__``) keeps distinct lambdas and
+closures in distinct buckets: two ``<lambda>`` handlers defined on
+different lines never collapse into one row.  Timing happens strictly
+outside the seeded-RNG path: the profiler reads the wall clock and a
+dict, so simulation results stay bit-identical whether or not it is
+installed.
 """
 
 from __future__ import annotations
@@ -16,9 +20,24 @@ from typing import Dict, List, Optional, Tuple
 
 
 def _label_of(callback) -> str:
-    """Stable handler-type label for an event callback."""
+    """Stable handler-type label for an event callback.
+
+    Functions, closures and bound methods are keyed by their code
+    object's ``module:qualname:lineno`` so every distinct definition site
+    gets its own bucket (lambdas all share the ``<lambda>`` qualname and
+    are only told apart by line number).  Builtins and callable objects
+    without a code object fall back to a type-level label.
+    """
     if isinstance(callback, functools.partial):
         callback = callback.func
+    func = getattr(callback, "__func__", callback)   # unwrap bound method
+    code = getattr(func, "__code__", None)
+    if code is not None:
+        qualname = getattr(func, "__qualname__", code.co_name)
+        module = getattr(func, "__module__", "") or ""
+        short_mod = module.rsplit(".", 1)[-1]
+        prefix = f"{short_mod}:" if short_mod else ""
+        return f"{prefix}{qualname}:{code.co_firstlineno}"
     qualname = getattr(callback, "__qualname__", None)
     if qualname is None:   # builtins, callables with __call__
         qualname = getattr(type(callback), "__qualname__",
@@ -77,8 +96,14 @@ class KernelProfiler:
     def record(self, callback, elapsed_s: float) -> None:
         # Cache labels by code-object id: closures are re-created per
         # scheduling but share their code, so the string work happens
-        # once per handler type, not once per event.
-        code = getattr(callback, "__code__", None)
+        # once per handler type, not once per event.  Partials and bound
+        # methods are unwrapped first — keying a partial by its own type
+        # would fold every partial-wrapped handler into one bucket.
+        func = callback
+        if isinstance(func, functools.partial):
+            func = func.func
+        func = getattr(func, "__func__", func)
+        code = getattr(func, "__code__", None)
         key = id(code) if code is not None else id(type(callback))
         label = self._label_cache.get(key)
         if label is None:

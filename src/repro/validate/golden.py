@@ -7,7 +7,7 @@ RNG streams, ordered event queue), so the digest is a fingerprint of the
 entire protocol execution — any behavioral change, intended or not, shows
 up as a digest mismatch long before it shows up in averaged metrics.
 
-Digests hash only :class:`~repro.net.tracelog.TraceEntry` fields (time,
+Digests hash only :class:`~repro.obs.events.TraceEntry` fields (time,
 event, kind, node, src, dst, size, query id) — never module-global message
 or route counters — so they are stable regardless of what ran earlier in
 the process.  Fixtures live in ``tests/golden/traces.json``; regenerate
@@ -127,7 +127,7 @@ def run_golden(spec: GoldenSpec) -> GoldenResult:
     from ..core.query import KNNQuery
     from ..experiments.config import SimulationConfig, build_simulation
     from ..geometry import Vec2
-    from ..net.tracelog import TraceLog
+    from ..obs.events import TraceLog
 
     config = SimulationConfig(
         n_nodes=spec.n_nodes, field_size=spec.field_size,

@@ -1,0 +1,185 @@
+"""repro.bench: suites, the scenario runner, artifacts and the schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (ARTIFACT_FORMAT, SUITES, BenchScenario,
+                         artifact_paths, ingest_pytest_benchmark,
+                         load_artifact, next_artifact_path, run_scenario,
+                         suite, validate_artifact, write_artifact)
+
+TINY = BenchScenario("tiny", "tiny test scenario", n_nodes=30,
+                     field_size=(55.0, 55.0), max_speed=0.0, k=5,
+                     point=(28.0, 28.0), timeout=2.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_scenario(TINY, memory=True)
+
+
+@pytest.fixture(scope="module")
+def tiny_artifact(tiny_result):
+    return {
+        "format": ARTIFACT_FORMAT, "kind": "repro-bench",
+        "suite": "test", "created_utc": "2026-01-01T00:00:00Z",
+        "env": {"python": "3"},
+        "scenarios": {TINY.name: tiny_result.to_dict()},
+        "microbench": {},
+    }
+
+
+class TestSuites:
+    def test_known_suites(self):
+        assert {"smoke", "small", "full"} <= set(SUITES)
+
+    def test_small_has_the_canonical_six(self):
+        names = {scn.name for scn in suite("small")}
+        assert names == {"paper-default", "fig8-k100", "fig9-speed30",
+                         "faults-on", "validate-on", "obs-on"}
+
+    def test_unique_names_within_each_suite(self):
+        for name, scenarios in SUITES.items():
+            names = [s.name for s in scenarios]
+            assert len(names) == len(set(names)), name
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite("nope")
+
+    def test_describe_mentions_subsystems(self):
+        by_name = {s.name: s for s in suite("small")}
+        assert "+validate" in by_name["validate-on"].describe()
+        assert "+obs" in by_name["obs-on"].describe()
+        assert "crash" in by_name["faults-on"].describe()
+
+
+class TestRunScenario:
+    def test_result_shape(self, tiny_result):
+        doc = tiny_result.to_dict()
+        assert doc["completed"] is True
+        assert doc["wall_min_s"] > 0
+        assert doc["events_per_sec"] > 0
+        assert doc["events_executed"] > 100
+        assert doc["peak_mem_kib"] > 0
+        assert doc["hotspots"], "bare scenarios still profile the kernel"
+        hottest = doc["hotspots"][0]
+        assert hottest["total_s"] > 0
+        # module:qualname:lineno labels (the bucketing satellite)
+        assert hottest["handler"].rsplit(":", 1)[-1].isdigit()
+        assert doc["phases_s"]["build"] > 0
+        assert doc["validate"] is None
+        assert doc["metrics"] == {}
+
+    def test_obs_scenario_captures_metrics(self):
+        scn = BenchScenario(**{**TINY.to_dict(),
+                               "field_size": TINY.field_size,
+                               "point": TINY.point, "name": "tiny-obs",
+                               "obs": True})
+        result = run_scenario(scn, memory=False)
+        assert result.peak_mem_kib is None
+        assert result.metrics.get("diknn.query.issued", {}) \
+                             .get("value") == 1.0
+
+    def test_validate_scenario_counts_checkpoints(self):
+        scn = BenchScenario(**{**TINY.to_dict(),
+                               "field_size": TINY.field_size,
+                               "point": TINY.point,
+                               "name": "tiny-validate",
+                               "validate": True})
+        result = run_scenario(scn, memory=False)
+        assert result.validate is not None
+        assert result.validate["checkpoints"] >= 1
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_scenario(TINY, repeats=0)
+
+
+class TestArtifactFiles:
+    def test_write_numbers_sequentially(self, tiny_artifact, tmp_path):
+        first = write_artifact(tiny_artifact, directory=tmp_path)
+        second = write_artifact(tiny_artifact, directory=tmp_path)
+        assert first.name == "BENCH_0001.json"
+        assert second.name == "BENCH_0002.json"
+        assert artifact_paths(tmp_path) == [first, second]
+        assert next_artifact_path(tmp_path).name == "BENCH_0003.json"
+
+    def test_load_roundtrip(self, tiny_artifact, tmp_path):
+        path = write_artifact(tiny_artifact, directory=tmp_path)
+        assert load_artifact(path)["scenarios"].keys() == {"tiny"}
+
+    def test_load_rejects_invalid(self, tmp_path):
+        bad = tmp_path / "BENCH_0001.json"
+        bad.write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError, match="not a valid BENCH"):
+            load_artifact(bad)
+
+    def test_explicit_path_wins(self, tiny_artifact, tmp_path):
+        path = write_artifact(tiny_artifact,
+                              path=tmp_path / "sub" / "custom.json")
+        assert path.exists()
+
+
+class TestSchema:
+    def test_valid_artifact_passes(self, tiny_artifact):
+        assert validate_artifact(tiny_artifact) == []
+
+    def test_rejects_non_object(self):
+        assert validate_artifact([1, 2]) == \
+            ["artifact is not a JSON object"]
+
+    def test_rejects_wrong_format_and_kind(self, tiny_artifact):
+        doc = {**tiny_artifact, "format": 0, "kind": "other"}
+        problems = validate_artifact(doc)
+        assert any("format" in p for p in problems)
+        assert any("kind" in p for p in problems)
+
+    def test_rejects_broken_scenario_fields(self, tiny_artifact):
+        scn = dict(tiny_artifact["scenarios"]["tiny"])
+        scn["wall_min_s"] = "fast"
+        scn["wall_s"] = []
+        scn["completed"] = "yes"
+        scn["hotspots"] = [{"handler": "x"}]
+        doc = {**tiny_artifact, "scenarios": {"tiny": scn}}
+        problems = validate_artifact(doc)
+        assert any("wall_min_s" in p for p in problems)
+        assert any("wall_s" in p for p in problems)
+        assert any("completed" in p for p in problems)
+        assert any("hotspot" in p for p in problems)
+
+    def test_rejects_broken_microbench(self, tiny_artifact):
+        doc = {**tiny_artifact,
+               "microbench": {"x": {"min_s": None}}}
+        assert any("min_s" in p for p in validate_artifact(doc))
+
+    def test_null_peak_memory_is_allowed(self, tiny_artifact):
+        scn = dict(tiny_artifact["scenarios"]["tiny"],
+                   peak_mem_kib=None)
+        doc = {**tiny_artifact, "scenarios": {"tiny": scn}}
+        assert validate_artifact(doc) == []
+
+
+class TestIngestion:
+    def test_pytest_benchmark_json(self, tmp_path):
+        payload = {"benchmarks": [
+            {"name": "test_perf_knnb",
+             "extra_info": {"bench_id": "core.knnb_radius"},
+             "stats": {"min": 1e-6, "mean": 2e-6, "stddev": 1e-7,
+                       "rounds": 1000}},
+            {"name": "test_no_id",
+             "stats": {"min": 0.5, "mean": 0.6, "stddev": 0.01,
+                       "rounds": 5}},
+        ]}
+        path = tmp_path / "micro.json"
+        path.write_text(json.dumps(payload))
+        micro = ingest_pytest_benchmark(path)
+        assert micro["core.knnb_radius"]["rounds"] == 1000
+        assert micro["test_no_id"]["min_s"] == 0.5
+
+    def test_repo_microbenchmarks_have_stable_ids(self):
+        text = open("benchmarks/test_perf_kernel.py").read()
+        assert text.count('extra_info["bench_id"]') >= 6

@@ -1,0 +1,221 @@
+"""Cross-run comparator: tolerance bands, regressions, CLI exit codes."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.bench import (ARTIFACT_FORMAT, compare_artifacts,
+                         collapsed_stacks, hotspot_table, merge_hotspots)
+from repro.cli import main
+
+
+def _scenario(wall=1.0, events=5000, eps=5000.0, mem=1024.0,
+              completed=True):
+    return {
+        "title": "t", "spec": "s", "config": {}, "repeats": 1,
+        "wall_s": [wall], "wall_min_s": wall, "wall_mean_s": wall,
+        "phases_s": {"build": 0.1, "warmup": 0.2, "query": wall - 0.3},
+        "events_executed": events, "events_per_sec": eps,
+        "peak_mem_kib": mem, "completed": completed,
+        "hotspots": [
+            {"handler": "engine:PeriodicTask._fire:213", "calls": 100,
+             "total_s": 0.5, "mean_us": 5000.0, "share": 0.8},
+            {"handler": "mac:MacLayer._do_transmit.<locals>.<lambda>:327",
+             "calls": 40, "total_s": 0.125, "mean_us": 3125.0,
+             "share": 0.2},
+        ],
+        "metrics": {}, "validate": None,
+    }
+
+
+def _artifact(**scenarios):
+    return {
+        "format": ARTIFACT_FORMAT, "kind": "repro-bench",
+        "suite": "test", "created_utc": "2026-01-01T00:00:00Z",
+        "env": {"python": "3"},
+        "scenarios": scenarios or {"a": _scenario()},
+        "microbench": {"core.knnb_radius":
+                       {"name": "test_perf_knnb", "min_s": 1e-6,
+                        "mean_s": 2e-6, "stddev_s": 1e-7,
+                        "rounds": 100}},
+    }
+
+
+class TestCompare:
+    def test_self_comparison_is_clean(self):
+        art = _artifact()
+        com = compare_artifacts(art, copy.deepcopy(art))
+        assert com.exit_code == 0
+        assert com.regressions == [] and com.notes == []
+
+    def test_doubled_wall_time_is_a_regression(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["wall_min_s"] *= 2.0
+        com = compare_artifacts(old, new)
+        assert com.exit_code == 1
+        (reg,) = com.regressions
+        assert (reg.scenario, reg.metric) == ("a", "wall_min_s")
+        assert reg.ratio == 2.0
+
+    def test_small_jitter_within_tolerance_passes(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["wall_min_s"] *= 1.2     # under 25%
+        new["scenarios"]["a"]["events_per_sec"] *= 0.85
+        assert compare_artifacts(old, new).exit_code == 0
+
+    def test_absolute_floor_ignores_tiny_scenarios(self):
+        old, new = _artifact(), _artifact()
+        old["scenarios"]["a"]["wall_min_s"] = 0.010
+        new["scenarios"]["a"]["wall_min_s"] = 0.025   # 2.5x but 15 ms
+        assert compare_artifacts(old, new).exit_code == 0
+
+    def test_throughput_drop_is_a_regression(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["events_per_sec"] *= 0.5
+        com = compare_artifacts(old, new)
+        assert any(d.metric == "events_per_sec"
+                   for d in com.regressions)
+
+    def test_big_wall_improvement_is_reported_not_failed(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["wall_min_s"] *= 0.5
+        com = compare_artifacts(old, new)
+        assert com.exit_code == 0
+        assert any(d.status == "improved" for d in com.deltas)
+
+    def test_memory_blowup_is_a_regression(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["peak_mem_kib"] = 10_000.0
+        com = compare_artifacts(old, new)
+        assert any(d.metric == "peak_mem_kib" for d in com.regressions)
+
+    def test_event_count_change_is_a_note_not_a_failure(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["events_executed"] += 1
+        com = compare_artifacts(old, new)
+        assert com.exit_code == 0
+        assert any(d.metric == "events_executed" for d in com.notes)
+
+    def test_lost_completion_is_a_regression(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["completed"] = False
+        com = compare_artifacts(old, new)
+        assert any(d.metric == "completed" for d in com.regressions)
+
+    def test_missing_scenario_is_a_note(self):
+        old = _artifact(a=_scenario(), b=_scenario())
+        new = _artifact(a=_scenario())
+        com = compare_artifacts(old, new)
+        assert com.exit_code == 0
+        assert any(d.scenario == "b" for d in com.notes)
+
+    def test_microbench_regression_fails(self):
+        old, new = _artifact(), _artifact()
+        new["microbench"]["core.knnb_radius"]["min_s"] *= 3.0
+        com = compare_artifacts(old, new)
+        assert com.exit_code == 1
+        assert any(d.scenario == "microbench" for d in com.regressions)
+
+    def test_null_memory_sides_become_a_note(self):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["peak_mem_kib"] = None
+        com = compare_artifacts(old, new)
+        assert com.exit_code == 0
+        assert any(d.metric == "peak_mem_kib" for d in com.notes)
+
+    def test_table_renders(self):
+        art = _artifact()
+        text = compare_artifacts(art, art).table()
+        assert "wall_min_s" in text and "metrics compared" in text
+
+
+class TestHotspotAggregation:
+    def test_merge_sums_across_scenarios(self):
+        art = _artifact(a=_scenario(), b=_scenario())
+        merged = merge_hotspots(art)
+        assert merged[0]["handler"] == "engine:PeriodicTask._fire:213"
+        assert merged[0]["calls"] == 200
+        assert merged[0]["scenarios"] == ["a", "b"]
+        assert sum(m["share"] for m in merged) == 1.0
+
+    def test_collapsed_stack_format(self):
+        lines = collapsed_stacks(_artifact())
+        assert lines[0].startswith("repro;engine;PeriodicTask._fire:L213 ")
+        count = int(lines[0].rsplit(" ", 1)[1])
+        assert count == 500_000   # 0.5 s in µs
+        assert all(len(line.split(" ")) == 2 for line in lines)
+
+    def test_table_renders(self):
+        assert "merged kernel hotspots" in hotspot_table(_artifact())
+
+
+class TestBenchCli:
+    def test_compare_self_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_0001.json"
+        path.write_text(json.dumps(_artifact()))
+        assert main(["bench", "compare", str(path), str(path)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_compare_injected_regression_exit_nonzero(self, tmp_path,
+                                                      capsys):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["wall_min_s"] *= 2.0
+        old_p, new_p = tmp_path / "old.json", tmp_path / "new.json"
+        old_p.write_text(json.dumps(old))
+        new_p.write_text(json.dumps(new))
+        assert main(["bench", "compare", str(old_p), str(new_p)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_tolerance_flag(self, tmp_path, capsys):
+        old, new = _artifact(), _artifact()
+        new["scenarios"]["a"]["wall_min_s"] *= 2.0
+        old_p, new_p = tmp_path / "old.json", tmp_path / "new.json"
+        old_p.write_text(json.dumps(old))
+        new_p.write_text(json.dumps(new))
+        assert main(["bench", "compare", str(old_p), str(new_p),
+                     "--tolerance", "1.5"]) == 0
+
+    def test_compare_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["bench", "compare", str(tmp_path / "no.json"),
+                     str(tmp_path / "no.json")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_validate_good_and_bad(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_artifact()))
+        assert main(["bench", "validate", str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": 1}))
+        assert main(["bench", "validate", str(bad)]) == 1
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{nope")
+        assert main(["bench", "validate", str(corrupt)]) == 2
+
+    def test_hotspots_with_collapsed_export(self, tmp_path, capsys):
+        art = tmp_path / "BENCH_0001.json"
+        art.write_text(json.dumps(_artifact()))
+        out = tmp_path / "collapsed.txt"
+        assert main(["bench", "hotspots", str(art),
+                     "--collapsed", str(out)]) == 0
+        assert out.read_text().startswith("repro;engine;")
+
+    def test_list_names_suites(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "small:" in out and "paper-default" in out
+
+    def test_run_smoke_suite_end_to_end(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["bench", "run", "--suite", "smoke", "--no-memory",
+                     "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        path = out_dir / "BENCH_0001.json"
+        assert path.exists()
+        assert main(["bench", "validate", str(path)]) == 0
+        assert main(["bench", "compare", str(path), str(path)]) == 0
+
+    def test_run_unknown_suite_exit_two(self, capsys):
+        assert main(["bench", "run", "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""CLI coverage for ``repro trace`` and ``repro stats``.
+
+Exit codes, files created, and graceful behavior on missing/corrupt
+trace inputs (the CLI must report and return nonzero, never traceback).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def captured_files(tmp_path_factory):
+    """One shared instrumented capture with all three exports."""
+    tmp = tmp_path_factory.mktemp("trace_cli")
+    paths = {"trace": tmp / "trace.json", "jsonl": tmp / "events.jsonl",
+             "csv": tmp / "metrics.csv"}
+    code = main(["trace", "static-diknn", "--out", str(paths["trace"]),
+                 "--jsonl", str(paths["jsonl"]),
+                 "--csv", str(paths["csv"])])
+    return code, paths
+
+
+class TestTrace:
+    def test_capture_exit_code_and_files(self, captured_files):
+        code, paths = captured_files
+        assert code == 0
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_capture_writes_valid_chrome_trace(self, captured_files):
+        _, paths = captured_files
+        data = json.loads(paths["trace"].read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert main(["trace", "--check", str(paths["trace"])]) == 0
+
+    def test_jsonl_lines_parse(self, captured_files):
+        _, paths = captured_files
+        lines = paths["jsonl"].read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+
+    def test_csv_has_header(self, captured_files):
+        _, paths = captured_files
+        assert paths["csv"].read_text().startswith("series,")
+
+    def test_tree_flag_prints_spans(self, capsys, tmp_path):
+        code = main(["trace", "static-diknn", "--tree",
+                     "--out", str(tmp_path / "t.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "query q1" in out
+
+    def test_unknown_scenario_exit_two(self, capsys, tmp_path):
+        code = main(["trace", "no-such-scenario",
+                     "--out", str(tmp_path / "t.json")])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "error:" in out and "no-such-scenario" in out
+        assert not (tmp_path / "t.json").exists()
+
+    def test_check_missing_file_exit_two(self, capsys, tmp_path):
+        code = main(["trace", "--check", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_check_corrupt_json_exit_two(self, capsys, tmp_path):
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{'not': json,")
+        assert main(["trace", "--check", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_check_schema_invalid_exit_one(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"traceEvents": [{"ph": "Z", "name": 5}]}))
+        assert main(["trace", "--check", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_prints_summary_and_hotspots(self, capsys):
+        code = main(["stats", "static-diknn", "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diknn.query.issued" in out
+        assert "kernel profile" in out
+
+    def test_unknown_scenario_exit_two(self, capsys):
+        assert main(["stats", "no-such-scenario"]) == 2
+        assert "error:" in capsys.readouterr().out

@@ -7,7 +7,7 @@ import json
 
 import pytest
 
-from repro.net.tracelog import TraceEntry
+from repro.obs.events import TraceEntry
 from repro.validate import golden
 from repro.validate.golden import (DEFAULT_FIXTURE_PATH, GOLDEN_SPECS,
                                    run_golden, trace_digest,

@@ -75,7 +75,7 @@ class TestChromeTrace:
 
 class TestFlatExports:
     def test_jsonl_preserves_the_digest(self, captured, tmp_path):
-        from repro.net.tracelog import TraceLog
+        from repro.obs.events import TraceLog
         path = tmp_path / "events.jsonl"
         n = export_jsonl(captured.telemetry, str(path))
         assert n == len(captured.telemetry.events)

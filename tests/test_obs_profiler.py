@@ -1,0 +1,100 @@
+"""Kernel-profiler bucketing: handlers are keyed by definition site.
+
+Regression coverage for the ``<lambda>`` collapse: before keying labels
+by the code object's ``module:qualname:lineno``, every lambda/closure
+handler landed in one unattributable bucket, and every
+``functools.partial`` shared a single cache slot.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.obs import KernelProfiler
+from repro.obs.profiler import _label_of
+from repro.sim import Simulator
+
+
+def _drain(sim):
+    while sim.step():
+        pass
+
+
+class TestLabelOf:
+    def test_function_label_has_module_qualname_lineno(self):
+        label = _label_of(_drain)
+        module, qualname, lineno = label.rsplit(":", 2)
+        assert module == "test_obs_profiler"
+        assert qualname == "_drain"
+        assert lineno.isdigit()
+
+    def test_distinct_lambdas_get_distinct_labels(self):
+        a = lambda: None   # noqa: E731
+        b = lambda: None   # noqa: E731
+        assert _label_of(a) != _label_of(b)
+        assert "<lambda>" in _label_of(a)
+
+    def test_same_closure_site_shares_a_label(self):
+        def make(n):
+            return lambda: n
+        assert _label_of(make(1)) == _label_of(make(2))
+
+    def test_partial_is_unwrapped(self):
+        def target():
+            pass
+        assert _label_of(functools.partial(target)) == _label_of(target)
+
+    def test_bound_method_label(self):
+        sim = Simulator()
+        label = _label_of(sim.step)
+        assert "Simulator.step" in label and label.startswith("engine:")
+
+    def test_builtin_falls_back_to_type_label(self):
+        label = _label_of(max)
+        assert "max" in label
+
+
+class TestProfilerBucketing:
+    def test_two_lambda_handlers_get_two_buckets(self):
+        sim = Simulator()
+        prof = KernelProfiler().install(sim)
+        hits = []
+        sim.schedule_at(1.0, lambda: hits.append("a"))
+        sim.schedule_at(2.0, lambda: hits.append("b"))
+        _drain(sim)
+        assert hits == ["a", "b"]
+        labels = [s.label for s in prof.hotspots()]
+        assert len(labels) == 2
+        assert all("<lambda>" in label for label in labels)
+
+    def test_partials_of_different_funcs_do_not_collapse(self):
+        sim = Simulator()
+        prof = KernelProfiler().install(sim)
+        hits = []
+
+        def first():
+            hits.append(1)
+
+        def second():
+            hits.append(2)
+
+        sim.schedule_at(1.0, functools.partial(first))
+        sim.schedule_at(2.0, functools.partial(second))
+        _drain(sim)
+        labels = {s.label for s in prof.hotspots()}
+        assert len(labels) == 2
+        assert prof.events_timed == 2
+
+    def test_repeated_closure_accumulates_one_bucket(self):
+        sim = Simulator()
+        prof = KernelProfiler().install(sim)
+
+        def schedule(i):
+            sim.schedule_at(float(i), lambda: None)
+
+        for i in range(1, 6):
+            schedule(i)
+        _drain(sim)
+        (stats,) = prof.hotspots()
+        assert stats.calls == 5
+        assert stats.label.split(":")[-1].isdigit()

@@ -100,33 +100,33 @@ class TestQueryIdExtraction:
                        payload=payload)
 
     def test_top_level(self):
-        from repro.net.tracelog import _query_id_of
+        from repro.obs.events import _query_id_of
         assert _query_id_of(self._msg({"query_id": 4})) == 4
 
     def test_single_inner(self):
-        from repro.net.tracelog import _query_id_of
+        from repro.obs.events import _query_id_of
         assert _query_id_of(
             self._msg({"inner": {"query_id": 5}})) == 5
 
     def test_deeply_nested_inner(self):
-        from repro.net.tracelog import _query_id_of
+        from repro.obs.events import _query_id_of
         payload = {"query_id": 9}
         for _ in range(4):
             payload = {"inner": payload, "inner_kind": "gpsr"}
         assert _query_id_of(self._msg(payload)) == 9
 
     def test_token_inside_nested_inner(self):
-        from repro.net.tracelog import _query_id_of
+        from repro.obs.events import _query_id_of
         payload = {"inner": {"inner": {"token": {"query_id": 11}}}}
         assert _query_id_of(self._msg(payload)) == 11
 
     def test_absent_and_non_dict_payloads(self):
-        from repro.net.tracelog import _query_id_of
+        from repro.obs.events import _query_id_of
         assert _query_id_of(self._msg({"inner": {"x": 1}})) is None
         assert _query_id_of(self._msg({})) is None
 
     def test_depth_bounded(self):
-        from repro.net.tracelog import _MAX_PAYLOAD_DEPTH, _query_id_of
+        from repro.obs.events import _MAX_PAYLOAD_DEPTH, _query_id_of
         payload = {"query_id": 3}
         for _ in range(_MAX_PAYLOAD_DEPTH + 2):
             payload = {"inner": payload}
@@ -134,7 +134,7 @@ class TestQueryIdExtraction:
         assert _query_id_of(self._msg(payload)) is None
 
     def test_cyclic_payload_terminates(self):
-        from repro.net.tracelog import _query_id_of
+        from repro.obs.events import _query_id_of
         payload = {}
         payload["inner"] = payload
         assert _query_id_of(self._msg(payload)) is None

@@ -9,7 +9,7 @@ from repro.core import DIKNNProtocol
 from repro.core.query import KNNQuery
 from repro.experiments import SimulationConfig, build_simulation, run_query
 from repro.geometry import Vec2
-from repro.net.tracelog import TraceLog
+from repro.obs.events import TraceLog
 from repro.validate import enable_validation, reset_validation, trace_digest
 
 CFG = SimulationConfig(n_nodes=60, field_size=(70.0, 70.0), seed=9,
