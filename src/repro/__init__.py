@@ -19,8 +19,9 @@ Quickstart::
 
 from .baselines import (FloodingConfig, FloodingProtocol, KPTConfig,
                         KPTProtocol, PeerTreeConfig, PeerTreeProtocol)
-from .core import (DIKNNConfig, DIKNNProtocol, KNNQuery, QueryProtocol,
-                   QueryResult, knnb_radius, next_query_id)
+from .core import (DIKNNConfig, DIKNNProtocol, KNNQuery, QueryIdAllocator,
+                   QueryProtocol, QueryResult, knnb_radius, next_query_id,
+                   per_run_allocator)
 from .experiments import (SimulationConfig, SimulationHandle,
                           build_simulation, defaults_table, fig8_sweep,
                           fig9_sweep, resilience_sweep, run_query,
@@ -33,6 +34,8 @@ from .net import Network, SensorNode
 from .obs import (KernelProfiler, MetricsRegistry, SpanTracker, Telemetry,
                   TraceLog, enable_observability)
 from .routing import GpsrRouter
+from .service import (Outcome, QueryService, ServiceConfig, ServiceReport,
+                      run_service_soak)
 from .sim import Simulator
 from .validate import (InvariantViolation, ValidationHarness,
                        enable_validation)
@@ -42,13 +45,15 @@ __version__ = "1.0.0"
 __all__ = [
     "FloodingConfig", "FloodingProtocol", "KPTConfig", "KPTProtocol",
     "PeerTreeConfig", "PeerTreeProtocol", "DIKNNConfig", "DIKNNProtocol",
-    "KNNQuery", "QueryProtocol", "QueryResult", "knnb_radius",
-    "next_query_id", "SimulationConfig", "SimulationHandle",
+    "KNNQuery", "QueryIdAllocator", "QueryProtocol", "QueryResult",
+    "knnb_radius", "next_query_id", "per_run_allocator",
+    "SimulationConfig", "SimulationHandle",
     "build_simulation", "defaults_table", "fig8_sweep", "fig9_sweep",
     "resilience_sweep", "FaultInjector", "FaultPlan",
     "run_query", "run_workload", "Rect", "Vec2", "QueryOutcome",
     "RunMetrics", "post_accuracy", "pre_accuracy", "true_knn", "Network",
-    "SensorNode", "GpsrRouter", "Simulator", "InvariantViolation",
+    "SensorNode", "GpsrRouter", "Outcome", "QueryService", "ServiceConfig",
+    "ServiceReport", "run_service_soak", "Simulator", "InvariantViolation",
     "ValidationHarness", "enable_validation", "KernelProfiler",
     "MetricsRegistry", "SpanTracker", "Telemetry", "TraceLog",
     "enable_observability", "__version__",

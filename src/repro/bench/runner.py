@@ -108,7 +108,8 @@ def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
             n_nodes=scn.n_nodes, field_size=scn.field_size,
             max_speed=scn.max_speed, seed=scn.seed,
             crash_rate=scn.crash_rate,
-            node_downtime_s=scn.node_downtime_s)
+            node_downtime_s=scn.node_downtime_s,
+            blackout=scn.blackout)
         handle = build_simulation(config, DIKNNProtocol())
         telemetry = None
         profiler = None
@@ -131,17 +132,26 @@ def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
         t1 = time.perf_counter()
         handle.warm_up()
         t2 = time.perf_counter()
-        query = KNNQuery(query_id=1, sink_id=handle.sink.id,
-                         point=Vec2(*scn.point), k=scn.k,
-                         issued_at=handle.sim.now)
-        done: List[object] = []
-        handle.protocol.issue(handle.sink, query, done.append)
-        handle.sim.run(until=handle.sim.now + scn.timeout)
-        stop = getattr(handle.protocol, "stop", None)
-        if callable(stop):
-            stop()
-        if not done:
-            handle.protocol.abandon(query.query_id)
+        service = None
+        if scn.mode == "service":
+            from ..service import run_service_soak
+            report, service = run_service_soak(
+                config, k=scn.k, rate_qps=scn.rate_qps,
+                duration=scn.soak_duration, handle=handle)
+            scenario_ok = report.all_accounted
+        else:
+            query = KNNQuery(query_id=1, sink_id=handle.sink.id,
+                             point=Vec2(*scn.point), k=scn.k,
+                             issued_at=handle.sim.now)
+            done: List[object] = []
+            handle.protocol.issue(handle.sink, query, done.append)
+            handle.sim.run(until=handle.sim.now + scn.timeout)
+            stop = getattr(handle.protocol, "stop", None)
+            if callable(stop):
+                stop()
+            if not done:
+                handle.protocol.abandon(query.query_id)
+            scenario_ok = bool(done)
         t3 = time.perf_counter()
         peak_kib = None
         if trace_memory:
@@ -151,7 +161,7 @@ def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
             phases_s={"build": t1 - t0, "warmup": t2 - t1,
                       "query": t3 - t2},
             events_executed=handle.sim.events_executed,
-            completed=bool(done),
+            completed=scenario_ok,
             peak_mem_kib=peak_kib)
         if harness is not None:
             harness.finalize()
@@ -161,6 +171,8 @@ def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
         if telemetry is not None:
             telemetry.finalize()
             result.metrics = telemetry.metrics.to_dict()
+        if service is not None:
+            result.metrics.update(service.metrics.to_dict())
         if profiler is not None:
             result.hotspots = [
                 {"handler": label, "calls": calls, "total_s": total_s,

@@ -13,22 +13,31 @@ machine noise.
 Suites:
 
 * ``smoke`` — two tiny scenarios (< 5 s total); harness self-tests.
-* ``small`` — the six canonical scenarios at paper scale, three timed
-  repeats each (min-of-3 is what comparisons use; ~2 min); what CI
-  runs per PR.
-* ``full``  — the small matrix plus a 400-node scaling point, five
-  timed repeats (~5 min); for refreshing committed baselines.
+* ``small`` — the six canonical scenarios plus the healthy service
+  soak at paper scale, three timed repeats each (min-of-3 is what
+  comparisons use; ~2 min); what CI runs per PR.
+* ``full``  — the small matrix plus a 400-node scaling point and the
+  blackout service soak, five timed repeats (~5 min); for refreshing
+  committed baselines.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One pinned macro-benchmark workload."""
+    """One pinned macro-benchmark workload.
+
+    ``mode`` selects the harness: ``"query"`` is the classic single
+    pinned query over the full timeout window; ``"service"`` runs a
+    ``repro.service`` soak (Poisson arrivals at ``rate_qps`` for
+    ``soak_duration`` simulated seconds, optional regional
+    ``blackout``), whose ``completed`` flag means *every submission
+    resolved to exactly one taxonomy outcome*.
+    """
 
     name: str
     title: str
@@ -44,14 +53,25 @@ class BenchScenario:
     validate: bool = False         # attach repro.validate's harness
     obs: bool = False              # attach the full Telemetry hub
     repeats: int = 3               # timed repeats (min is compared)
+    mode: str = "query"            # "query" | "service"
+    rate_qps: float = 2.0          # service mode: Poisson arrival rate
+    soak_duration: float = 30.0    # service mode: seconds of arrivals
+    #: service mode: regional blackout (at, cx, cy, radius, duration)
+    blackout: Optional[Tuple[float, float, float, float, float]] = None
 
     def describe(self) -> str:
         mobility = (f"rwp@{self.max_speed:g}" if self.max_speed
                     else "static")
         extras = "".join(
             [f" crash={self.crash_rate:g}" if self.crash_rate else "",
+             " blackout" if self.blackout else "",
              " +validate" if self.validate else "",
              " +obs" if self.obs else ""])
+        if self.mode == "service":
+            return (f"service {self.rate_qps:g}qps x "
+                    f"{self.soak_duration:g}s {mobility} "
+                    f"seed={self.seed} n={self.n_nodes} "
+                    f"k={self.k}{extras}")
         return (f"{mobility} seed={self.seed} n={self.n_nodes} "
                 f"k={self.k} t={self.timeout:g}s{extras}")
 
@@ -59,6 +79,8 @@ class BenchScenario:
         out = asdict(self)
         out["field_size"] = list(self.field_size)
         out["point"] = list(self.point)
+        if self.blackout is not None:
+            out["blackout"] = list(self.blackout)
         return out
 
 
@@ -90,7 +112,26 @@ def _scaled(scn: BenchScenario, repeats: int) -> BenchScenario:
     return BenchScenario(**{**scn.to_dict(),
                             "field_size": scn.field_size,
                             "point": scn.point,
+                            "blackout": scn.blackout,
                             "repeats": repeats})
+
+
+#: concurrent-serving soaks (repro.service); sized so the chaos variant
+#: still finishes in CI wall time.  The blackout kills the field center
+#: mid-soak, so the regional circuit breakers must open and recover.
+_SERVICE = (
+    BenchScenario("service-soak",
+                  "concurrent serving soak (deadlines, retries, "
+                  "admission control)",
+                  mode="service", n_nodes=60, field_size=(75.0, 75.0),
+                  k=4, seed=7, rate_qps=2.0, soak_duration=30.0),
+    BenchScenario("service-soak-faults",
+                  "serving soak through a regional blackout "
+                  "(circuit breakers + degradation)",
+                  mode="service", n_nodes=60, field_size=(75.0, 75.0),
+                  k=4, seed=11, rate_qps=2.0, soak_duration=30.0,
+                  blackout=(10.0, 37.5, 37.5, 20.0, 10.0)),
+)
 
 
 SUITES: Dict[str, Tuple[BenchScenario, ...]] = {
@@ -104,8 +145,9 @@ SUITES: Dict[str, Tuple[BenchScenario, ...]] = {
                       k=6, point=(30.0, 30.0), timeout=3.0, seed=11,
                       obs=True, repeats=1),
     ),
-    "small": _CANONICAL,
+    "small": _CANONICAL + (_SERVICE[0],),
     "full": tuple([_scaled(s, repeats=5) for s in _CANONICAL]
+                  + [_scaled(s, repeats=3) for s in _SERVICE]
                   + [BenchScenario(
                       "scale-n400",
                       "2x node-count scaling point (n=400)",

@@ -13,6 +13,10 @@ Commands:
   (load the JSON in ui.perfetto.dev), plus optional JSONL/CSV exports.
 * ``stats``     — run an instrumented scenario and print the metrics
   summary and sim-kernel hotspot report.
+* ``service``   — run a concurrent serving soak (``repro.service``):
+  Poisson query arrivals against one long-lived network with deadlines,
+  bounded retries, admission control and per-region circuit breakers;
+  prints the outcome taxonomy, latency percentiles and goodput.
 * ``bench``     — the perf trajectory: ``bench run`` executes a pinned
   macro-benchmark suite and emits a schema-versioned ``BENCH_*.json``;
   ``bench compare`` diffs two artifacts with noise tolerances (nonzero
@@ -230,6 +234,26 @@ def cmd_run_scenario(args) -> int:
     return 0
 
 
+def cmd_service(args) -> int:
+    from .service import ServiceConfig, run_service_soak
+
+    service_config = ServiceConfig(
+        deadline_s=args.deadline,
+        attempt_timeout_s=args.attempt_timeout,
+        max_retries=args.retries,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        breaker_grid=args.breaker_grid,
+        breaker_cooldown_s=args.breaker_cooldown)
+    report, service = run_service_soak(
+        _config(args), k=args.k, rate_qps=args.rate,
+        duration=args.duration, service_config=service_config)
+    if service.handle.validator is not None:
+        service.handle.validator.finalize()
+    print(report.table())
+    return 0 if report.all_accounted else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -373,6 +397,32 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--top", type=int, default=10,
                     help="kernel hotspot rows to show")
     st.set_defaults(func=cmd_stats)
+
+    sv = sub.add_parser("service",
+                        help="concurrent serving soak: Poisson arrivals "
+                             "with deadlines, retries, admission control "
+                             "and circuit breakers")
+    _add_common(sv)
+    sv.add_argument("-k", type=int, default=5)
+    sv.add_argument("--rate", type=float, default=5.0,
+                    help="mean Poisson arrival rate (queries/s)")
+    sv.add_argument("--duration", type=float, default=60.0,
+                    help="simulated seconds of arrivals")
+    sv.add_argument("--deadline", type=float, default=10.0,
+                    help="end-to-end per-query deadline (s)")
+    sv.add_argument("--attempt-timeout", type=float, default=4.0,
+                    help="per-attempt budget before abort+retry (s)")
+    sv.add_argument("--retries", type=int, default=2,
+                    help="retry budget after the first attempt")
+    sv.add_argument("--max-inflight", type=int, default=4,
+                    help="admission: concurrent query budget")
+    sv.add_argument("--max-queue", type=int, default=32,
+                    help="admission: wait-queue bound (overflow is shed)")
+    sv.add_argument("--breaker-grid", type=int, default=3,
+                    help="circuit-breaker regions per field axis")
+    sv.add_argument("--breaker-cooldown", type=float, default=8.0,
+                    help="seconds an open breaker waits before probing")
+    sv.set_defaults(func=cmd_service)
 
     b = sub.add_parser("bench",
                        help="macro-benchmark suite + cross-run "

@@ -22,7 +22,7 @@ from ..geometry import Vec2
 from ..net.node import SensorNode
 from ..sim.engine import PeriodicTask
 from .base import QueryProtocol
-from .query import KNNQuery, QueryResult, next_query_id
+from .query import KNNQuery, QueryResult, per_run_allocator
 
 
 @dataclass
@@ -129,7 +129,8 @@ class ContinuousKNNMonitor:
             # Previous round never answered: give up on it.
             self.protocol.abandon(self._inflight)
             self._inflight = None
-        query = KNNQuery(query_id=next_query_id(), sink_id=self.sink.id,
+        query = KNNQuery(query_id=per_run_allocator(sim).allocate(),
+                         sink_id=self.sink.id,
                          point=self.point, k=self.k, issued_at=sim.now,
                          assurance_gain=self.assurance_gain)
         round_ = MonitorRound(issued_at=sim.now)

@@ -9,11 +9,61 @@ from typing import Dict, List, Optional
 from ..geometry import Vec2
 from ..sim.errors import QueryError
 
+class QueryIdAllocator:
+    """Allocates query ids unique within one run (simulation instance).
+
+    Run isolation: a process-global counter leaks ids across runs — the
+    second run of a sweep starts numbering where the first stopped, so
+    per-query artifacts (outcome rows, span trees, trace entries keyed by
+    query id) are not comparable run-to-run.  Every simulation owns one
+    allocator instead; ids always start at 1.
+    """
+
+    __slots__ = ("_ids", "_last")
+
+    def __init__(self, start: int = 1):
+        if start < 1:
+            raise QueryError(f"query ids start at >= 1, got {start}")
+        self._ids = itertools.count(start)
+        self._last = start - 1
+
+    def allocate(self) -> int:
+        """The next unused query id of this run."""
+        self._last = next(self._ids)
+        return self._last
+
+    @property
+    def last(self) -> int:
+        """Highest id handed out so far (``start - 1`` when none)."""
+        return self._last
+
+
+#: well-known attribute the per-simulator allocator is stashed under
+_SIM_ALLOCATOR_ATTR = "_query_id_allocator"
+
+
+def per_run_allocator(sim) -> QueryIdAllocator:
+    """The :class:`QueryIdAllocator` of one ``Simulator``, created on
+    first use.  All run paths (experiment runner, continuous monitors,
+    the query service) allocate through this, so two runs in one process
+    produce identical id sequences."""
+    alloc = getattr(sim, _SIM_ALLOCATOR_ATTR, None)
+    if alloc is None:
+        alloc = QueryIdAllocator()
+        setattr(sim, _SIM_ALLOCATOR_ATTR, alloc)
+    return alloc
+
+
 _query_ids = itertools.count(1)
 
 
 def next_query_id() -> int:
-    """Globally unique query identifier."""
+    """Process-globally unique query identifier.
+
+    Kept for ad-hoc construction (tests, REPL experiments) where no
+    simulator scope exists; run paths use :func:`per_run_allocator`
+    instead, which restarts at 1 per simulation.
+    """
     return next(_query_ids)
 
 

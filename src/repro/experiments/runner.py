@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from ..core.query import KNNQuery, QueryResult, next_query_id
+from ..core.query import KNNQuery, QueryResult, per_run_allocator
 from ..geometry import Vec2
 from ..metrics.accuracy import post_accuracy, pre_accuracy
 from ..metrics.outcome import QueryOutcome, RunMetrics
@@ -17,6 +17,26 @@ from .config import SimulationConfig, SimulationHandle, build_simulation
 from .workloads import QueryWorkload, UniformWorkload
 
 ProtocolFactory = Callable[[SimulationConfig], "object"]
+
+
+def await_completion(sim, done: List[QueryResult],
+                     timeout: float) -> None:
+    """Run the kernel until ``done`` is populated or ``timeout`` passes.
+
+    Event-driven: the completion callback requests a kernel stop, so the
+    run ends right after the event that answered the query — no
+    per-event polling.  An unanswered query gets the first event beyond
+    the deadline as well (in-flight deliveries land before the caller
+    abandons), matching the historical stepping loop.
+
+    The caller's completion callback must call ``sim.request_stop()``
+    when it fires (see :func:`run_query`); this helper only drives the
+    clock.
+    """
+    deadline = sim.now + timeout
+    sim.run(until=deadline)
+    if not done and sim.now >= deadline:
+        sim.step()
 
 
 def run_query(handle: SimulationHandle, point: Vec2, k: int,
@@ -29,18 +49,20 @@ def run_query(handle: SimulationHandle, point: Vec2, k: int,
     """
     g = (assurance_gain if assurance_gain is not None
          else handle.config.assurance_gain)
-    query = KNNQuery(query_id=next_query_id(), sink_id=handle.sink.id,
-                     point=point, k=k, issued_at=handle.sim.now,
+    sim = handle.sim
+    query = KNNQuery(query_id=per_run_allocator(sim).allocate(),
+                     sink_id=handle.sink.id,
+                     point=point, k=k, issued_at=sim.now,
                      assurance_gain=g)
     done: List[QueryResult] = []
     energy_before = handle.network.ledger.snapshot()
-    handle.protocol.issue(handle.sink, query, done.append)
-    deadline = handle.sim.now + timeout
-    while not done and handle.sim.now < deadline:
-        if not handle.sim.step():
-            break
-        if handle.sim.now > deadline:
-            break
+
+    def _on_complete(result: QueryResult) -> None:
+        done.append(result)
+        sim.request_stop()
+
+    handle.protocol.issue(handle.sink, query, _on_complete)
+    await_completion(sim, done, timeout)
     energy = handle.network.ledger.since(energy_before)
     if done:
         result = done[0]
@@ -99,9 +121,11 @@ def run_workload(config: SimulationConfig,
     finished: Dict[int, QueryResult] = {}
     end = sim.now + duration
 
+    ids = per_run_allocator(sim)
+
     def _make_issue(point: Vec2):
         def _issue() -> None:
-            query = KNNQuery(query_id=next_query_id(),
+            query = KNNQuery(query_id=ids.allocate(),
                              sink_id=handle.sink.id, point=point, k=k,
                              issued_at=sim.now,
                              assurance_gain=config.assurance_gain)

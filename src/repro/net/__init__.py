@@ -6,12 +6,9 @@ from .messages import BROADCAST, Message
 from .network import Network, NetworkStats
 from .node import NeighborEntry, SensorNode
 from .radio import RadioModel
-# Re-exported from the telemetry subsystem (its canonical home) rather
-# than via the deprecated .tracelog shim, which warns on import.
-from ..obs.events import TraceEntry, TraceLog
 
 __all__ = [
     "EnergyAccount", "EnergyLedger", "EnergyModel", "MacConfig", "MacLayer",
     "MacStats", "BROADCAST", "Message", "Network", "NetworkStats",
-    "NeighborEntry", "SensorNode", "RadioModel", "TraceEntry", "TraceLog",
+    "NeighborEntry", "SensorNode", "RadioModel",
 ]

@@ -247,9 +247,15 @@ class Telemetry:
             # The Q-node died before its window closed; the token only
             # moves on via a fresh dispatch.
             self.spans.end(prev, at=at, status="superseded")
+        parent = self._sector.get(key)
+        if parent is not None and not self.spans.is_open(parent):
+            # The sector already reported (watchdog re-query raced the
+            # traversal); the straggling token's window cannot attach to
+            # a closed parent.
+            parent = None
         self._window[key] = self.spans.begin(
             f"window @{node_id}", "window", at=at, node=node_id,
-            query_id=qid, parent=self._sector.get(key), sector=sector)
+            query_id=qid, parent=parent, sector=sector)
 
     def token_retry(self, qid: int, sector: int, node_id: int,
                     at: float) -> None:
@@ -288,6 +294,13 @@ class Telemetry:
             span_id = self._sector.get((qid, sector))
             if span_id is not None and self.spans.is_open(span_id):
                 fresh = True
+                # A watchdog re-query can race the original traversal:
+                # the sector's answer arrives while a collection window
+                # is still open inside it.  Close the window with the
+                # sector (a child may not outlive its parent).
+                window_id = self._window.pop((qid, sector), None)
+                if window_id is not None and self.spans.is_open(window_id):
+                    self.spans.end(window_id, at=at, status="superseded")
                 span = self.spans.end(span_id, at=at)
                 self.metrics.histogram("diknn.sector.latency_s").observe(
                     at - span.start)

@@ -1,0 +1,21 @@
+"""Fault-tolerant concurrent query serving (``repro.service``).
+
+Wraps the DIKNN protocol in a serving layer with per-query deadlines,
+bounded retries with jittered exponential backoff, admission control,
+per-region circuit breakers and graceful degradation.  See
+``docs/SERVICE.md`` for a quickstart and ``docs/PROTOCOL.md`` for the
+reliability state machines.
+"""
+
+from .backoff import BackoffPolicy
+from .breaker import BreakerRegistry, BreakerState, CircuitBreaker
+from .config import ServiceConfig
+from .outcomes import (Outcome, ServedQuery, ServiceReport,
+                       build_report)
+from .service import QueryService, run_service_soak
+
+__all__ = [
+    "BackoffPolicy", "BreakerRegistry", "BreakerState", "CircuitBreaker",
+    "ServiceConfig", "Outcome", "ServedQuery", "ServiceReport",
+    "build_report", "QueryService", "run_service_soak",
+]

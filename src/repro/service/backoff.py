@@ -1,0 +1,35 @@
+"""Exponential backoff with deterministic jitter.
+
+Retry waits grow geometrically from ``backoff_base_s`` and are capped;
+each wait gets full symmetric jitter drawn from a *dedicated* seeded
+RNG stream (``service.backoff``) so retry timing never perturbs the
+protocol, mobility, or workload streams — two soaks with the same seed
+replay the exact same backoff schedule.
+"""
+
+from __future__ import annotations
+
+from .config import ServiceConfig
+
+
+class BackoffPolicy:
+    """Computes the wait before retry ``n`` (1-based)."""
+
+    def __init__(self, config: ServiceConfig, rng):
+        self._base = config.backoff_base_s
+        self._factor = config.backoff_factor
+        self._cap = config.backoff_cap_s
+        self._jitter = config.backoff_jitter
+        self._rng = rng
+
+    def delay(self, retry: int) -> float:
+        """Jittered wait in seconds before the ``retry``-th retry (>= 1)."""
+        if retry < 1:
+            raise ValueError(f"retry numbers start at 1, got {retry}")
+        nominal = min(self._cap,
+                      self._base * self._factor ** (retry - 1))
+        if self._jitter <= 0.0 or nominal <= 0.0:
+            return nominal
+        # symmetric full jitter: nominal * (1 ± jitter)
+        spread = nominal * self._jitter
+        return max(0.0, nominal + self._rng.uniform(-spread, spread))

@@ -1,0 +1,151 @@
+"""Per-region circuit breakers over the sensor field.
+
+The field is split into a ``grid x grid`` lattice; each cell owns one
+three-state breaker (CLOSED -> OPEN -> HALF_OPEN -> CLOSED).  A
+regional blackout concentrates failures into a handful of cells, so
+those breakers open, short-circuit further queries to degraded cached
+answers, and probe their way closed once the region heals — queries
+into healthy regions keep flowing the whole time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Rect, Vec2
+from .config import ServiceConfig
+
+Region = Tuple[int, int]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One region's breaker.
+
+    CLOSED counts consecutive failures; at the threshold it OPENs and
+    refuses traffic for ``cooldown_s``.  The first ``allow`` after the
+    cooldown moves to HALF_OPEN and lets up to ``half_open_probes``
+    trial queries through: one success re-CLOSEs, one failure re-OPENs
+    (restarting the cooldown).
+    """
+
+    __slots__ = ("region", "_threshold", "_cooldown", "_max_probes",
+                 "state", "_failures", "_opened_at", "_probes_inflight",
+                 "transitions", "short_circuits")
+
+    def __init__(self, region: Region, config: ServiceConfig):
+        self.region = region
+        self._threshold = config.breaker_failure_threshold
+        self._cooldown = config.breaker_cooldown_s
+        self._max_probes = config.breaker_half_open_probes
+        self.state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        #: (time, from_state, to_state) log, for reports and tests
+        self.transitions: List[Tuple[float, str, str]] = []
+        self.short_circuits = 0
+
+    def _move(self, to: BreakerState, now: float) -> None:
+        self.transitions.append((now, self.state.value, to.value))
+        self.state = to
+
+    def allow(self, now: float) -> bool:
+        """May a new query enter this region right now?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self._cooldown:
+                self._move(BreakerState.HALF_OPEN, now)
+                self._probes_inflight = 1
+                return True
+            self.short_circuits += 1
+            return False
+        # HALF_OPEN: admit only up to the probe budget
+        if self._probes_inflight < self._max_probes:
+            self._probes_inflight += 1
+            return True
+        self.short_circuits += 1
+        return False
+
+    def record_success(self, now: float) -> None:
+        self._failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_inflight = 0
+            self._move(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_inflight = 0
+            self._opened_at = now
+            self._move(BreakerState.OPEN, now)
+            return
+        if self.state is BreakerState.CLOSED:
+            self._failures += 1
+            if self._failures >= self._threshold:
+                self._failures = 0
+                self._opened_at = now
+                self._move(BreakerState.OPEN, now)
+
+
+class BreakerRegistry:
+    """All regions' breakers plus the degraded-answer cache."""
+
+    def __init__(self, config: ServiceConfig, field: Rect):
+        self._config = config
+        self._grid = config.breaker_grid
+        self._field = field
+        self._breakers: Dict[Region, CircuitBreaker] = {}
+        #: last COMPLETE answer per region (candidates list), served as a
+        #: degraded PARTIAL while the region's breaker is open
+        self.cache: Dict[Region, list] = {}
+
+    def region_of(self, point: Vec2) -> Region:
+        f = self._field
+        gx = min(self._grid - 1,
+                 max(0, int((point.x - f.x_min) / f.width * self._grid)))
+        gy = min(self._grid - 1,
+                 max(0, int((point.y - f.y_min) / f.height * self._grid)))
+        return (gx, gy)
+
+    def breaker(self, region: Region) -> CircuitBreaker:
+        b = self._breakers.get(region)
+        if b is None:
+            b = CircuitBreaker(region, self._config)
+            self._breakers[region] = b
+        return b
+
+    def breaker_at(self, point: Vec2) -> CircuitBreaker:
+        return self.breaker(self.region_of(point))
+
+    @property
+    def breakers(self) -> Dict[Region, CircuitBreaker]:
+        return self._breakers
+
+    def stats(self) -> Dict[str, object]:
+        opens = closes = shorts = 0
+        per_region = {}
+        for region, b in sorted(self._breakers.items()):
+            r_opens = sum(1 for _, _, to in b.transitions if to == "open")
+            r_closes = sum(1 for _, frm, to in b.transitions
+                           if frm != "closed" and to == "closed")
+            opens += r_opens
+            closes += r_closes
+            shorts += b.short_circuits
+            if b.transitions or b.short_circuits:
+                per_region[f"{region[0]},{region[1]}"] = {
+                    "state": b.state.value,
+                    "opens": r_opens,
+                    "closes": r_closes,
+                    "short_circuits": b.short_circuits,
+                    "transitions": [(t, frm, to)
+                                    for t, frm, to in b.transitions],
+                }
+        return {"opens": opens, "closes": closes,
+                "short_circuits": shorts, "regions": per_region}

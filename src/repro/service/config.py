@@ -1,0 +1,105 @@
+"""Serving-layer tunables: deadlines, retries, admission, breaker.
+
+One :class:`ServiceConfig` captures the whole reliability envelope of
+the query service.  The defaults are sized for the paper-scale network
+(200 nodes, queries that complete in ~0.5–2 simulated seconds): a 10 s
+end-to-end deadline with 4 s attempts leaves room for two retries while
+letting the protocol's own sector watchdog act first, and an in-flight
+budget of 4 keeps the MAC below its congestion knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Reliability envelope of the concurrent query service."""
+
+    # -- per-query deadline ------------------------------------------------
+    #: end-to-end budget per served query, from submission (queue wait
+    #: included); at the deadline the query finalizes with whatever the
+    #: sink gathered (PARTIAL) or as TIMEOUT.
+    deadline_s: float = 10.0
+    #: per-attempt budget; an attempt that has not completed by then is
+    #: aborted and (budget permitting) retried.  Must exceed the
+    #: protocol's own sector watchdog (2.5 s) so DIKNN's in-query
+    #: self-healing gets to act before the service escalates to a full
+    #: re-issue — a tighter value turns every lost sector into a retry
+    #: storm.
+    attempt_timeout_s: float = 4.0
+
+    # -- bounded retries ---------------------------------------------------
+    #: retries after the first attempt (0 = single shot)
+    max_retries: int = 2
+    #: exponential backoff: first retry waits ``backoff_base_s``, each
+    #: further retry multiplies by ``backoff_factor``, capped at
+    #: ``backoff_cap_s``; full jitter of ``±backoff_jitter`` (fractional)
+    #: is drawn from the dedicated ``service.backoff`` RNG stream.
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+    backoff_jitter: float = 0.5
+
+    # -- admission control -------------------------------------------------
+    #: concurrently served queries; submissions beyond it queue.  The
+    #: wireless medium is shared: past ~4 overlapping disseminations a
+    #: paper-scale network collapses into MAC collisions (goodput drops
+    #: ~60%), so the budget's job is to hold concurrency below that knee
+    #: and let the queue absorb bursts instead.
+    max_inflight: int = 4
+    #: bounded wait queue; submissions beyond it are SHED immediately
+    max_queue: int = 32
+
+    # -- per-region circuit breaker ----------------------------------------
+    #: field is split into ``breaker_grid`` x ``breaker_grid`` regions,
+    #: each with its own breaker keyed by the query point's region
+    breaker_grid: int = 3
+    #: consecutive failures in a region that open its breaker
+    breaker_failure_threshold: int = 3
+    #: seconds an open breaker short-circuits before probing again
+    breaker_cooldown_s: float = 8.0
+    #: trial queries allowed through a half-open breaker
+    breaker_half_open_probes: int = 1
+
+    # -- graceful degradation ----------------------------------------------
+    #: serve the last known good answer of a region while its breaker is
+    #: open (a degraded PARTIAL) instead of failing outright
+    degraded_from_cache: bool = True
+    #: extra simulated seconds the soak keeps running after the last
+    #: arrival so in-flight queries can resolve naturally
+    drain_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
+        if not 0 < self.attempt_timeout_s <= self.deadline_s:
+            raise ConfigurationError(
+                "attempt_timeout_s must be in (0, deadline_s]")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError("backoff_jitter must lie in [0, 1]")
+        if self.max_inflight < 1:
+            raise ConfigurationError("max_inflight must be >= 1")
+        if self.max_queue < 0:
+            raise ConfigurationError("max_queue must be >= 0")
+        if self.breaker_grid < 1:
+            raise ConfigurationError("breaker_grid must be >= 1")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError(
+                "breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ConfigurationError("breaker_cooldown_s must be positive")
+        if self.breaker_half_open_probes < 1:
+            raise ConfigurationError(
+                "breaker_half_open_probes must be >= 1")
+        if self.drain_s < 0:
+            raise ConfigurationError("drain_s must be >= 0")

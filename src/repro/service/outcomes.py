@@ -1,0 +1,238 @@
+"""Outcome taxonomy and per-query accounting of the serving layer.
+
+Every query submitted to the service resolves to exactly one
+:class:`Outcome` — the zero-unaccounted-queries invariant the chaos
+soak asserts.  :class:`ServedQuery` is the service-side record of one
+submission across all its protocol attempts; :class:`ServiceReport`
+aggregates a run into the numbers an operator would page on.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.query import Candidate, KNNQuery
+from ..geometry import Vec2
+
+
+class Outcome(enum.Enum):
+    """Terminal state of one served query (exactly one per submission)."""
+
+    #: all sectors reported before the deadline
+    COMPLETE = "complete"
+    #: finalized with partial coverage (deadline, retry exhaustion, or a
+    #: degraded cache answer behind an open breaker)
+    PARTIAL = "partial"
+    #: refused at admission — both the in-flight budget and the wait
+    #: queue were full
+    SHED = "shed"
+    #: deadline passed with nothing collected
+    TIMEOUT = "timeout"
+    #: gave up before the deadline with nothing collected (retry budget
+    #: exhausted, or breaker open with no cached answer)
+    FAILED = "failed"
+
+
+#: outcomes that carry an answer the client can use
+USEFUL_OUTCOMES = (Outcome.COMPLETE, Outcome.PARTIAL)
+
+
+@dataclass(eq=False)
+class ServedQuery:
+    """One submission's life inside the service (identity semantics —
+    queue membership tests compare by object, not field values)."""
+
+    service_id: int
+    point: Vec2
+    k: int
+    submitted_at: float
+    region: Tuple[int, int]
+    deadline_at: float
+    #: protocol-level query ids, one per attempt (newest last)
+    attempt_ids: List[int] = field(default_factory=list)
+    started_at: Optional[float] = None
+    finalized_at: Optional[float] = None
+    outcome: Optional[Outcome] = None
+    #: best merged candidate set across attempts
+    candidates: List[Candidate] = field(default_factory=list)
+    sectors_reported: int = 0
+    sectors_total: int = 0
+    retries: int = 0
+    #: answer came from the region cache behind an open breaker
+    degraded: bool = False
+    #: free-form finalization detail ("deadline", "retry_budget",
+    #: "breaker_open", ...)
+    reason: str = ""
+    #: open telemetry span id (when obs is attached)
+    span_id: Optional[int] = None
+
+    @property
+    def attempts(self) -> int:
+        return len(self.attempt_ids)
+
+    @property
+    def current_attempt(self) -> Optional[int]:
+        return self.attempt_ids[-1] if self.attempt_ids else None
+
+    @property
+    def finalized(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finalized_at is None:
+            return None
+        return self.finalized_at - self.submitted_at
+
+    @property
+    def has_answer(self) -> bool:
+        return bool(self.candidates) or self.sectors_reported > 0
+
+    @property
+    def confidence(self) -> float:
+        """Coverage/confidence score in [0, 1].
+
+        The mean of sector coverage (sectors reporting / sectors total)
+        and candidate coverage (distinct candidates vs ``k``, capped at
+        1).  A COMPLETE query scores 1.0 by construction only when it
+        also returned >= k candidates; sparse regions legitimately score
+        lower, which is the honest signal.
+        """
+        sector_cov = (self.sectors_reported / self.sectors_total
+                      if self.sectors_total > 0 else 0.0)
+        cand_cov = min(1.0, len({c.node_id for c in self.candidates})
+                       / self.k) if self.k > 0 else 0.0
+        return 0.5 * (min(sector_cov, 1.0) + cand_cov)
+
+    def make_query(self, query_id: int, sink_id: int, issued_at: float,
+                   assurance_gain: float) -> KNNQuery:
+        """The protocol-level query of the next attempt."""
+        self.attempt_ids.append(query_id)
+        return KNNQuery(query_id=query_id, sink_id=sink_id,
+                        point=self.point, k=self.k, issued_at=issued_at,
+                        assurance_gain=assurance_gain)
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Exact nearest-rank percentile of a non-empty sorted copy."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ServiceReport:
+    """End-of-run digest of a service soak."""
+
+    duration_s: float
+    submitted: int
+    counts: Dict[str, int]
+    #: exact latency percentiles over finalized queries (all outcomes)
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    #: COMPLETE answers per second of soak
+    goodput_qps: float
+    #: COMPLETE + PARTIAL answers per second of soak
+    useful_qps: float
+    mean_confidence: float
+    retries: int
+    shed: int
+    degraded: int
+    breaker: Dict[str, object]
+    #: queries that never resolved to an outcome (must be 0)
+    unaccounted: int
+
+    @property
+    def all_accounted(self) -> bool:
+        return self.unaccounted == 0
+
+    def table(self) -> str:
+        lines = [
+            f"soak duration:     {self.duration_s:.1f} s simulated",
+            f"queries submitted: {self.submitted}",
+        ]
+        for name in [o.value for o in Outcome]:
+            n = self.counts.get(name, 0)
+            share = n / self.submitted if self.submitted else 0.0
+            lines.append(f"  {name:<9} {n:>6}  ({share:.0%})")
+        lines += [
+            f"unaccounted:       {self.unaccounted}"
+            + ("" if self.all_accounted else "  <-- LEAK"),
+            f"latency p50/p95/p99: {self.latency_p50_s:.3f} / "
+            f"{self.latency_p95_s:.3f} / {self.latency_p99_s:.3f} s",
+            f"goodput:           {self.goodput_qps:.2f} complete/s "
+            f"({self.useful_qps:.2f} useful/s)",
+            f"mean confidence:   {self.mean_confidence:.2f}",
+            f"retries:           {self.retries}  "
+            f"(degraded answers: {self.degraded})",
+            f"breaker:           {self.breaker.get('opens', 0)} opens, "
+            f"{self.breaker.get('closes', 0)} closes, "
+            f"{self.breaker.get('short_circuits', 0)} short-circuits",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "submitted": self.submitted,
+            "counts": dict(self.counts),
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
+            "goodput_qps": self.goodput_qps,
+            "useful_qps": self.useful_qps,
+            "mean_confidence": self.mean_confidence,
+            "retries": self.retries,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "breaker": dict(self.breaker),
+            "unaccounted": self.unaccounted,
+        }
+
+
+def build_report(queries: List[ServedQuery], duration_s: float,
+                 breaker_stats: Dict[str, object]) -> ServiceReport:
+    """Aggregate the per-query records into a :class:`ServiceReport`."""
+    counts: Dict[str, int] = {o.value: 0 for o in Outcome}
+    latencies: List[float] = []
+    confidences: List[float] = []
+    retries = 0
+    degraded = 0
+    unaccounted = 0
+    for sq in queries:
+        if sq.outcome is None:
+            unaccounted += 1
+            continue
+        counts[sq.outcome.value] += 1
+        if sq.latency is not None:
+            latencies.append(sq.latency)
+        if sq.outcome in USEFUL_OUTCOMES:
+            confidences.append(sq.confidence)
+        retries += sq.retries
+        degraded += int(sq.degraded)
+    complete = counts[Outcome.COMPLETE.value]
+    useful = complete + counts[Outcome.PARTIAL.value]
+    return ServiceReport(
+        duration_s=duration_s,
+        submitted=len(queries),
+        counts=counts,
+        latency_p50_s=_percentile(latencies, 0.50),
+        latency_p95_s=_percentile(latencies, 0.95),
+        latency_p99_s=_percentile(latencies, 0.99),
+        goodput_qps=complete / duration_s if duration_s > 0 else 0.0,
+        useful_qps=useful / duration_s if duration_s > 0 else 0.0,
+        mean_confidence=(sum(confidences) / len(confidences)
+                         if confidences else 0.0),
+        retries=retries,
+        shed=counts[Outcome.SHED.value],
+        degraded=degraded,
+        breaker=breaker_stats,
+        unaccounted=unaccounted,
+    )

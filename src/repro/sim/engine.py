@@ -60,6 +60,7 @@ class Simulator:
         self._seq = itertools.count()
         self._events_executed = 0
         self._running = False
+        self._stop_requested = False
         # Pure observers called as fn(event_time) after the clock advances
         # and before the callback runs.  Observers must not schedule events
         # or draw RNG (repro.validate relies on this to stay side-effect
@@ -101,6 +102,16 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self.now + delay, callback)
 
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current event.
+
+        Event-driven completion: a callback (say, a query's completion
+        handler) can end the enclosing ``run`` without the caller polling
+        the queue one ``step`` at a time.  A no-op outside ``run``; the
+        flag is cleared on the next ``run`` entry.
+        """
+        self._stop_requested = True
+
     # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
@@ -134,6 +145,7 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        self._stop_requested = False
         executed = 0
         try:
             while self._queue:
@@ -159,6 +171,8 @@ class Simulator:
                                          perf_counter() - t0)
                 else:
                     event.callback()
+                if self._stop_requested:
+                    return
             if until is not None and self.now < until:
                 self.now = until
         finally:

@@ -1,9 +1,65 @@
-"""Shared fixtures: prebuilt networks of various shapes."""
+"""Shared fixtures: prebuilt networks of various shapes, plus a
+pytest-timeout fallback so the per-test wall-clock ceiling holds even
+where the plugin is not installed."""
 
 from __future__ import annotations
 
+import importlib.util
+import signal
+
 import numpy as np
 import pytest
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        # pytest-timeout owns the "timeout" ini key and marker when
+        # present; these registrations only exist so the pinned ceiling
+        # in pyproject.toml and per-test overrides stay recognized
+        # without the plugin.
+        parser.addini("timeout",
+                      "per-test wall-clock ceiling in seconds "
+                      "(SIGALRM fallback for pytest-timeout)",
+                      default="0")
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock ceiling override "
+            "(SIGALRM fallback for pytest-timeout)")
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        try:
+            limit = float(item.config.getini("timeout") or 0.0)
+        except (TypeError, ValueError):
+            limit = 0.0
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            limit = float(marker.args[0])
+        if limit <= 0.0:
+            yield
+            return
+
+        def _fire(_signum, _frame):
+            raise TimeoutError(
+                f"test exceeded the {limit:g}s ceiling "
+                "(SIGALRM fallback; install pytest-timeout for "
+                "the full plugin)")
+
+        previous = signal.signal(signal.SIGALRM, _fire)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
 from repro.deploy import UniformDeployment
 from repro.geometry import Rect, Vec2

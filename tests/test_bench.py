@@ -36,10 +36,15 @@ class TestSuites:
     def test_known_suites(self):
         assert {"smoke", "small", "full"} <= set(SUITES)
 
-    def test_small_has_the_canonical_six(self):
+    def test_small_has_the_canonical_scenarios(self):
         names = {scn.name for scn in suite("small")}
         assert names == {"paper-default", "fig8-k100", "fig9-speed30",
-                         "faults-on", "validate-on", "obs-on"}
+                         "faults-on", "validate-on", "obs-on",
+                         "service-soak"}
+
+    def test_full_adds_the_blackout_soak(self):
+        names = {scn.name for scn in suite("full")}
+        assert {"service-soak", "service-soak-faults"} <= names
 
     def test_unique_names_within_each_suite(self):
         for name, scenarios in SUITES.items():

@@ -3,10 +3,10 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core import (Candidate, KNNQuery, QueryResult, merge_candidates,
-                        next_query_id)
+from repro.core import (Candidate, KNNQuery, QueryIdAllocator, QueryResult,
+                        merge_candidates, next_query_id, per_run_allocator)
 from repro.geometry import Vec2
-from repro.sim import QueryError
+from repro.sim import QueryError, Simulator
 
 
 def cand(node_id, x, y, t=0.0):
@@ -33,6 +33,35 @@ class TestKNNQuery:
     def test_query_ids_unique(self):
         ids = {next_query_id() for _ in range(100)}
         assert len(ids) == 100
+
+
+class TestQueryIdAllocator:
+    def test_ids_start_at_one_and_increment(self):
+        alloc = QueryIdAllocator()
+        assert alloc.last == 0
+        assert [alloc.allocate() for _ in range(3)] == [1, 2, 3]
+        assert alloc.last == 3
+
+    def test_invalid_start(self):
+        with pytest.raises(QueryError):
+            QueryIdAllocator(start=0)
+
+    def test_per_run_allocator_is_cached_on_the_simulator(self):
+        sim = Simulator(seed=1)
+        alloc = per_run_allocator(sim)
+        alloc.allocate()
+        assert per_run_allocator(sim) is alloc
+        assert per_run_allocator(sim).allocate() == 2
+
+    def test_runs_are_isolated(self):
+        """Two simulations in one process see identical id sequences —
+        the old process-global counter leaked ids across runs."""
+        first = [per_run_allocator(Simulator(seed=1)).allocate()
+                 for _ in range(3)]
+        fresh = Simulator(seed=2)
+        second = [per_run_allocator(fresh).allocate() for _ in range(3)]
+        assert second == [1, 2, 3]
+        assert first == [1, 1, 1]
 
 
 class TestQueryResult:

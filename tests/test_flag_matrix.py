@@ -1,0 +1,68 @@
+"""Flag-matrix smoke: faults + validation + telemetry enabled at once.
+
+Each opt-in subsystem has its own suite; this one asserts they compose.
+A small faulty scenario (Poisson crashes plus a regional blackout) runs
+with the runtime invariant checkers AND the telemetry hub attached —
+the checkers must stay green and the span trees must stay well-formed
+while nodes are dying underneath both observers.
+"""
+
+from __future__ import annotations
+
+from repro.core import DIKNNProtocol
+from repro.experiments import SimulationConfig, run_workload
+from repro.obs import (active_telemetry, enable_observability,
+                       reset_observability)
+from repro.service import ServiceConfig, run_service_soak
+from repro.validate import (enable_validation, reset_validation,
+                            validation_summary)
+
+FAULTY = SimulationConfig(n_nodes=60, field_size=(75.0, 75.0), seed=5,
+                          crash_rate=0.02, node_downtime_s=4.0,
+                          blackout=(8.0, 37.5, 37.5, 18.0, 6.0))
+
+
+def test_workload_with_faults_validate_and_obs_together():
+    try:
+        enable_validation(True)
+        enable_observability(True)
+        metrics = run_workload(FAULTY, lambda cfg: DIKNNProtocol(), k=4,
+                               duration=15.0, query_timeout=8.0)
+        # Invariant checkers ran and stayed green (violations raise).
+        summary = validation_summary()
+        assert summary.get("checkpoints", 0) > 0
+        checks = sum(count for name, count in summary.items()
+                     if name not in ("checkpoints", "outcomes"))
+        assert checks > 0
+        # Telemetry rode along: spans stayed structurally valid.
+        assert metrics.obs is not None
+        assert metrics.obs["span_problems"] == []
+        assert metrics.obs["spans"] > 0
+        assert active_telemetry()
+    finally:
+        reset_validation()
+        reset_observability()
+
+
+def test_service_soak_with_faults_validate_and_obs_together():
+    try:
+        enable_validation(True)
+        enable_observability(True)
+        report, service = run_service_soak(
+            FAULTY, k=4, rate_qps=1.5, duration=15.0,
+            service_config=ServiceConfig(breaker_grid=2))
+        assert report.all_accounted
+        handle = service.handle
+        assert handle.validator is not None
+        handle.validator.finalize()
+        assert handle.validator.checkpoints_run > 0
+        assert handle.obs is not None
+        assert handle.obs.spans.check_integrity() == []
+        # every submission got a service span, opened and closed
+        service_spans = [s for s in handle.obs.spans.spans
+                         if s.category == "service"]
+        assert len(service_spans) == report.submitted
+        assert all(s.end is not None for s in service_spans)
+    finally:
+        reset_validation()
+        reset_observability()

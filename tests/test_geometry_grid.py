@@ -7,6 +7,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.geometry import SpatialGrid, Vec2
 
+# the hypothesis sweeps here legitimately run for minutes; give them
+# headroom above the repo-wide 120 s per-test ceiling
+pytestmark = pytest.mark.timeout(600)
+
 coords = st.floats(min_value=-500, max_value=500, allow_nan=False)
 points = st.lists(st.tuples(coords, coords), min_size=0, max_size=60)
 

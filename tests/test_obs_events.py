@@ -7,27 +7,21 @@ and ``query_span`` conflating a single-event query with an unseen one.
 
 from __future__ import annotations
 
-import importlib
-import warnings
-
 import numpy as np
+import pytest
 
 from repro.obs import entry_from_wire, entry_to_wire
 from repro.obs.events import TraceEntry, TraceLog
 from repro.validate import trace_digest
 
 
-def test_tracelog_reexport_is_the_obs_class_and_warns():
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        import repro.net.tracelog as compat
-        compat = importlib.reload(compat)   # re-fire the import-time warn
-    assert compat.TraceLog is TraceLog
-    assert compat.TraceEntry is TraceEntry
-    deprecations = [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-    assert deprecations, "compat shim must warn on import"
-    assert "repro.obs.events" in str(deprecations[-1].message)
+def test_tracelog_shim_is_gone():
+    """The deprecated ``repro.net.tracelog`` compat shim was removed;
+    ``repro.obs.events`` is the only home of the trace-log types."""
+    with pytest.raises(ModuleNotFoundError):
+        import repro.net.tracelog  # noqa: F401
+    import repro.net
+    assert not hasattr(repro.net, "TraceLog")
 
 
 def test_roundtrip_preserves_field_types(tmp_path):

@@ -1,0 +1,239 @@
+"""Unit coverage of the serving-layer building blocks.
+
+ServiceConfig validation, backoff determinism and bounds, the circuit
+breaker state machine, region mapping, plus the admission-control SHED
+path and breaker short-circuit degradation on a small real network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Candidate, DIKNNProtocol
+from repro.experiments import SimulationConfig, build_simulation
+from repro.geometry import Rect, Vec2
+from repro.service import (BackoffPolicy, BreakerRegistry, BreakerState,
+                           CircuitBreaker, Outcome, QueryService,
+                           ServiceConfig)
+from repro.sim import ConfigurationError
+
+
+class TestServiceConfig:
+    def test_defaults_are_valid(self):
+        cfg = ServiceConfig()
+        assert cfg.attempt_timeout_s <= cfg.deadline_s
+        # the attempt window must clear the protocol's 2.5 s sector
+        # watchdog, or every lost sector becomes a service-level retry
+        assert cfg.attempt_timeout_s > 2.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_s": 0.0},
+        {"attempt_timeout_s": 0.0},
+        {"attempt_timeout_s": 11.0},        # > deadline_s default 10
+        {"max_retries": -1},
+        {"backoff_base_s": -0.1},
+        {"backoff_factor": 0.5},
+        {"backoff_jitter": 1.5},
+        {"max_inflight": 0},
+        {"max_queue": -1},
+        {"breaker_grid": 0},
+        {"breaker_failure_threshold": 0},
+        {"breaker_cooldown_s": 0.0},
+        {"breaker_half_open_probes": 0},
+        {"drain_s": -1.0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**kwargs)
+
+
+class TestBackoffPolicy:
+    CFG = ServiceConfig(backoff_base_s=0.25, backoff_factor=2.0,
+                        backoff_cap_s=2.0, backoff_jitter=0.5)
+
+    def test_retry_numbers_start_at_one(self):
+        policy = BackoffPolicy(self.CFG, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            policy.delay(0)
+
+    def test_jitter_bounds_and_cap(self):
+        policy = BackoffPolicy(self.CFG, np.random.default_rng(1))
+        for retry in range(1, 8):
+            nominal = min(2.0, 0.25 * 2.0 ** (retry - 1))
+            for _ in range(50):
+                d = policy.delay(retry)
+                assert 0.5 * nominal <= d <= 1.5 * nominal
+        # deep retries stay pinned at the cap (± jitter)
+        assert policy.delay(30) <= 2.0 * 1.5
+
+    def test_no_jitter_is_exact(self):
+        cfg = ServiceConfig(backoff_jitter=0.0)
+        policy = BackoffPolicy(cfg, np.random.default_rng(2))
+        assert policy.delay(1) == pytest.approx(cfg.backoff_base_s)
+        assert policy.delay(10) == pytest.approx(cfg.backoff_cap_s)
+
+    def test_same_stream_replays_same_schedule(self):
+        a = BackoffPolicy(self.CFG, np.random.default_rng(7))
+        b = BackoffPolicy(self.CFG, np.random.default_rng(7))
+        assert [a.delay(i) for i in (1, 2, 3, 1)] == \
+               [b.delay(i) for i in (1, 2, 3, 1)]
+
+
+class TestCircuitBreaker:
+    CFG = ServiceConfig(breaker_failure_threshold=3,
+                        breaker_cooldown_s=8.0,
+                        breaker_half_open_probes=1)
+
+    def make(self):
+        return CircuitBreaker((0, 0), self.CFG)
+
+    def test_opens_at_threshold_only(self):
+        b = self.make()
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        assert b.state is BreakerState.CLOSED
+        b.record_failure(3.0)
+        assert b.state is BreakerState.OPEN
+        assert b.transitions == [(3.0, "closed", "open")]
+
+    def test_success_resets_the_consecutive_count(self):
+        b = self.make()
+        b.record_failure(1.0)
+        b.record_failure(2.0)
+        b.record_success(2.5)
+        b.record_failure(3.0)
+        b.record_failure(4.0)
+        assert b.state is BreakerState.CLOSED
+
+    def test_open_short_circuits_until_cooldown(self):
+        b = self.make()
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        assert not b.allow(5.0)
+        assert not b.allow(10.9)
+        assert b.short_circuits == 2
+        # cooldown elapsed: the next allow is the half-open probe
+        assert b.allow(11.0)
+        assert b.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_budget(self):
+        b = self.make()
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        assert b.allow(11.0)            # the probe
+        assert not b.allow(11.1)        # budget of 1 exhausted
+        assert b.short_circuits == 1
+
+    def test_probe_success_recloses(self):
+        b = self.make()
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        assert b.allow(11.0)
+        b.record_success(11.5)
+        assert b.state is BreakerState.CLOSED
+        assert b.allow(11.6)
+        assert b.transitions[-1] == (11.5, "half_open", "closed")
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        b = self.make()
+        for t in (1.0, 2.0, 3.0):
+            b.record_failure(t)
+        assert b.allow(11.0)
+        b.record_failure(11.5)
+        assert b.state is BreakerState.OPEN
+        assert not b.allow(15.0)        # old cooldown would have expired
+        assert b.allow(19.5)            # 11.5 + 8.0
+
+
+class TestBreakerRegistry:
+    def test_region_of_respects_field_origin(self):
+        cfg = ServiceConfig(breaker_grid=2)
+        field = Rect(x_min=10.0, y_min=10.0, x_max=30.0, y_max=30.0)
+        reg = BreakerRegistry(cfg, field)
+        assert reg.region_of(Vec2(11.0, 11.0)) == (0, 0)
+        assert reg.region_of(Vec2(29.0, 11.0)) == (1, 0)
+        assert reg.region_of(Vec2(11.0, 29.0)) == (0, 1)
+        # out-of-field points clamp to the edge cells
+        assert reg.region_of(Vec2(-5.0, 99.0)) == (0, 1)
+
+    def test_breakers_are_lazy_and_cached(self):
+        reg = BreakerRegistry(ServiceConfig(), Rect.from_size(10.0, 10.0))
+        assert reg.breakers == {}
+        b = reg.breaker((1, 2))
+        assert reg.breaker((1, 2)) is b
+
+    def test_stats_counts_opens_closes_shorts(self):
+        cfg = ServiceConfig(breaker_failure_threshold=1,
+                            breaker_cooldown_s=1.0)
+        reg = BreakerRegistry(cfg, Rect.from_size(10.0, 10.0))
+        b = reg.breaker((0, 0))
+        b.record_failure(1.0)           # -> open
+        assert not b.allow(1.5)         # short circuit
+        assert b.allow(2.5)             # half-open probe
+        b.record_success(3.0)           # -> closed
+        stats = reg.stats()
+        assert stats["opens"] == 1
+        assert stats["closes"] == 1
+        assert stats["short_circuits"] == 1
+        region = stats["regions"]["0,0"]
+        assert region["state"] == "closed"
+        assert region["transitions"][0] == (1.0, "closed", "open")
+
+
+def _tiny_handle(seed=3):
+    config = SimulationConfig(n_nodes=40, field_size=(60.0, 60.0),
+                              seed=seed)
+    handle = build_simulation(config, DIKNNProtocol())
+    handle.warm_up()
+    return handle
+
+
+class TestAdmissionControl:
+    def test_overflow_is_shed_and_everything_accounted(self):
+        handle = _tiny_handle()
+        service = QueryService(handle, ServiceConfig(
+            max_inflight=1, max_queue=1, deadline_s=6.0, drain_s=8.0))
+        pts = [Vec2(15.0, 15.0), Vec2(30.0, 30.0), Vec2(45.0, 45.0)]
+        records = [service.submit(p, 3) for p in pts]
+        # 1 in flight + 1 queued; the third is refused at admission
+        assert records[2].outcome is Outcome.SHED
+        assert records[2].reason == "admission"
+        assert records[0].outcome is None and records[1].outcome is None
+        handle.sim.run(until=handle.sim.now + 14.0)
+        service.drain()
+        report = service.report(6.0)
+        assert report.all_accounted
+        assert report.submitted == 3
+        assert report.shed == 1
+        assert sum(report.counts.values()) == 3
+        # SHED never enters the latency histogram
+        assert service.metrics.histogram("service.latency_s").count <= 2
+
+
+class TestShortCircuitDegradation:
+    def test_open_breaker_serves_cached_answer_as_degraded_partial(self):
+        handle = _tiny_handle()
+        service = QueryService(handle, ServiceConfig(
+            breaker_grid=1, breaker_failure_threshold=1,
+            breaker_cooldown_s=60.0))
+        cached = [Candidate(node_id=9, position=Vec2(5.0, 5.0),
+                            speed=0.0, reading=1.0, reported_at=0.0)]
+        service.breakers.cache[(0, 0)] = cached
+        service.breakers.breaker((0, 0)).record_failure(handle.sim.now)
+        sq = service.submit(Vec2(20.0, 20.0), 3)
+        assert sq.outcome is Outcome.PARTIAL
+        assert sq.degraded
+        assert sq.reason == "breaker_open"
+        assert [c.node_id for c in sq.candidates] == [9]
+
+    def test_open_breaker_without_cache_fails_fast(self):
+        handle = _tiny_handle(seed=4)
+        service = QueryService(handle, ServiceConfig(
+            breaker_grid=1, breaker_failure_threshold=1,
+            breaker_cooldown_s=60.0, degraded_from_cache=False))
+        service.breakers.breaker((0, 0)).record_failure(handle.sim.now)
+        sq = service.submit(Vec2(20.0, 20.0), 3)
+        assert sq.outcome is Outcome.FAILED
+        assert sq.reason == "breaker_open"
+        assert service.breakers.breaker((0, 0)).short_circuits == 1

@@ -1,0 +1,96 @@
+"""End-to-end serving soaks: healthy goodput and the chaos acceptance run.
+
+The chaos soak is the acceptance criterion of the serving layer: a
+Poisson stream at 5 q/s for 200 simulated seconds over a network with a
+long regional blackout.  Every submission must resolve to exactly one
+taxonomy outcome (zero unaccounted), the blackout region's breaker must
+demonstrably open *and* re-close, and the report must carry finite
+latency percentiles and nonzero goodput.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import SimulationConfig
+from repro.service import Outcome, ServiceConfig, run_service_soak
+
+HEALTHY = SimulationConfig(n_nodes=60, field_size=(75.0, 75.0), seed=7)
+
+CHAOS = SimulationConfig(n_nodes=60, field_size=(75.0, 75.0), seed=11,
+                         blackout=(60.0, 37.5, 37.5, 25.0, 40.0))
+CHAOS_SERVICE = ServiceConfig(breaker_grid=2, breaker_cooldown_s=10.0)
+
+
+def test_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        run_service_soak(HEALTHY, rate_qps=0.0)
+    with pytest.raises(ValueError):
+        run_service_soak(HEALTHY, duration=-1.0)
+
+
+def test_healthy_soak_mostly_completes():
+    report, service = run_service_soak(HEALTHY, k=4, rate_qps=2.0,
+                                       duration=30.0)
+    assert report.all_accounted
+    assert report.submitted > 0
+    complete = report.counts[Outcome.COMPLETE.value]
+    # admission control keeps the MAC below its congestion knee, so a
+    # healthy network should answer the vast majority in full
+    assert complete / report.submitted >= 0.8
+    assert report.goodput_qps > 0
+    assert report.mean_confidence > 0.5
+    # no blackout: the breaker never has a reason to open
+    assert report.breaker["opens"] == 0
+    # the service always keeps its own metrics, obs attached or not
+    assert service.metrics.counter("service.submitted").value == \
+        report.submitted
+
+
+def test_soak_is_deterministic():
+    first, _ = run_service_soak(HEALTHY, k=4, rate_qps=2.0, duration=30.0)
+    second, _ = run_service_soak(HEALTHY, k=4, rate_qps=2.0, duration=30.0)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_chaos_soak_acceptance():
+    """ISSUE 6 acceptance: 5 q/s x 200 s with a regional blackout."""
+    report, service = run_service_soak(
+        CHAOS, k=5, rate_qps=5.0, duration=200.0,
+        service_config=CHAOS_SERVICE)
+
+    # -- zero unaccounted queries, exactly one outcome each ------------
+    assert report.all_accounted
+    assert report.submitted > 500
+    assert sum(report.counts.values()) == report.submitted
+    for sq in service.queries:
+        assert sq.outcome is not None
+        assert sq.finalized_at is not None
+        assert sq.reason
+
+    # -- the breaker demonstrably opens and re-closes ------------------
+    assert report.breaker["opens"] >= 1
+    assert report.breaker["closes"] >= 1
+    reopened = [r for r in report.breaker["regions"].values()
+                if r["opens"] >= 1 and r["closes"] >= 1]
+    assert reopened, "no region both opened and re-closed its breaker"
+    assert report.breaker["short_circuits"] > 0
+
+    # -- percentiles and goodput are reported and sane -----------------
+    for q in (report.latency_p50_s, report.latency_p95_s,
+              report.latency_p99_s):
+        assert math.isfinite(q) and q > 0.0
+    assert report.latency_p50_s <= report.latency_p95_s \
+        <= report.latency_p99_s
+    assert report.latency_p99_s <= CHAOS_SERVICE.deadline_s + 1e-9
+    assert report.goodput_qps > 0
+    complete = report.counts[Outcome.COMPLETE.value]
+    # the blackout only covers part of the field; most queries still land
+    assert complete / report.submitted >= 0.5
+
+    # -- degradation actually engaged ----------------------------------
+    assert report.retries > 0
+    latencies = service.metrics.histogram("service.latency_s")
+    assert latencies.count == report.submitted - report.shed

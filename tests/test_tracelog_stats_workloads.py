@@ -13,7 +13,7 @@ from repro.experiments import (HotspotWorkload, MovingTargetWorkload,
 from repro.geometry import Rect, Vec2
 from repro.metrics import (Summary, overlaps, significantly_less,
                            summarize, t_quantile_95)
-from repro.net import TraceLog
+from repro.obs.events import TraceLog
 from repro.routing import GpsrRouter
 
 from tests.conftest import build_static_network
