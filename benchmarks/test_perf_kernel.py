@@ -100,6 +100,51 @@ def test_perf_knnb(benchmark):
     assert benchmark(run) > 0
 
 
+def _warm_beacon_network(mode):
+    from repro.mobility import RandomWaypointMobility
+    from repro.net import Network, SensorNode
+
+    sim = Simulator(seed=9)
+    net = Network(sim, beacon_mode=mode)
+    rng = np.random.default_rng(9)
+    for i, pos in enumerate(UniformDeployment().generate(200, FIELD, rng)):
+        net.add_node(SensorNode(i, RandomWaypointMobility(
+            pos, FIELD, sim.rng.stream(f"m{i}"), max_speed=10.0)))
+    net.warm_up()
+    return sim, net
+
+
+def test_perf_batched_beacon_epoch(benchmark):
+    """One beacon interval of a warm 200-node network on the batched
+    kernel: a single epoch flush replaces 200 per-node fire events."""
+    benchmark.extra_info["bench_id"] = "net.batched_beacon_epoch"
+    sim, net = _warm_beacon_network("batched")
+
+    def run():
+        sim.run(until=sim.now + net.beacon_interval)
+        return sim.events_executed
+
+    assert benchmark(run) > 0
+
+
+def test_perf_vectorized_oracle(benchmark):
+    """Exact-KNN ground truth over 200 nodes via the mobility bank."""
+    benchmark.extra_info["bench_id"] = "metrics.oracle_true_knn"
+    from repro.metrics import true_knn
+
+    sim, net = _warm_beacon_network("batched")
+    centers = UniformDeployment().generate(
+        64, FIELD, np.random.default_rng(11))
+
+    def run():
+        total = 0
+        for c in centers:
+            total += len(true_knn(net, c, 20))
+        return total
+
+    assert benchmark(run) == 64 * 20
+
+
 def test_perf_full_simulated_second(benchmark):
     """One simulated second of a warm 200-node beaconing network."""
     benchmark.extra_info["bench_id"] = "net.full_simulated_second"

@@ -121,8 +121,18 @@ def _rel_check(com: Comparison, scenario: str, metric: str,
 def compare_artifacts(old: dict, new: dict,
                       tolerance: float = WALL_TOLERANCE,
                       mem_tolerance: float = MEM_TOLERANCE,
-                      wall_floor_s: float = WALL_FLOOR_S) -> Comparison:
-    """Diff two schema-valid artifacts (``old`` is the baseline)."""
+                      wall_floor_s: float = WALL_FLOOR_S,
+                      events_floor: Optional[Dict[str, float]] = None
+                      ) -> Comparison:
+    """Diff two schema-valid artifacts (``old`` is the baseline).
+
+    ``events_floor`` maps scenario names to absolute events-per-second
+    minimums: an *anti-backslide* gate independent of the baseline's
+    own throughput, so CI fails loudly if a scenario ever drops below
+    a promised floor even when the committed baseline drifts with it.
+    A floor naming a scenario absent from the new artifact is a
+    regression too (the gate must not pass vacuously).
+    """
     com = Comparison()
     old_scenarios: Dict[str, dict] = old.get("scenarios", {})
     new_scenarios: Dict[str, dict] = new.get("scenarios", {})
@@ -152,6 +162,17 @@ def compare_artifacts(old: dict, new: dict,
         if bool(want.get("completed")) and not bool(got.get("completed")):
             com.add(name, "completed", 1.0, 0.0, REGRESSION,
                     "query no longer completes")
+    for name, floor_eps in sorted((events_floor or {}).items()):
+        got = new_scenarios.get(name)
+        got_eps = None if got is None else got.get("events_per_sec")
+        if got_eps is None or got_eps < floor_eps:
+            detail = ("floored scenario missing from new artifact"
+                      if got_eps is None
+                      else f"below absolute floor {floor_eps:g} ev/s")
+            com.add(name, "events_floor", floor_eps, got_eps,
+                    REGRESSION, detail)
+        else:
+            com.add(name, "events_floor", floor_eps, got_eps, OK)
     for bench_id, want in (old.get("microbench") or {}).items():
         got = (new.get("microbench") or {}).get(bench_id)
         if got is None:

@@ -458,6 +458,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: 0.25)")
     bc.add_argument("--mem-tolerance", type=float, default=None,
                     help="relative peak-memory tolerance (default: 0.5)")
+    bc.add_argument("--events-floor", action="append", default=[],
+                    metavar="SCENARIO=EV_PER_SEC",
+                    help="absolute events/sec floor for a scenario "
+                         "(repeatable); below the floor is a hard "
+                         "regression regardless of the baseline")
     bc.set_defaults(func=cmd_bench_compare)
 
     bh = bsub.add_parser("hotspots",
@@ -526,6 +531,17 @@ def cmd_bench_compare(args) -> int:
     from .bench import (MEM_TOLERANCE, WALL_TOLERANCE, compare_artifacts,
                         load_artifact)
 
+    floors = {}
+    for spec in args.events_floor:
+        name, sep, value = spec.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError
+            floors[name] = float(value)
+        except ValueError:
+            print(f"error: --events-floor expects SCENARIO=EV_PER_SEC, "
+                  f"got {spec!r}")
+            return 2
     try:
         old = load_artifact(args.old)
         new = load_artifact(args.new)
@@ -537,7 +553,8 @@ def cmd_bench_compare(args) -> int:
         tolerance=(args.tolerance if args.tolerance is not None
                    else WALL_TOLERANCE),
         mem_tolerance=(args.mem_tolerance if args.mem_tolerance
-                       is not None else MEM_TOLERANCE))
+                       is not None else MEM_TOLERANCE),
+        events_floor=floors or None)
     print(comparison.table())
     return comparison.exit_code
 

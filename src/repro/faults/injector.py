@@ -111,7 +111,7 @@ class FaultInjector:
         # A reboot loses volatile state: the node relearns its
         # neighborhood from scratch instead of trusting entries that are
         # stale by exactly the downtime.
-        node.neighbor_table.clear()
+        node.reset_neighbors()
         node.alive = True
         self.stats.recoveries += 1
         self._notify("recover", node_id)
@@ -144,16 +144,23 @@ class FaultInjector:
     def _install_loss_overlay(self) -> None:
         self.network.mac.loss_overlay = self.extra_loss_now
         self.network._beacon_mac.loss_overlay = self.extra_loss_now
+        # Time-parameterized variant: the batched beacon kernel evaluates
+        # loss at each fire's logical time, not the flush time.
+        self.network.mac.loss_overlay_at = self.extra_loss_at
+        self.network._beacon_mac.loss_overlay_at = self.extra_loss_at
 
     def extra_loss_now(self) -> float:
         """Extra channel loss in effect at the current simulated time.
 
         Overlapping windows compose as independent erasures.
         """
-        now = self.sim.now
+        return self.extra_loss_at(self.sim.now)
+
+    def extra_loss_at(self, t: float) -> float:
+        """Extra channel loss in effect at simulated time ``t``."""
         survive = 1.0
         for start, end, extra in self._loss_windows:
-            if start <= now < end:
+            if start <= t < end:
                 survive *= 1.0 - extra
         return 1.0 - survive
 

@@ -3,31 +3,33 @@
 Because mobility models expose exact closed-form positions, the true k
 nearest neighbors at *any* timestamp are computable outside the protocol —
 this is the referee the paper's accuracy metrics are judged against.
+
+Three interchangeable implementations (proven bit-identical in
+``tests/test_differential_oracle.py``):
+
+* ``brute``: sort every alive node by exact squared distance — the
+  reference.
+* ``grid``: ring expansion over a :class:`~repro.geometry.SpatialGrid`
+  built from the same exact positions.
+* ``auto`` (default): when the network runs the batched beacon kernel,
+  positions come from its vectorized mobility bank and the ranking is a
+  single ``lexsort`` — bit-identical to brute (same arithmetic, numpy
+  elementwise ops perform no FMA contraction) but O(n) vectorized.
+  Falls back to brute otherwise.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Set
 
-from ..geometry import Vec2
+import numpy as np
+
+from ..geometry import SpatialGrid, Vec2
 from ..net.network import Network
 
 
-def true_knn(network: Network, point: Vec2, k: int,
-             t: Optional[float] = None,
-             exclude: Optional[Set[int]] = None) -> List[int]:
-    """Ids of the k nodes truly nearest ``point`` at time ``t``.
-
-    Args:
-        network: the simulated network.
-        point: query point.
-        k: neighbor count (clamped to the population size).
-        t: evaluation time (defaults to the simulation clock).
-        exclude: node ids to ignore (e.g. a dead node).
-
-    Returns:
-        Node ids sorted by exact distance (ties broken by id).
-    """
+def _brute(network: Network, point: Vec2, k: int, t: float,
+           exclude: Optional[Set[int]]) -> List[int]:
     positions = network.true_positions(t)
     if exclude:
         positions = {nid: p for nid, p in positions.items()
@@ -36,3 +38,54 @@ def true_knn(network: Network, point: Vec2, k: int,
                     key=lambda item: (item[1].distance_sq_to(point),
                                       item[0]))
     return [nid for nid, _pos in ranked[:k]]
+
+
+def _grid(network: Network, point: Vec2, k: int, t: float,
+          exclude: Optional[Set[int]]) -> List[int]:
+    grid = SpatialGrid(cell_size=network.radio.range_m)
+    grid.bulk_load(network.true_positions(t).items())
+    return grid.knn(point, k, exclude=exclude)
+
+
+def _vectorized(network: Network, point: Vec2, k: int, t: float,
+                exclude: Optional[Set[int]]) -> List[int]:
+    engine = network._beacon_engine
+    ids, xs, ys = engine.grid_columns(t)
+    if exclude:
+        keep = ~np.isin(ids, list(exclude))
+        ids, xs, ys = ids[keep], xs[keep], ys[keep]
+    dx = xs - point.x
+    dy = ys - point.y
+    d2 = dx * dx + dy * dy
+    order = np.lexsort((ids, d2))[:k]
+    return [int(nid) for nid in ids[order]]
+
+
+def true_knn(network: Network, point: Vec2, k: int,
+             t: Optional[float] = None,
+             exclude: Optional[Set[int]] = None,
+             method: str = "auto") -> List[int]:
+    """Ids of the k nodes truly nearest ``point`` at time ``t``.
+
+    Args:
+        network: the simulated network.
+        point: query point.
+        k: neighbor count (clamped to the population size).
+        t: evaluation time (defaults to the simulation clock).
+        exclude: node ids to ignore (e.g. a dead node).
+        method: ``"auto"``, ``"brute"``, or ``"grid"`` (see module
+            docstring).
+
+    Returns:
+        Node ids sorted by exact distance (ties broken by id).
+    """
+    time = t if t is not None else network.sim.now
+    if method == "brute":
+        return _brute(network, point, k, time, exclude)
+    if method == "grid":
+        return _grid(network, point, k, time, exclude)
+    if method != "auto":
+        raise ValueError(f"unknown oracle method {method!r}")
+    if network._beacon_engine is not None:
+        return _vectorized(network, point, k, time, exclude)
+    return _brute(network, point, k, time, exclude)

@@ -29,6 +29,24 @@ class MobilityModel(abc.ABC):
     def max_speed(self) -> float:
         """Upper bound on the node's speed over its whole lifetime."""
 
+    def current_leg(self, t: float):
+        """Closed-form interpolation row covering time ``t``, or None.
+
+        Returns ``(t_start, t_end, ox, oy, dx, dy, speed, vx, vy,
+        valid_from, valid_to)`` such that for any time ``u`` in
+        ``[valid_from, valid_to]`` the exact kinematics are::
+
+            frac = clip((u - t_start) / (t_end - t_start), 0, 1)
+            position = (ox + (dx - ox) * frac, oy + (dy - oy) * frac)
+
+        with constant ``speed`` and velocity ``(vx, vy)``.  The
+        arithmetic must be bit-identical to ``position_at`` over the
+        validity window — the vectorized mobility bank relies on this.
+        Models without closed-form legs return None and are evaluated
+        per call.
+        """
+        return None
+
     def velocity_at(self, t: float) -> Vec2:
         """Instantaneous velocity vector at time ``t``.
 

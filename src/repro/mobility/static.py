@@ -24,3 +24,8 @@ class StaticMobility(MobilityModel):
 
     def velocity_at(self, t: float) -> Vec2:
         return Vec2(0.0, 0.0)
+
+    def current_leg(self, t: float):
+        p = self._position
+        return (0.0, float("inf"), p.x, p.y, p.x, p.y, 0.0, 0.0, 0.0,
+                0.0, float("inf"))

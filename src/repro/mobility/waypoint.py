@@ -120,3 +120,17 @@ class RandomWaypointMobility(MobilityModel):
         if norm == 0.0:
             return Vec2(0.0, 0.0)
         return heading * (leg.speed / norm)
+
+    def current_leg(self, t: float):
+        leg = self._leg_at(t)
+        if leg.t_end <= leg.t_start:
+            # Degenerate leg (zero duration): pinned at the destination.
+            # Encoded with an infinite span so frac evaluates to exactly
+            # 0 and the interpolation returns the destination.
+            d = leg.destination
+            return (0.0, float("inf"), d.x, d.y, d.x, d.y, 0.0, 0.0, 0.0,
+                    leg.t_start, leg.t_end)
+        vel = self.velocity_at(t)
+        return (leg.t_start, leg.t_end, leg.origin.x, leg.origin.y,
+                leg.destination.x, leg.destination.y, leg.speed,
+                vel.x, vel.y, leg.t_start, leg.t_end)

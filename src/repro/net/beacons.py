@@ -1,0 +1,936 @@
+"""Batched beacon epoch kernel.
+
+Replaces N per-node :class:`~repro.sim.engine.PeriodicTask` beacon timers
+with ONE periodic kernel event per beacon interval.  Each epoch *flushes*
+the interval: per-node fire times are generated from the same
+``beacon.stagger`` / ``beacon.jitter.{id}`` RNG streams the legacy path
+uses, sender kinematics come from a vectorized mobility bank, receiver
+sets are resolved with a vectorized pairwise-distance filter against a
+lazily refreshed position snapshot, and neighbor-table updates plus
+beacon-energy accounting are applied in bulk.
+
+Equivalence contract (proven executable in
+``tests/test_beacon_equivalence.py``): at every interval boundary the
+batched path produces *identical* neighbor tables, beacon counts and
+beacon-energy ledger totals to the legacy per-event path, for any mix of
+mobile/static, dead and muted nodes.  The one sanctioned divergence is
+intra-interval event interleaving (and hence golden digests), which is
+why ``flush()`` is a pure function of (state, time): any observer that
+reads mid-interval state first forces a flush, and the flush result does
+not depend on what triggered it.
+
+Scaling note: the neighbor store is a dense (N, N) float64 block — fine
+for the paper's scales (hundreds of nodes); revisit before running
+10k-node deployments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..geometry import Vec2
+from .node import NeighborEntry, SensorNode
+
+#: jitter draws pre-drawn per refill
+_JIT_BLOCK = 32
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import Network
+
+
+class MobilityBank:
+    """Columnar cache of closed-form mobility legs for vectorized
+    kinematics.
+
+    Each row caches one ``current_leg`` tuple; ``kinematics_at`` evaluates
+    positions with exactly the arithmetic of ``_Leg.position_at``
+    (``frac = clip((t - t0) / (t1 - t0), 0, 1); x = ox + (dx - ox) *
+    frac``) — numpy elementwise ops perform no FMA contraction, so the
+    results are bit-identical to the scalar path.  Rows whose model has no
+    closed form (``current_leg() is None``) fall back to scalar
+    evaluation per call.
+    """
+
+    def __init__(self, models: List[object]):
+        n = len(models)
+        self.models = models
+        self.t0 = np.zeros(n)
+        self.t1 = np.zeros(n)
+        self.ox = np.zeros(n)
+        self.oy = np.zeros(n)
+        self.dx = np.zeros(n)
+        self.dy = np.zeros(n)
+        self.sp = np.zeros(n)
+        self.vx = np.zeros(n)
+        self.vy = np.zeros(n)
+        self.v0 = np.full(n, np.inf)    # validity window start
+        self.v1 = np.full(n, -np.inf)   # validity window end
+
+    def grow(self, model: object) -> None:
+        self.models.append(model)
+        for name in ("t0", "t1", "ox", "oy", "dx", "dy", "sp", "vx", "vy"):
+            setattr(self, name, np.append(getattr(self, name), 0.0))
+        self.v0 = np.append(self.v0, np.inf)
+        self.v1 = np.append(self.v1, -np.inf)
+
+    def _refresh_row(self, i: int, t: float) -> None:
+        leg = self.models[i].current_leg(t)
+        if leg is None:
+            # No closed form: pin the exact scalar kinematics at t only.
+            m = self.models[i]
+            p = m.position_at(t)
+            v = m.velocity_at(t)
+            leg = (0.0, math.inf, p.x, p.y, p.x, p.y, m.speed_at(t),
+                   v.x, v.y, t, t)
+        (self.t0[i], self.t1[i], self.ox[i], self.oy[i], self.dx[i],
+         self.dy[i], self.sp[i], self.vx[i], self.vy[i], self.v0[i],
+         self.v1[i]) = leg
+
+    def kinematics_at(self, idx: np.ndarray, t: np.ndarray):
+        """(px, py, sp, vx, vy) arrays for rows ``idx`` at times ``t``.
+
+        ``idx`` may repeat a row with different times (a node firing more
+        than once per flush); stale rows are refreshed sequentially so a
+        multi-leg span within one flush stays exact.
+        """
+        bad = np.nonzero((t < self.v0[idx]) | (t > self.v1[idx]))[0]
+        for j in bad.tolist():
+            self._refresh_row(int(idx[j]), float(t[j]))
+        still = np.nonzero((t < self.v0[idx]) | (t > self.v1[idx]))[0]
+        if still.size:
+            # Same row requested at times spanning several legs: evaluate
+            # those elements scalar-exactly.
+            px = np.empty(idx.shape[0])
+            py = np.empty(idx.shape[0])
+            sp = np.empty(idx.shape[0])
+            vx = np.empty(idx.shape[0])
+            vy = np.empty(idx.shape[0])
+            ok = np.ones(idx.shape[0], dtype=bool)
+            ok[still] = False
+            pxg, pyg, spg, vxg, vyg = self._eval(idx[ok], t[ok])
+            px[ok], py[ok], sp[ok], vx[ok], vy[ok] = pxg, pyg, spg, vxg, vyg
+            for j in still.tolist():
+                m = self.models[int(idx[j])]
+                tj = float(t[j])
+                p = m.position_at(tj)
+                v = m.velocity_at(tj)
+                px[j], py[j] = p.x, p.y
+                sp[j] = m.speed_at(tj)
+                vx[j], vy[j] = v.x, v.y
+            return px, py, sp, vx, vy
+        return self._eval(idx, t)
+
+    def _eval(self, idx: np.ndarray, t: np.ndarray):
+        t0 = self.t0[idx]
+        denom = self.t1[idx] - t0
+        frac = (t - t0) / denom
+        np.clip(frac, 0.0, 1.0, out=frac)
+        ox = self.ox[idx]
+        oy = self.oy[idx]
+        px = ox + (self.dx[idx] - ox) * frac
+        py = oy + (self.dy[idx] - oy) * frac
+        return px, py, self.sp[idx], self.vx[idx], self.vy[idx]
+
+    def positions_all(self, t: float):
+        """(x, y) arrays for every row at one scalar time ``t``.
+
+        Same arithmetic as :meth:`kinematics_at` (scalar ``t``
+        broadcasts elementwise through the identical expressions), but
+        with no index gathers and no post-refresh revalidation — a
+        refresh at ``t`` always covers ``t``.
+        """
+        bad = np.nonzero((t < self.v0) | (t > self.v1))[0]
+        for i in bad.tolist():
+            self._refresh_row(i, t)
+        t0 = self.t0
+        frac = (t - t0) / (self.t1 - t0)
+        np.clip(frac, 0.0, 1.0, out=frac)
+        ox = self.ox
+        oy = self.oy
+        px = ox + (self.dx - ox) * frac
+        py = oy + (self.dy - oy) * frac
+        return px, py
+
+
+class BatchedBeaconEngine:
+    """One-event-per-interval beacon kernel for a :class:`Network`.
+
+    All mid-interval state reads (neighbor tables, ledgers, counters) go
+    through :meth:`flush`, which brings the world up to ``sim.now`` and is
+    a pure function of (state, time) — so observer-triggered flushes
+    cannot perturb outcomes.
+    """
+
+    def __init__(self, network: "Network"):
+        self.net = network
+        self.sim = network.sim
+        self.interval = network.beacon_interval
+        self.jitter = 0.05 * network.beacon_interval
+        nodes = sorted(network.nodes.values(), key=lambda n: n.id)
+        self.ids = np.array([n.id for n in nodes], dtype=np.int64)
+        self.index: Dict[int, int] = {
+            int(nid): i for i, nid in enumerate(self.ids)}
+        self.node_list: List[SensorNode] = nodes
+        self.bank = MobilityBank([n.mobility for n in nodes])
+        n = len(nodes)
+        self.next_fire = np.full(n, np.inf)
+        self._jitter_gens = [
+            self.sim.rng.stream(f"beacon.jitter.{node.id}") for node in nodes]
+        # Per-node jitter draws are served from pre-drawn blocks:
+        # ``Generator.uniform(low, high, size=m)`` consumes the PCG64
+        # stream bitwise-identically to m scalar ``uniform`` calls
+        # (proven in tests/test_beacon_equivalence.py), so block caching
+        # keeps draw-for-draw parity with the legacy per-fire draw while
+        # amortizing the scalar-call overhead.
+        self._jit_cache = np.zeros((n, _JIT_BLOCK))
+        self._jit_pos = np.full(n, _JIT_BLOCK, dtype=np.int64)
+        self.alive_mask = np.array([n.alive for n in nodes], dtype=bool)
+        self.muted_mask = np.zeros(n, dtype=bool)
+        # Position snapshot (the batched mirror of Network._sync_grid).
+        self.snap_t = -math.inf
+        self.snap_x = np.zeros(n)
+        self.snap_y = np.zeros(n)
+        self.snap_alive = self.alive_mask.copy()
+        # Mirrors legacy's ``len(grid) == len(nodes)`` check: the grid
+        # only holds nodes alive at sync time, so a partial snapshot
+        # forces a re-sync on every subsequent call until it fills back
+        # up — while a full-but-stale one keeps serving within epsilon
+        # even across a fresh death (receivers are still alive-filtered
+        # per fire).
+        self._snap_full = bool(self.snap_alive.all())
+        self._snap_dirty = False
+        # Dense neighbor store: row = hearer, col = neighbor.
+        self.heard = np.full((n, n), -np.inf)
+        self.st_bx = np.zeros((n, n))
+        self.st_by = np.zeros((n, n))
+        self.st_sp = np.zeros((n, n))
+        self.st_vx = np.zeros((n, n))
+        self.st_vy = np.zeros((n, n))
+        self.store_rev = 0
+        self.mat_rev = np.full(n, -1, dtype=np.int64)
+        self.mat_time = np.full(n, -math.inf)
+        # Pending deliveries, appended in fire order → chronological.
+        # Two shapes share the list, told apart by entry[1]'s type:
+        #   per-fire: (t_deliver, sender_idx:int, surv_idx, bx, by, sp,
+        #             vx, vy)
+        #   group:    (t_first, t_deliver[], sender_idx[], recv_mask BxN,
+        #             bx[], by[], sp[], vx[], vy[])  — the fast path.
+        # entry[0] is always the earliest delivery time in the entry.
+        self.pending: List[tuple] = []
+        self._next_delivery = math.inf
+        self._nf_min = math.inf
+        # Liveness transitions (t, idx, new_alive) since the last apply,
+        # for delivery-time alive checks.
+        self._transitions: List[tuple] = []
+        self.last_flush = -math.inf
+        # Ledger accounts must be *created* in chronological charge order
+        # so EnergyLedger.total_j() sums in the same order as legacy
+        # (float addition is order-sensitive).
+        self._acct_touched = np.zeros(n, dtype=bool)
+        # Account objects are created once and never replaced, so cache
+        # them by row to skip the per-charge dict lookup.
+        self._accts: List[Optional[object]] = [None] * n
+        self._running = False
+        self._flushing = False
+        self._virtual_now = 0.0
+        self._epoch_handle = None
+        radio = network.radio
+        self.bits = (network.BEACON_BYTES + radio.header_bytes) * 8
+        self.delay = (radio.airtime(network.BEACON_BYTES)
+                      + radio.propagation_delay_s)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        stagger = self.sim.rng.stream("beacon.stagger")
+        # Legacy draws staggers in node-insertion order; replay that.
+        now = self.sim.now
+        for node in self.net.nodes.values():
+            self.next_fire[self.index[node.id]] = now + float(
+                stagger.uniform(0.0, self.interval))
+        self._nf_min = float(self.next_fire.min()) if len(self.ids) \
+            else math.inf
+        self._running = True
+        self._epoch_handle = self.sim.schedule_in(self.interval, self._epoch)
+
+    def _epoch(self) -> None:
+        self.flush(self.sim.now)
+        if self._running:
+            self._epoch_handle = self.sim.schedule_in(self.interval,
+                                                      self._epoch)
+
+    def stop(self) -> None:
+        self.flush(self.sim.now)
+        self._running = False
+        if self._epoch_handle is not None:
+            self._epoch_handle.cancel()
+            self._epoch_handle = None
+        self.next_fire[:] = np.inf
+        self._nf_min = math.inf
+        if self.pending:
+            # Drain in-flight beacons (legacy deliveries survive stop()).
+            t_last = max(float(p[1][-1]) if isinstance(p[1], np.ndarray)
+                         else p[0] for p in self.pending)
+            self.sim.schedule_at(t_last, lambda: self.flush(self.sim.now))
+
+    def grow(self, node: SensorNode) -> None:
+        """Attach a node added after engine construction."""
+        i = len(self.ids)
+        if len(self.ids) and node.id < int(self.ids[-1]):
+            raise ValueError(
+                "batched beacon engine requires ascending node-id adds")
+        self.ids = np.append(self.ids, node.id)
+        self.index[node.id] = i
+        self.node_list.append(node)
+        self.bank.grow(node.mobility)
+        self.next_fire = np.append(self.next_fire, np.inf)
+        self._jitter_gens.append(
+            self.sim.rng.stream(f"beacon.jitter.{node.id}"))
+        self._jit_cache = np.vstack(
+            [self._jit_cache, np.zeros((1, _JIT_BLOCK))])
+        self._jit_pos = np.append(self._jit_pos, _JIT_BLOCK)
+        self.alive_mask = np.append(self.alive_mask, node.alive)
+        self.muted_mask = np.append(self.muted_mask, False)
+        self.snap_t = -math.inf
+        self.snap_x = np.append(self.snap_x, 0.0)
+        self.snap_y = np.append(self.snap_y, 0.0)
+        self.snap_alive = np.append(self.snap_alive, node.alive)
+        self._snap_full = bool(self.snap_alive.all())
+        n = len(self.ids)
+        for name in ("heard", "st_bx", "st_by", "st_sp", "st_vx", "st_vy"):
+            old = getattr(self, name)
+            new = np.full((n, n), -np.inf if name == "heard" else 0.0)
+            new[:n - 1, :n - 1] = old
+            setattr(self, name, new)
+        self.mat_rev = np.append(self.mat_rev, -1)
+        self.mat_time = np.append(self.mat_time, -math.inf)
+        self._acct_touched = np.append(self._acct_touched, False)
+        self._accts.append(None)
+
+    # -- liveness / mute -----------------------------------------------------
+
+    def on_liveness(self, node: SensorNode, new_alive: bool) -> None:
+        """Called by the node's ``alive`` setter *before* the flag flips."""
+        i = self.index.get(node.id)
+        if i is None:
+            return
+        if not self._flushing:
+            # Settle the world under the old liveness first.
+            self.flush(self.sim.now)
+            t = self.sim.now
+        else:
+            t = self._virtual_now
+            self._snap_dirty = True
+        self._transitions.append((t, i, new_alive))
+        self.alive_mask[i] = new_alive
+
+    def on_mobility_change(self, node: SensorNode, model) -> None:
+        """Called by the node's ``mobility`` setter *before* the swap."""
+        i = self.index.get(node.id)
+        if i is None:
+            return
+        self.flush(self.sim.now)
+        self.bank.models[i] = model
+        self.bank.v0[i] = np.inf
+        self.bank.v1[i] = -np.inf
+
+    def set_muted(self, node_ids, muted: bool) -> None:
+        ids = list(node_ids)
+        self.flush(self.sim.now)
+        for nid in ids:
+            i = self.index.get(nid)
+            if i is not None:
+                self.muted_mask[i] = muted
+
+    # -- flush ---------------------------------------------------------------
+
+    def flush(self, now: float) -> None:
+        """Bring beacon state exactly up to ``now``."""
+        if self._flushing:
+            return
+        if self._nf_min > now and self._next_delivery > now:
+            return  # fast path: nothing due; no revision churn
+        self._flushing = True
+        try:
+            fires = self._generate_fires(now)
+            if fires is None:
+                n_events = 0
+            else:
+                n_events = int(fires[0].size)
+                n_events += self._process_fires(fires[0], fires[1])
+            self._apply_due(now)
+            self.last_flush = now
+            self._nf_min = float(self.next_fire.min()) if len(self.ids) \
+                else math.inf
+            self._next_delivery = self.pending[0][0] if self.pending \
+                else math.inf
+            if n_events:
+                self.sim.credit_events(n_events)
+        finally:
+            self._flushing = False
+
+    def _generate_fires(self, now: float) -> Optional[tuple]:
+        """``(t_arr, i_arr)`` of all fires with t <= now, chronological
+        (stable-sorted, so same-instant fires keep node-index order);
+        ``None`` when nothing is due.
+
+        Jitter draws replicate ``PeriodicTask._next_delay`` exactly: one
+        uniform per fire from the node's own stream, drawn even when the
+        fire will be skipped (dead/muted) — the legacy callback
+        early-returns *after* the reschedule draw.
+        """
+        due = np.nonzero(self.next_fire <= now)[0]
+        if due.size == 0:
+            return None
+        interval = self.interval
+        jit = self.jitter
+        cache = self._jit_cache
+        pos = self._jit_pos
+        gens = self._jitter_gens
+        t_parts: List[np.ndarray] = []
+        i_parts: List[np.ndarray] = []
+        cur_i = due
+        cur_t = self.next_fire[due]
+        # Wave-by-wave: almost every due node fires exactly once per
+        # epoch, so wave 1 covers them all in a handful of array ops and
+        # later waves (re-fires within the window) shrink fast.
+        while cur_i.size:
+            t_parts.append(cur_t)
+            i_parts.append(cur_i)
+            need = pos[cur_i] >= _JIT_BLOCK
+            if need.any():
+                for i in cur_i[need].tolist():
+                    cache[i] = gens[i].uniform(-jit, jit, _JIT_BLOCK)
+                    pos[i] = 0
+            draws = cache[cur_i, pos[cur_i]]
+            pos[cur_i] += 1
+            nxt = cur_t + np.maximum(1e-9, interval + draws)
+            self.next_fire[cur_i] = nxt
+            again = nxt <= now
+            if not again.any():
+                break
+            cur_i = cur_i[again]
+            cur_t = nxt[again]
+        t_arr = np.concatenate(t_parts)
+        i_arr = np.concatenate(i_parts)
+        order = np.argsort(t_arr, kind="stable")
+        return t_arr[order], i_arr[order]
+
+    def _refresh_snapshot(self, t: float) -> None:
+        self.snap_x, self.snap_y = self.bank.positions_all(t)
+        self.snap_alive = self.alive_mask.copy()
+        self._snap_full = bool(self.snap_alive.all())
+        self.snap_t = t
+        self._snap_dirty = False
+
+    def _process_fires(self, t_all: np.ndarray, i_all: np.ndarray) -> int:
+        """Execute live fires in order; returns the number of delivery
+        batches created (for event crediting)."""
+        net = self.net
+        ok = self.alive_mask[i_all] & ~self.muted_mask[i_all]
+        if not ok.any():
+            return 0
+        idx = i_all[ok] if not ok.all() else i_all
+        tf = t_all[ok] if not ok.all() else t_all
+        tf_list = tf.tolist()
+        idx_list = idx.tolist()
+        # Sender kinematics, gathered before any snapshot refresh mutates
+        # bank rows (kinematics_at handles per-element staleness).
+        spx, spy, ssp, svx, svy = self.bank.kinematics_at(idx, tf)
+
+        mac = net._beacon_mac
+        ledger = net.beacon_ledger
+        slow_energy = (ledger.observer is not None
+                       or ledger.capacity_j is not None)
+        has_overlay = (mac.loss_overlay_at is not None
+                       or mac.loss_overlay is not None)
+        base_loss = net.radio.base_loss_rate
+        shadowing = net.radio.shadowing_sigma != 0.0
+        r_sq = net.radio.range_m ** 2
+        max_r_sq = net.radio.max_range_m ** 2
+        eps = net.position_epsilon
+        n_batches = 0
+        tx_counts: Optional[np.ndarray] = None
+        rx_counts: Optional[np.ndarray] = None
+        if not slow_energy:
+            tx_counts = np.zeros(len(self.ids), dtype=np.int64)
+            rx_counts = np.zeros(len(self.ids), dtype=np.int64)
+
+        # Whole-group fast path: with no battery observer (so liveness
+        # cannot flip mid-flush), no shadowing, a lossless channel (no
+        # RNG draws to sequence) and every alive node's ledger account
+        # already created (so creation order is moot), the per-fire loop
+        # below degenerates to pure counter increments — fold the whole
+        # group into a handful of array ops instead.
+        fast = (not slow_energy and not shadowing and not has_overlay
+                and base_loss == 0.0
+                and bool(self._acct_touched[self.alive_mask].all()))
+
+        n_live = len(tf_list)
+        if (fast and not self._snap_dirty
+                and bool(self.alive_mask.all())):
+            # Whole-EPOCH fast path: everyone is alive and (per ``fast``)
+            # nothing can flip mid-flush, so the snapshot-group
+            # boundaries are a pure function of the fire times — walk
+            # them up front, evaluate every group's snapshot in ONE
+            # vectorized kinematics call, and resolve the entire epoch's
+            # receiver matrix with one set of (n_fires, N) array ops.
+            # Alive filtering is vacuous here (all alive, and any reused
+            # prefix snapshot is full by construction), so only the
+            # self-hearing diagonal needs masking.
+            eps_groups: List[float] = []   # refresh time per new group
+            g_of: List[int] = []           # per-fire group (-1 = reuse)
+            st = self.snap_t if self._snap_full else -math.inf
+            cur = -1
+            for t_f in tf_list:
+                if t_f - st >= eps:        # same float compare as the
+                    eps_groups.append(t_f)  # sequential walk below
+                    st = t_f
+                    cur += 1
+                g_of.append(cur)
+            n = len(self.ids)
+            # Row 0 is the pre-flush snapshot (serves fires before the
+            # first refresh, if any); rows 1.. are the fresh groups,
+            # evaluated one group-time at a time so mobility-leg
+            # refreshes sequence exactly as in the per-group walk.
+            sx_rows = [self.snap_x]
+            sy_rows = [self.snap_y]
+            for t_g in eps_groups:
+                px, py = self.bank.positions_all(t_g)
+                sx_rows.append(px)
+                sy_rows.append(py)
+            sxs = np.vstack(sx_rows)
+            sys_ = np.vstack(sy_rows)
+            if eps_groups:
+                self.snap_x = sx_rows[-1]
+                self.snap_y = sy_rows[-1]
+                self.snap_alive = self.alive_mask.copy()
+                self._snap_full = True
+                self.snap_t = eps_groups[-1]
+            g_row = np.array(g_of, dtype=np.intp) + 1
+            dxm = sxs[g_row]
+            dxm -= spx[:, None]
+            dxm *= dxm
+            dym = sys_[g_row]
+            dym -= spy[:, None]
+            dym *= dym
+            dxm += dym
+            in_range = dxm <= r_sq
+            in_range[np.arange(n_live), idx] = False
+            row_counts = in_range.sum(axis=1)
+            net.stats.beacons_sent += n_live
+            mac.count_lightweight_frames(n_live, net.BEACON_BYTES)
+            tx_counts += np.bincount(idx, minlength=n)
+            rx_counts += in_range.sum(axis=0)
+            n_batches = int((row_counts > 0).sum())
+            if row_counts.any():
+                tds = tf + self.delay
+                self.pending.append(
+                    (float(tds[0]), tds, idx.copy(), in_range,
+                     spx, spy, ssp, svx, svy))
+            self._virtual_now = tf_list[-1]
+            self._bulk_energy(ledger, net, tx_counts, rx_counts)
+            return n_batches
+
+        k = 0
+        while k < n_live:
+            t_k = tf_list[k]
+            # Legacy _sync_grid parity: refresh when stale by epsilon, or
+            # when the snapshot is missing a node (the grid drops dead
+            # nodes, so legacy's length check fails and it re-syncs every
+            # call until everyone is back), or when liveness changed
+            # mid-flush.  A full-but-stale snapshot keeps serving within
+            # epsilon even if a node died since — exactly like the grid.
+            if (t_k - self.snap_t >= eps or not self._snap_full
+                    or self._snap_dirty):
+                self._refresh_snapshot(t_k)
+            # Group consecutive fires sharing this snapshot.
+            g_end = k + 1
+            if self._snap_full and not self._snap_dirty:
+                while (g_end < n_live
+                       and tf_list[g_end] - self.snap_t < eps):
+                    g_end += 1
+            g_idx = idx[k:g_end]
+            dxm = self.snap_x[None, :] - spx[k:g_end, None]
+            dym = self.snap_y[None, :] - spy[k:g_end, None]
+            d2 = dxm * dxm + dym * dym
+            in_range = d2 <= (max_r_sq if shadowing else r_sq)
+            in_range &= self.snap_alive[None, :]
+            in_range &= self.alive_mask[None, :]
+            rows = np.arange(g_end - k)
+            in_range[rows, g_idx] = False
+            if fast:
+                B = g_end - k
+                row_counts = in_range.sum(axis=1)
+                net.stats.beacons_sent += B
+                mac.count_lightweight_frames(B, net.BEACON_BYTES)
+                np.add.at(tx_counts, g_idx, 1)
+                rx_counts += in_range.sum(axis=0)
+                n_batches += int((row_counts > 0).sum())
+                if row_counts.any():
+                    tds = tf[k:g_end] + self.delay
+                    self.pending.append(
+                        (float(tds[0]), tds, g_idx.copy(), in_range,
+                         spx[k:g_end].copy(), spy[k:g_end].copy(),
+                         ssp[k:g_end].copy(), svx[k:g_end].copy(),
+                         svy[k:g_end].copy()))
+                self._virtual_now = tf_list[g_end - 1]
+                k = g_end
+                continue
+            resume_at = g_end
+            for g in range(k, g_end):
+                t_f = tf_list[g]
+                s_i = idx_list[g]
+                self._virtual_now = t_f
+                if not self.alive_mask[s_i] or self.muted_mask[s_i]:
+                    # Sender killed earlier in this flush (battery):
+                    # the legacy callback would check liveness at its
+                    # own fire time and skip.
+                    continue
+                r_idx = np.nonzero(in_range[g - k])[0]
+                if shadowing and r_idx.size:
+                    sid = int(self.ids[s_i])
+                    spos = Vec2(float(spx[g]), float(spy[g]))
+                    keep = []
+                    for ri in r_idx.tolist():
+                        rpos = Vec2(float(self.snap_x[ri]),
+                                    float(self.snap_y[ri]))
+                        if rpos.distance_to(spos) <= net.link_range(
+                                sid, int(self.ids[ri])):
+                            keep.append(ri)
+                    r_idx = np.array(keep, dtype=np.int64)
+                net.stats.beacons_sent += 1
+                mac.count_lightweight_frame(net.BEACON_BYTES)
+                if slow_energy:
+                    ledger.charge_tx(int(self.ids[s_i]), self.bits,
+                                     net.radio.range_m)
+                    if not self.alive_mask[s_i]:
+                        # Battery killed the sender mid-charge; its frame
+                        # still goes out (legacy charges, then proceeds).
+                        pass
+                else:
+                    tx_counts[s_i] += 1
+                    if not self._acct_touched[s_i]:
+                        ledger.account(int(self.ids[s_i]))
+                        self._acct_touched[s_i] = True
+                loss = mac.loss_rate_at(t_f) if has_overlay else base_loss
+                surv_mask = mac.lightweight_survivors(int(r_idx.size), loss)
+                survivors = r_idx if surv_mask is None else r_idx[surv_mask]
+                # Legacy charges rx at FIRE time for all survivors, even
+                # ones that die before delivery.
+                if slow_energy:
+                    for ri in survivors.tolist():
+                        ledger.charge_rx(int(self.ids[ri]), self.bits)
+                else:
+                    np.add.at(rx_counts, survivors, 1)
+                    fresh = survivors[~self._acct_touched[survivors]]
+                    for ri in fresh.tolist():
+                        ledger.account(int(self.ids[ri]))
+                    self._acct_touched[survivors] = True
+                if survivors.size:
+                    self.pending.append(
+                        (t_f + self.delay, s_i, survivors,
+                         float(spx[g]), float(spy[g]), float(ssp[g]),
+                         float(svx[g]), float(svy[g])))
+                    n_batches += 1
+                if self._snap_dirty and g + 1 < g_end:
+                    # Liveness changed inside the group (battery death):
+                    # re-group the remainder against a fresh snapshot.
+                    resume_at = g + 1
+                    break
+            k = resume_at
+        if not slow_energy:
+            self._bulk_energy(ledger, net, tx_counts, rx_counts)
+        return n_batches
+
+    def _bulk_energy(self, ledger, net, tx_counts: np.ndarray,
+                     rx_counts: np.ndarray) -> None:
+        """Materialize counted beacon tx/rx charges into the ledger.
+
+        Repeated addition of one constant is order-independent given the
+        count, so only the per-account totals matter; the count==1 common
+        case skips the repeated-add loop entirely.
+        """
+        model = ledger.model
+        tx_cost = model.tx_cost(self.bits, net.radio.range_m)
+        rx_cost = model.rx_cost(self.bits)
+        ids = self.ids
+        accts = self._accts
+        if None in accts:
+            for i in np.nonzero(tx_counts | rx_counts)[0].tolist():
+                if accts[i] is None:
+                    accts[i] = ledger.account(int(ids[i]))
+        # Common epoch shape: every node fired exactly once — a bare
+        # attribute bump per account, no index machinery.
+        if bool((tx_counts == 1).all()):
+            for acct in accts:
+                acct.tx_j += tx_cost
+        else:
+            nz = np.nonzero(tx_counts)[0]
+            for i, c in zip(nz.tolist(), tx_counts[nz].tolist()):
+                acct = accts[i]
+                if c == 1:
+                    acct.tx_j = acct.tx_j + tx_cost
+                else:
+                    total = acct.tx_j
+                    for _ in range(c):
+                        total += tx_cost
+                    acct.tx_j = total
+        nz = np.nonzero(rx_counts)[0]
+        for i, c in zip(nz.tolist(), rx_counts[nz].tolist()):
+            acct = accts[i]
+            if c == 1:
+                acct.rx_j = acct.rx_j + rx_cost
+            else:
+                total = acct.rx_j
+                for _ in range(c):
+                    total += rx_cost
+                acct.rx_j = total
+
+    def _alive_at(self, r: int, t: float) -> bool:
+        """Receiver liveness at delivery time ``t``, reconstructed from
+        the transitions log (delivery-time alive check, legacy parity)."""
+        state: Optional[bool] = None
+        seen_later = False
+        first_later: Optional[bool] = None
+        for (tt, i, new) in self._transitions:
+            if i != r:
+                continue
+            if tt <= t:
+                state = new
+            else:
+                if not seen_later:
+                    first_later = new
+                    seen_later = True
+        if state is not None:
+            return state
+        if seen_later:
+            # No transition at or before t, but one after: the state at t
+            # was the opposite of the first later transition's target.
+            return not first_later
+        return bool(self.alive_mask[r])
+
+    def _apply_due(self, now: float) -> None:
+        """Deliver all pending beacon batches with t_deliver <= now."""
+        if not self.pending or self.pending[0][0] > now:
+            return
+        split = 0
+        straddler: Optional[tuple] = None
+        while split < len(self.pending) and self.pending[split][0] <= now:
+            e = self.pending[split]
+            if isinstance(e[1], np.ndarray) and float(e[1][-1]) > now:
+                # A group record straddling ``now``: split it at the
+                # boundary.  Delivery delay is constant, so every later
+                # pending entry starts strictly after this one — safe to
+                # stop scanning here.
+                cut = int(np.searchsorted(e[1], now, side="right"))
+                head = (e[0],) + tuple(a[:cut] for a in e[1:])
+                straddler = ((float(e[1][cut]),)
+                             + tuple(a[cut:] for a in e[1:]))
+                self.pending[split] = head
+                split += 1
+                break
+            split += 1
+        due = self.pending[:split]
+        self.pending = self.pending[split:]
+        if straddler is not None:
+            self.pending.insert(0, straddler)
+        has_transitions = bool(self._transitions)
+        all_alive = not has_transitions and bool(self.alive_mask.all())
+        hooks = self.net._beacon_hooks
+        F_parts: List[np.ndarray] = []
+        R_parts: List[np.ndarray] = []
+        S_parts: List[np.ndarray] = []
+        T_parts: List[np.ndarray] = []
+        BX_parts: List[np.ndarray] = []
+        BY_parts: List[np.ndarray] = []
+        SP_parts: List[np.ndarray] = []
+        VX_parts: List[np.ndarray] = []
+        VY_parts: List[np.ndarray] = []
+        for entry in due:
+            if isinstance(entry[1], np.ndarray):
+                _td0, tds, gi, mask, gbx, gby, gsp, gvx, gvy = entry
+                F_parts.append(gi)
+                if has_transitions:
+                    g_rows, g_cols = np.nonzero(mask)
+                    if g_rows.size:
+                        keep = np.fromiter(
+                            (self._alive_at(int(c), float(tds[r]))
+                             for r, c in zip(g_rows.tolist(),
+                                             g_cols.tolist())),
+                            dtype=bool, count=g_rows.size)
+                        g_rows, g_cols = g_rows[keep], g_cols[keep]
+                elif all_alive:
+                    g_rows, g_cols = np.nonzero(mask)
+                else:
+                    g_rows, g_cols = np.nonzero(
+                        mask & self.alive_mask[None, :])
+                if g_rows.size == 0:
+                    continue
+                if hooks:
+                    # Row-major nonzero order == chronological fires,
+                    # receivers ascending per fire — legacy hook order.
+                    for r, c in zip(g_rows.tolist(), g_cols.tolist()):
+                        rid = int(self.ids[c])
+                        src = int(self.ids[gi[r]])
+                        t_d = float(tds[r])
+                        for hook in hooks:
+                            hook(rid, src, t_d)
+                R_parts.append(g_cols)
+                S_parts.append(gi[g_rows])
+                T_parts.append(tds[g_rows])
+                BX_parts.append(gbx[g_rows])
+                BY_parts.append(gby[g_rows])
+                SP_parts.append(gsp[g_rows])
+                VX_parts.append(gvx[g_rows])
+                VY_parts.append(gvy[g_rows])
+                continue
+            (td, s_i, surv, bx, by, sp, vx, vy) = entry
+            F_parts.append(np.array([s_i], dtype=np.int64))
+            if has_transitions:
+                alive_surv = np.array(
+                    [self._alive_at(int(r), td) for r in surv.tolist()],
+                    dtype=bool)
+                surv = surv[alive_surv]
+            else:
+                surv = surv[self.alive_mask[surv]]
+            if surv.size == 0:
+                continue
+            if hooks:
+                src = int(self.ids[s_i])
+                for r in surv.tolist():
+                    rid = int(self.ids[r])
+                    for hook in hooks:
+                        hook(rid, src, td)
+            m = surv.size
+            R_parts.append(surv)
+            S_parts.append(np.full(m, s_i, dtype=np.int64))
+            T_parts.append(np.full(m, td))
+            BX_parts.append(np.full(m, bx))
+            BY_parts.append(np.full(m, by))
+            SP_parts.append(np.full(m, sp))
+            VX_parts.append(np.full(m, vx))
+            VY_parts.append(np.full(m, vy))
+        if R_parts:
+            if len(R_parts) == 1:
+                R, S, T = R_parts[0], S_parts[0], T_parts[0]
+                BX, BY, SP = BX_parts[0], BY_parts[0], SP_parts[0]
+                VX, VY = VX_parts[0], VY_parts[0]
+            else:
+                R = np.concatenate(R_parts)
+                S = np.concatenate(S_parts)
+                T = np.concatenate(T_parts)
+                BX = np.concatenate(BX_parts)
+                BY = np.concatenate(BY_parts)
+                SP = np.concatenate(SP_parts)
+                VX = np.concatenate(VX_parts)
+                VY = np.concatenate(VY_parts)
+            n = len(self.ids)
+            # Duplicate (receiver, sender) pairs can only come from a
+            # sender with >= 2 fires delivered in this apply window, so
+            # gate the (sort-based) dedup on a cheap per-sender fire
+            # count and restrict it to that sender's rows.
+            fire_counts = np.bincount(np.concatenate(F_parts), minlength=n)
+            if fire_counts.max() > 1:
+                dup = fire_counts[S] > 1
+                d_idx = np.nonzero(dup)[0]
+                d_key = R[d_idx] * n + S[d_idx]
+                if np.unique(d_key).size != d_key.size:
+                    # Keep the LAST (latest delivery) of each duplicate
+                    # pair — fancy assignment order for duplicates is
+                    # not guaranteed, so dedup explicitly.  Deliveries
+                    # are chronological, so a boolean keep-mask (which
+                    # preserves order) is equivalent.
+                    _u, first_rev = np.unique(d_key[::-1],
+                                              return_index=True)
+                    last = d_idx[d_key.size - 1 - first_rev]
+                    keep = np.ones(S.size, dtype=bool)
+                    keep[d_idx] = False
+                    keep[last] = True
+                    R, S, T = R[keep], S[keep], T[keep]
+                    BX, BY, SP = BX[keep], BY[keep], SP[keep]
+                    VX, VY = VX[keep], VY[keep]
+            self.heard[R, S] = T
+            self.st_bx[R, S] = BX
+            self.st_by[R, S] = BY
+            self.st_sp[R, S] = SP
+            self.st_vx[R, S] = VX
+            self.st_vy[R, S] = VY
+            self.store_rev += 1
+        if self._transitions:
+            t_min = min((p[0] for p in self.pending), default=math.inf)
+            self._transitions = [tr for tr in self._transitions
+                                 if tr[0] > t_min]
+
+    # -- reads ---------------------------------------------------------------
+
+    def sync_node_table(self, node: SensorNode) -> None:
+        """Materialize ``node``'s dict neighbor table from the store."""
+        r = self.index.get(node.id)
+        if r is None:
+            return
+        self.flush(self.sim.now)
+        if self.mat_rev[r] == self.store_rev:
+            return
+        newer = np.nonzero(self.heard[r] > self.mat_time[r])[0]
+        if newer.size:
+            nt = node._nt
+            ids = self.ids
+            heard = self.heard[r]
+            bx, by = self.st_bx[r], self.st_by[r]
+            sp = self.st_sp[r]
+            vx, vy = self.st_vx[r], self.st_vy[r]
+            for c in newer.tolist():
+                pos = Vec2(float(bx[c]), float(by[c]))
+                nt[int(ids[c])] = NeighborEntry(
+                    int(ids[c]), pos, float(sp[c]), float(heard[c]),
+                    beacon_position=pos,
+                    velocity=Vec2(float(vx[c]), float(vy[c])))
+            self.mat_time[r] = float(heard[newer].max())
+        self.mat_rev[r] = self.store_rev
+
+    def clear_cell(self, hearer_id: int, neighbor_id: int) -> None:
+        """Store-side forget (mirror of dict ``pop``)."""
+        r = self.index.get(hearer_id)
+        c = self.index.get(neighbor_id)
+        if r is not None and c is not None:
+            self.heard[r, c] = -np.inf
+
+    def reset_row(self, node_id: int) -> None:
+        """Store-side table wipe (crash recovery)."""
+        r = self.index.get(node_id)
+        if r is not None:
+            self.heard[r, :] = -np.inf
+            self.mat_rev[r] = -1
+            self.mat_time[r] = -math.inf
+
+    def sweep_evict(self, now: float, timeout: float) -> int:
+        """Proactive staleness eviction across all alive nodes."""
+        self.flush(now)
+        evicted = 0
+        alive_rows = np.nonzero(self.alive_mask)[0]
+        for r in alive_rows.tolist():
+            node = self.node_list[r]
+            self.sync_node_table(node)
+            row = self.heard[r]
+            stale = np.nonzero(np.isfinite(row)
+                               & (now - row > timeout))[0]
+            # Dict entries may exist for store cells already cleared
+            # (never the reverse after a sync), so sweep the dict too.
+            dict_stale = [nid for nid, e in node._nt.items()
+                          if now - e.heard_at > timeout]
+            for c in stale.tolist():
+                row[c] = -np.inf
+            for nid in dict_stale:
+                node._nt.pop(nid, None)
+            evicted += len(dict_stale)
+        return evicted
+
+    def grid_columns(self, t: float):
+        """(ids, xs, ys) of alive nodes at ``t`` for the PHY grid."""
+        px, py = self.bank.positions_all(t)
+        alive = self.alive_mask
+        return self.ids[alive], px[alive], py[alive]

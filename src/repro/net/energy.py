@@ -119,6 +119,42 @@ class EnergyLedger:
         self._check_battery(node_id)
         return cost
 
+    def charge_tx_repeated(self, node_id: int, bits: int, distance_m: float,
+                           count: int) -> float:
+        """Charge ``count`` identical transmissions in one call.
+
+        Fast path for the batched beacon kernel: the per-charge cost is a
+        constant, and repeated scalar adds into a local accumulator are
+        bitwise-identical to ``count`` separate ``charge_tx`` calls on the
+        same account field.  Refuses to run when an observer or battery is
+        armed — those need the chronological per-charge path.
+        """
+        if self.observer is not None or self.capacity_j is not None:
+            raise ValueError(
+                "bulk charging is only valid without observer/battery")
+        cost = self.model.tx_cost(bits, distance_m)
+        acct = self.account(node_id)
+        total = acct.tx_j
+        for _ in range(count):
+            total += cost
+        acct.tx_j = total
+        return cost * count
+
+    def charge_rx_repeated(self, node_id: int, bits: int,
+                           count: int) -> float:
+        """Charge ``count`` identical receptions in one call (see
+        :meth:`charge_tx_repeated` for the equivalence argument)."""
+        if self.observer is not None or self.capacity_j is not None:
+            raise ValueError(
+                "bulk charging is only valid without observer/battery")
+        cost = self.model.rx_cost(bits)
+        acct = self.account(node_id)
+        total = acct.rx_j
+        for _ in range(count):
+            total += cost
+        acct.rx_j = total
+        return cost * count
+
     def charge_idle(self, node_id: int, seconds: float) -> float:
         cost = self.model.idle_cost(seconds)
         self.account(node_id).idle_j += cost

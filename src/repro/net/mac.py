@@ -89,6 +89,12 @@ class MacLayer:
         #: returning the extra erasure probability in effect right now,
         #: composed with the radio's base loss as independent erasure.
         self.loss_overlay: Optional[Callable[[], float]] = None
+        #: time-parameterized variant, ``fn(t) -> extra loss at t``.  The
+        #: batched beacon kernel evaluates loss at each fire's logical
+        #: time, which may differ from ``sim.now`` at flush time.  When
+        #: only ``loss_overlay`` is set, batched mode falls back to it
+        #: (evaluated at flush time — documented divergence).
+        self.loss_overlay_at: Optional[Callable[[float], float]] = None
         #: optional pure observer called as ``fn(kind, value)`` — kinds:
         #: "backoff_s" (chosen CSMA backoff) and "queue_s" (sender
         #: serialization delay).  Used by ``repro.obs``; must not draw
@@ -111,6 +117,49 @@ class MacLayer:
             if extra > 0.0:
                 loss = 1.0 - (1.0 - loss) * (1.0 - extra)
         return loss
+
+    def loss_rate_at(self, t: float) -> float:
+        """Effective channel loss at logical time ``t`` (batched beacon
+        path).  Prefers the time-parameterized overlay; falls back to the
+        time-blind one, then to the base rate."""
+        loss = self.radio.base_loss_rate
+        if self.loss_overlay_at is not None:
+            extra = self.loss_overlay_at(t)
+        elif self.loss_overlay is not None:
+            extra = self.loss_overlay()
+        else:
+            return loss
+        if extra > 0.0:
+            loss = 1.0 - (1.0 - loss) * (1.0 - extra)
+        return loss
+
+    def lightweight_survivors(self, n: int, loss: float):
+        """Per-receiver loss draws for one lightweight (beacon) frame.
+
+        Returns a boolean survival mask of length ``n``, or None when no
+        draws are needed (``loss <= 0`` or no receivers) — matching the
+        legacy path, which short-circuits ``loss <= 0.0 or rng.random()
+        >= loss`` and therefore consumes no RNG at zero loss.  A numpy
+        ``Generator.random(n)`` call consumes the bit stream identically
+        to ``n`` scalar ``random()`` calls, so draw-for-draw parity with
+        the per-receiver loop holds.
+        """
+        if loss <= 0.0 or n == 0:
+            return None
+        return self._rng.random(n) >= loss
+
+    def count_lightweight_frame(self, size_bytes: int) -> None:
+        """Record the stats of one lightweight frame sent outside
+        :meth:`transmit` (the batched beacon kernel does its own energy
+        accounting and delivery scheduling)."""
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += size_bytes
+
+    def count_lightweight_frames(self, n: int, size_bytes: int) -> None:
+        """Bulk form of :meth:`count_lightweight_frame`: ``n`` frames of
+        the same size (integer counters, so order cannot matter)."""
+        self.stats.frames_sent += n
+        self.stats.bytes_sent += n * size_bytes
 
     def _prune_active(self) -> None:
         now = self.sim.now

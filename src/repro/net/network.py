@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..geometry import SpatialGrid, Vec2
 from ..sim.engine import PeriodicTask, Simulator
 from ..sim.errors import ConfigurationError
+from .beacons import BatchedBeaconEngine
 from .energy import EnergyLedger, EnergyModel
 from .mac import MacConfig, MacLayer
 from .messages import Message
@@ -41,7 +42,8 @@ class Network:
                  mac_config: Optional[MacConfig] = None,
                  beacon_interval: float = 0.5,
                  neighbor_timeout: Optional[float] = None,
-                 position_epsilon: float = 0.05):
+                 position_epsilon: float = 0.05,
+                 beacon_mode: str = "batched"):
         """
         Args:
             sim: the event kernel.
@@ -55,7 +57,14 @@ class Network:
             position_epsilon: how stale (seconds) the PHY spatial index may
                 be before being refreshed; bounds position error by
                 epsilon * max_speed, far below the radio range.
+            beacon_mode: ``"batched"`` (one vectorized kernel event per
+                interval; the default) or ``"legacy"`` (one event per
+                beacon).  Equivalent at every interval boundary — see
+                ``repro.net.beacons`` and the differential test suite.
         """
+        if beacon_mode not in ("batched", "legacy"):
+            raise ConfigurationError(
+                f"unknown beacon_mode {beacon_mode!r}")
         self.sim = sim
         self.radio = radio or RadioModel()
         self.energy_model = energy or EnergyModel()
@@ -74,6 +83,8 @@ class Network:
         self._grid = SpatialGrid(cell_size=self.radio.range_m)
         self._link_factor_cache: Dict[tuple, float] = {}
         self._grid_time = -math.inf
+        self.beacon_mode = beacon_mode
+        self._beacon_engine: Optional[BatchedBeaconEngine] = None
         self._beacon_tasks: List[PeriodicTask] = []
         self._beacon_muted: set = set()
         self._sweep_task: Optional[PeriodicTask] = None
@@ -89,6 +100,8 @@ class Network:
         node.network = self
         self.nodes[node.id] = node
         self._grid_time = -math.inf  # force re-sync
+        if self._beacon_engine is not None:
+            self._beacon_engine.grow(node)
 
     def add_nodes(self, nodes: Iterable[SensorNode]) -> None:
         for node in nodes:
@@ -106,14 +119,19 @@ class Network:
         now = self.sim.now
         if now - self._grid_time < self.position_epsilon and len(self._grid) == len(self.nodes):
             return
-        self._grid.bulk_load(
-            (node.id, node.mobility.position_at(now))
-            for node in self.nodes.values() if node.alive)
+        if self._beacon_engine is not None:
+            ids, xs, ys = self._beacon_engine.grid_columns(now)
+            self._grid.bulk_load_columns(ids, xs, ys)
+        else:
+            self._grid.bulk_load(
+                (node.id, node.mobility.position_at(now))
+                for node in self.nodes.values() if node.alive)
         self._grid_time = now
 
     def in_range_of(self, position: Vec2,
                     radius: Optional[float] = None) -> List[Tuple[int, Vec2]]:
-        """Nodes within ``radius`` (default: radio range) of ``position``.
+        """Nodes within ``radius`` (default: radio range) of ``position``,
+        in ascending node-id order.
 
         Positions come from the PHY spatial index (near-exact; see
         ``position_epsilon``).
@@ -121,7 +139,7 @@ class Network:
         self._sync_grid()
         r = radius if radius is not None else self.radio.range_m
         return [(nid, self._grid.position_of(nid))
-                for nid in self._grid.within(position, r)]
+                for nid in self._grid.within_ids(position, r)]
 
     def link_range(self, a: int, b: int) -> float:
         """Effective radio reach of the link a -> b.
@@ -193,10 +211,20 @@ class Network:
 
     # -- beacons -------------------------------------------------------------
 
+    def _beacons_running(self) -> bool:
+        return bool(self._beacon_tasks) or (
+            self._beacon_engine is not None and self._beacon_engine._running)
+
     def start_beacons(self) -> None:
         """Begin periodic location beaconing on every node."""
-        if self._beacon_tasks:
+        if self._beacons_running():
             raise ConfigurationError("beacons already started")
+        if self.beacon_mode == "batched":
+            self._beacon_engine = BatchedBeaconEngine(self)
+            if self._beacon_muted:
+                self._beacon_engine.set_muted(self._beacon_muted, True)
+            self._beacon_engine.start()
+            return
         stagger_rng = self.sim.rng.stream("beacon.stagger")
         for node in self.nodes.values():
             task = PeriodicTask(self.sim, self.beacon_interval,
@@ -208,17 +236,34 @@ class Network:
             self._beacon_tasks.append(task)
 
     def stop_beacons(self) -> None:
+        if self._beacon_engine is not None:
+            self._beacon_engine.stop()
         for task in self._beacon_tasks:
             task.stop()
         self._beacon_tasks.clear()
 
+    def flush_beacons(self) -> None:
+        """Bring batched beacon state exactly up to ``sim.now``.
+
+        A no-op in legacy mode (the event queue is always current) and on
+        the batched fast path when nothing is due — safe to call from any
+        observer or checkpoint."""
+        if self._beacon_engine is not None:
+            self._beacon_engine.flush(self.sim.now)
+
     def mute_beacons(self, node_ids: Iterable[int]) -> None:
         """Suppress beaconing for ``node_ids`` (fault injection): the
         nodes keep relaying traffic, but their neighbors' tables rot."""
-        self._beacon_muted.update(node_ids)
+        ids = list(node_ids)
+        if self._beacon_engine is not None:
+            self._beacon_engine.set_muted(ids, True)
+        self._beacon_muted.update(ids)
 
     def unmute_beacons(self, node_ids: Iterable[int]) -> None:
-        self._beacon_muted.difference_update(node_ids)
+        ids = list(node_ids)
+        if self._beacon_engine is not None:
+            self._beacon_engine.set_muted(ids, False)
+        self._beacon_muted.difference_update(ids)
 
     def _make_beacon_fn(self, node: SensorNode) -> Callable[[], None]:
         def _beacon() -> None:
@@ -253,13 +298,20 @@ class Network:
                             velocity=message.payload["vel"])
 
     def warm_up(self, duration: Optional[float] = None) -> None:
-        """Run beacons for ``duration`` (default: enough to fill every
-        neighbor table, i.e. two beacon intervals)."""
-        if not self._beacon_tasks:
+        """Run beacons for ``duration`` so neighbor tables fill.
+
+        Every node's first beacon goes out within one interval (the
+        initial stagger is uniform on [0, interval)); the default of two
+        intervals covers that worst case, delivery latency, and usually a
+        second beacon — all well inside the 2.5-interval
+        ``neighbor_timeout``, so entries heard during warm-up cannot have
+        expired by its end."""
+        if not self._beacons_running():
             self.start_beacons()
         if duration is None:
             duration = 2.0 * self.beacon_interval
         self.sim.run(until=self.sim.now + duration)
+        self.flush_beacons()
 
     # -- neighbor hygiene ----------------------------------------------------
 
@@ -278,6 +330,10 @@ class Network:
 
         def _sweep() -> None:
             now = self.sim.now
+            if self._beacon_engine is not None:
+                self.neighbor_evictions += \
+                    self._beacon_engine.sweep_evict(now, timeout)
+                return
             for node in self.nodes.values():
                 if node.alive:
                     self.neighbor_evictions += \

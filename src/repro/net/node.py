@@ -54,15 +54,64 @@ class SensorNode:
     def __init__(self, node_id: int, mobility: MobilityModel,
                  reading: float = 0.0):
         self.id = node_id
-        self.mobility = mobility
+        self._mobility = mobility
         self.reading = reading
-        self.neighbor_table: Dict[int, NeighborEntry] = {}
+        self._nt: Dict[int, NeighborEntry] = {}
         self.network: Optional["Network"] = None
         self._handlers: Dict[str, Handler] = {}
-        self.alive = True
+        self._alive = True
 
     def __repr__(self) -> str:
         return f"SensorNode({self.id})"
+
+    def _beacon_engine(self):
+        net = self.network
+        return None if net is None else getattr(net, "_beacon_engine", None)
+
+    @property
+    def mobility(self) -> MobilityModel:
+        return self._mobility
+
+    @mobility.setter
+    def mobility(self, model: MobilityModel) -> None:
+        engine = self._beacon_engine()
+        if engine is not None:
+            # Settle beacon state under the old trajectory, then drop the
+            # cached mobility-bank row so the new model takes effect.
+            engine.on_mobility_change(self, model)
+        self._mobility = model
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        if value != self._alive:
+            engine = self._beacon_engine()
+            if engine is not None:
+                # Settle beacon state under the old liveness, then log
+                # the transition (delivery-time alive checks need it).
+                engine.on_liveness(self, value)
+        self._alive = value
+
+    @property
+    def neighbor_table(self) -> Dict[int, NeighborEntry]:
+        """The node's neighbor table (the real dict, not a copy).
+
+        In batched-beacon mode reading it first materializes any beacon
+        deliveries applied since the last read, so external readers (the
+        validation checkers, fault tooling) see the same state the legacy
+        per-event path would have produced.
+        """
+        engine = self._beacon_engine()
+        if engine is not None:
+            engine.sync_node_table(self)
+        return self._nt
+
+    @neighbor_table.setter
+    def neighbor_table(self, value: Dict[int, NeighborEntry]) -> None:
+        self._nt = value
 
     # -- kinematics ----------------------------------------------------------
 
@@ -90,6 +139,19 @@ class SensorNode:
         self.neighbor_table[node_id] = NeighborEntry(
             node_id, position, speed, time, beacon_position=position,
             velocity=velocity)
+        engine = self._beacon_engine()
+        if engine is not None:
+            # Mirror direct observations into the columnar store so
+            # staleness sweeps see them.
+            r = engine.index.get(self.id)
+            c = engine.index.get(node_id)
+            if r is not None and c is not None:
+                engine.heard[r, c] = time
+                engine.st_bx[r, c] = position.x
+                engine.st_by[r, c] = position.y
+                engine.st_sp[r, c] = speed
+                engine.st_vx[r, c] = velocity.x
+                engine.st_vy[r, c] = velocity.y
 
     def neighbors(self, max_age: Optional[float] = None) -> List[NeighborEntry]:
         """Fresh neighbor entries (protocol view).
@@ -112,6 +174,17 @@ class SensorNode:
     def forget_neighbor(self, node_id: int) -> None:
         """Drop a neighbor entry (e.g. after link-layer delivery failure)."""
         self.neighbor_table.pop(node_id, None)
+        engine = self._beacon_engine()
+        if engine is not None:
+            engine.clear_cell(self.id, node_id)
+
+    def reset_neighbors(self) -> None:
+        """Wipe the whole neighbor table (crash recovery: a rebooted node
+        remembers nothing)."""
+        self._nt.clear()
+        engine = self._beacon_engine()
+        if engine is not None:
+            engine.reset_row(self.id)
 
     def evict_stale_neighbors(self, now: float, max_age: float) -> int:
         """Missed-beacon eviction: drop entries not refreshed within

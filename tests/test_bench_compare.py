@@ -129,6 +129,36 @@ class TestCompare:
         text = compare_artifacts(art, art).table()
         assert "wall_min_s" in text and "metrics compared" in text
 
+    def test_events_floor_pass_and_fail(self):
+        old, new = _artifact(), _artifact()
+        com = compare_artifacts(old, new,
+                                events_floor={"a": 4000.0})
+        assert com.exit_code == 0
+        assert any(d.metric == "events_floor" and d.status == "ok"
+                   for d in com.deltas)
+        com = compare_artifacts(old, new,
+                                events_floor={"a": 6000.0})
+        (reg,) = com.regressions
+        assert (reg.scenario, reg.metric) == ("a", "events_floor")
+        assert "floor" in reg.detail
+
+    def test_events_floor_is_absolute_not_relative(self):
+        """The floor binds even when the baseline regressed with us."""
+        old, new = _artifact(), _artifact()
+        old["scenarios"]["a"]["events_per_sec"] = 3000.0
+        new["scenarios"]["a"]["events_per_sec"] = 3000.0
+        com = compare_artifacts(old, new,
+                                events_floor={"a": 5000.0})
+        assert any(d.metric == "events_floor"
+                   for d in com.regressions)
+
+    def test_events_floor_missing_scenario_is_a_regression(self):
+        com = compare_artifacts(_artifact(), _artifact(),
+                                events_floor={"ghost": 1000.0})
+        (reg,) = com.regressions
+        assert (reg.scenario, reg.metric) == ("ghost", "events_floor")
+        assert "missing" in reg.detail
+
 
 class TestHotspotAggregation:
     def test_merge_sums_across_scenarios(self):
@@ -175,6 +205,24 @@ class TestBenchCli:
         new_p.write_text(json.dumps(new))
         assert main(["bench", "compare", str(old_p), str(new_p),
                      "--tolerance", "1.5"]) == 0
+
+    def test_compare_events_floor_flag(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_0001.json"
+        path.write_text(json.dumps(_artifact()))
+        assert main(["bench", "compare", str(path), str(path),
+                     "--events-floor", "a=4000"]) == 0
+        assert main(["bench", "compare", str(path), str(path),
+                     "--events-floor", "a=999999"]) == 1
+        assert "events_floor" in capsys.readouterr().out
+
+    def test_compare_events_floor_bad_spec_exit_two(self, tmp_path,
+                                                    capsys):
+        path = tmp_path / "BENCH_0001.json"
+        path.write_text(json.dumps(_artifact()))
+        assert main(["bench", "compare", str(path), str(path),
+                     "--events-floor", "a"]) == 2
+        assert main(["bench", "compare", str(path), str(path),
+                     "--events-floor", "a=fast"]) == 2
 
     def test_compare_missing_file_exit_two(self, tmp_path, capsys):
         assert main(["bench", "compare", str(tmp_path / "no.json"),
