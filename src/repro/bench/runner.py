@@ -106,6 +106,7 @@ def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
         t0 = time.perf_counter()
         config = SimulationConfig(
             n_nodes=scn.n_nodes, field_size=scn.field_size,
+            deployment=scn.deployment,
             max_speed=scn.max_speed, seed=scn.seed,
             crash_rate=scn.crash_rate,
             node_downtime_s=scn.node_downtime_s,

@@ -14,8 +14,11 @@ Suites:
 
 * ``smoke`` — two tiny scenarios (< 5 s total); harness self-tests.
 * ``small`` — the six canonical scenarios plus the healthy service
-  soak at paper scale, three timed repeats each (min-of-3 is what
-  comparisons use; ~2 min); what CI runs per PR.
+  soak and the 2k-node scale point, three timed repeats each
+  (min-of-3 is what comparisons use; ~2 min); what CI runs per PR.
+* ``scale`` — the large-field axis (2k / 10k / 50k nodes at paper
+  density, jittered-grid placement) tracking events/sec and peak
+  memory of the sparse-store kernel.
 * ``full``  — the small matrix plus a 400-node scaling point and the
   blackout service soak, five timed repeats (~5 min); for refreshing
   committed baselines.
@@ -43,6 +46,7 @@ class BenchScenario:
     title: str
     n_nodes: int = 200
     field_size: Tuple[float, float] = (115.0, 115.0)
+    deployment: str = "uniform"
     max_speed: float = 10.0
     seed: int = 1
     k: int = 20
@@ -63,7 +67,9 @@ class BenchScenario:
         mobility = (f"rwp@{self.max_speed:g}" if self.max_speed
                     else "static")
         extras = "".join(
-            [f" crash={self.crash_rate:g}" if self.crash_rate else "",
+            [f" deploy={self.deployment}"
+             if self.deployment != "uniform" else "",
+             f" crash={self.crash_rate:g}" if self.crash_rate else "",
              " blackout" if self.blackout else "",
              " +validate" if self.validate else "",
              " +obs" if self.obs else ""])
@@ -134,6 +140,33 @@ _SERVICE = (
 )
 
 
+def _scale_point(n: int, timeout: float, repeats: int) -> BenchScenario:
+    """A large-field scaling scenario at the paper's node density.
+
+    The field side grows as ``115 * sqrt(n / 200)`` so the expected node
+    degree stays at the paper's ~20 regardless of n; placement is the
+    jittered grid (bounded local density), which keeps per-node neighbor
+    counts — and hence peak memory — tight across seeds.
+    """
+    side = round(115.0 * (n / 200.0) ** 0.5, 1)
+    return BenchScenario(
+        f"scale-{n // 1000}k",
+        f"large-field scaling point (n={n}, paper density)",
+        n_nodes=n, field_size=(side, side), deployment="jittered-grid",
+        point=(side / 2.0, side / 2.0), k=20, timeout=timeout,
+        repeats=repeats)
+
+
+#: the 10k-50k-node scale axis (ROADMAP item 2): events/sec and peak
+#: memory at paper density on fields the dense O(N^2) kernel could not
+#: hold.  scale-2k also rides in the ``small`` suite so CI gates on it.
+_SCALE = (
+    _scale_point(2_000, timeout=8.0, repeats=2),
+    _scale_point(10_000, timeout=6.0, repeats=1),
+    _scale_point(50_000, timeout=4.0, repeats=1),
+)
+
+
 SUITES: Dict[str, Tuple[BenchScenario, ...]] = {
     "smoke": (
         BenchScenario("smoke-static", "tiny static smoke scenario",
@@ -145,7 +178,8 @@ SUITES: Dict[str, Tuple[BenchScenario, ...]] = {
                       k=6, point=(30.0, 30.0), timeout=3.0, seed=11,
                       obs=True, repeats=1),
     ),
-    "small": _CANONICAL + (_SERVICE[0],),
+    "small": _CANONICAL + (_SERVICE[0], _SCALE[0]),
+    "scale": _SCALE,
     "full": tuple([_scaled(s, repeats=5) for s in _CANONICAL]
                   + [_scaled(s, repeats=3) for s in _SERVICE]
                   + [BenchScenario(

@@ -54,7 +54,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--speed", type=float, default=10.0,
                         help="max node speed (m/s)")
     parser.add_argument("--deployment", default="uniform",
-                        choices=("uniform", "clustered", "caribou", "grid"))
+                        choices=("uniform", "clustered", "caribou", "grid",
+                                 "jittered-grid", "halton"))
     parser.add_argument("--crash-rate", type=float, default=0.0,
                         help="per-node crash events per second "
                              "(Poisson fault injection)")
@@ -431,7 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     br = bsub.add_parser("run", help="run a suite, emit BENCH_<n>.json")
     br.add_argument("--suite", default="small",
-                    help="suite name: smoke, small or full "
+                    help="suite name: smoke, small, scale or full "
                          "(default: small)")
     br.add_argument("--out-dir", default="bench_results",
                     help="directory for numbered artifacts "

@@ -1,10 +1,13 @@
-"""Node deployment generators: uniform, clustered, caribou-herd, grid."""
+"""Node deployment generators: uniform, clustered, caribou-herd, grid,
+and the large-field (jittered-grid / Halton) scale generators."""
 
 from .base import Deployment
 from .caribou import CaribouDeployment
 from .clustered import ClusteredDeployment
 from .grid_deploy import GridDeployment
+from .largefield import HaltonDeployment, JitteredGridDeployment
 from .uniform import UniformDeployment
 
 __all__ = ["Deployment", "CaribouDeployment", "ClusteredDeployment",
-           "GridDeployment", "UniformDeployment"]
+           "GridDeployment", "HaltonDeployment", "JitteredGridDeployment",
+           "UniformDeployment"]

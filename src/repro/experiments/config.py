@@ -11,7 +11,8 @@ from typing import Dict, Optional, Tuple
 
 from ..core.base import QueryProtocol
 from ..deploy import (CaribouDeployment, ClusteredDeployment, Deployment,
-                      GridDeployment, UniformDeployment)
+                      GridDeployment, HaltonDeployment,
+                      JitteredGridDeployment, UniformDeployment)
 from ..faults import FAULT_STREAM, FaultInjector, FaultPlan, poisson_crashes
 from ..geometry import Rect, Vec2
 from ..mobility import RandomWaypointMobility, StaticMobility
@@ -42,6 +43,8 @@ _DEPLOYMENTS = {
     "clustered": ClusteredDeployment,
     "caribou": CaribouDeployment,
     "grid": GridDeployment,
+    "jittered-grid": JitteredGridDeployment,
+    "halton": HaltonDeployment,
 }
 
 

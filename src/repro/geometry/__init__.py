@@ -2,6 +2,7 @@
 
 from .angles import (TWO_PI, angle_between, angle_diff, arc_width, bisector,
                      normalize_angle, normalize_signed)
+from .cells import CellBuckets
 from .grid import SpatialGrid
 from .planar import gabriel_neighbors, planarize, rng_neighbors
 from .shapes import Circle, Rect, Sector
@@ -10,7 +11,8 @@ from .vec import (ORIGIN, Vec2, as_vec, centroid, segment_point_distance,
 
 __all__ = [
     "TWO_PI", "angle_between", "angle_diff", "arc_width", "bisector",
-    "normalize_angle", "normalize_signed", "SpatialGrid", "gabriel_neighbors",
+    "normalize_angle", "normalize_signed", "CellBuckets", "SpatialGrid",
+    "gabriel_neighbors",
     "planarize", "rng_neighbors", "Circle", "Rect", "Sector", "ORIGIN",
     "Vec2", "as_vec", "centroid", "segment_point_distance",
     "segments_intersect",

@@ -19,23 +19,35 @@ why ``flush()`` is a pure function of (state, time): any observer that
 reads mid-interval state first forces a flush, and the flush result does
 not depend on what triggered it.
 
-Scaling note: the neighbor store is a dense (N, N) float64 block — fine
-for the paper's scales (hundreds of nodes); revisit before running
-10k-node deployments.
+Scaling note: up to ``_DENSE_MAX`` nodes the neighbor store is a dense
+(N, N) float64 block and receiver sets come from full pairwise-distance
+rows; above it the store switches to the log-structured
+:class:`~repro.net.neighbor_store.SparseNeighborStore` and receiver
+candidates come from a :class:`~repro.geometry.CellBuckets` spatial
+index over the position snapshot — same filter arithmetic per surviving
+pair, so membership is bitwise-identical, but memory and per-epoch work
+stay near-linear in N.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from ..geometry import Vec2
+from ..geometry import CellBuckets, Vec2
+from .energy import EnergyAccount, repeated_add
+from .neighbor_store import DenseNeighborStore, SparseNeighborStore
 from .node import NeighborEntry, SensorNode
 
 #: jitter draws pre-drawn per refill
 _JIT_BLOCK = 32
+
+#: above this many nodes the engine switches to the sparse neighbor
+#: store and cell-bucketed receiver resolution (tests force the sparse
+#: path at small N by monkeypatching this down)
+_DENSE_MAX = 1024
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .network import Network
@@ -202,13 +214,18 @@ class BatchedBeaconEngine:
         # per fire).
         self._snap_full = bool(self.snap_alive.all())
         self._snap_dirty = False
-        # Dense neighbor store: row = hearer, col = neighbor.
-        self.heard = np.full((n, n), -np.inf)
-        self.st_bx = np.zeros((n, n))
-        self.st_by = np.zeros((n, n))
-        self.st_sp = np.zeros((n, n))
-        self.st_vx = np.zeros((n, n))
-        self.st_vy = np.zeros((n, n))
+        # Neighbor store: row = hearer, col = neighbor.  Dense matrices
+        # up to _DENSE_MAX nodes, log-structured sparse above (the store
+        # type is fixed at construction; late grow() keeps it).
+        self._large = n > _DENSE_MAX
+        self.store = (SparseNeighborStore(n) if self._large
+                      else DenseNeighborStore(n))
+        # CellBuckets over the position snapshot (large mode only):
+        # receiver-candidate superset per sender, rebuilt per refresh.
+        self._snap_cells: Optional[CellBuckets] = None
+        radio_ = network.radio
+        self._cell_r = (radio_.max_range_m
+                        if radio_.shadowing_sigma != 0.0 else radio_.range_m)
         self.store_rev = 0
         self.mat_rev = np.full(n, -1, dtype=np.int64)
         self.mat_time = np.full(n, -math.inf)
@@ -216,8 +233,10 @@ class BatchedBeaconEngine:
         # Two shapes share the list, told apart by entry[1]'s type:
         #   per-fire: (t_deliver, sender_idx:int, surv_idx, bx, by, sp,
         #             vx, vy)
-        #   group:    (t_first, t_deliver[], sender_idx[], recv_mask BxN,
-        #             bx[], by[], sp[], vx[], vy[])  — the fast path.
+        #   group:    (t_first, t_deliver[], sender_idx[], pair_rows[],
+        #             pair_cols[], bx[], by[], sp[], vx[], vy[]) — the
+        #             fast path; pairs are row-major sorted (rows index
+        #             into the group's fires, cols are receivers).
         # entry[0] is always the earliest delivery time in the entry.
         self.pending: List[tuple] = []
         self._next_delivery = math.inf
@@ -233,6 +252,14 @@ class BatchedBeaconEngine:
         # Account objects are created once and never replaced, so cache
         # them by row to skip the per-charge dict lookup.
         self._accts: List[Optional[object]] = [None] * n
+        # Deferred beacon charge counts (fast path): _bulk_energy banks
+        # per-row tx/rx *counts* here instead of writing every account
+        # each epoch; the ledger's lazy_source gateway materializes a
+        # row's counts on first account touch (see EnergyLedger.account).
+        self._def_tx = np.zeros(n, dtype=np.int64)
+        self._def_rx = np.zeros(n, dtype=np.int64)
+        self._def_costs: Optional[Tuple[float, float]] = None
+        network.beacon_ledger.lazy_source = self._energy_probe
         self._running = False
         self._flushing = False
         self._virtual_now = 0.0
@@ -299,16 +326,13 @@ class BatchedBeaconEngine:
         self.snap_y = np.append(self.snap_y, 0.0)
         self.snap_alive = np.append(self.snap_alive, node.alive)
         self._snap_full = bool(self.snap_alive.all())
-        n = len(self.ids)
-        for name in ("heard", "st_bx", "st_by", "st_sp", "st_vx", "st_vy"):
-            old = getattr(self, name)
-            new = np.full((n, n), -np.inf if name == "heard" else 0.0)
-            new[:n - 1, :n - 1] = old
-            setattr(self, name, new)
+        self.store.grow()
         self.mat_rev = np.append(self.mat_rev, -1)
         self.mat_time = np.append(self.mat_time, -math.inf)
         self._acct_touched = np.append(self._acct_touched, False)
         self._accts.append(None)
+        self._def_tx = np.append(self._def_tx, 0)
+        self._def_rx = np.append(self._def_rx, 0)
 
     # -- liveness / mute -----------------------------------------------------
 
@@ -425,6 +449,29 @@ class BatchedBeaconEngine:
         self._snap_full = bool(self.snap_alive.all())
         self.snap_t = t
         self._snap_dirty = False
+        if self._large:
+            self._snap_cells = CellBuckets(self.snap_x, self.snap_y,
+                                           self._cell_r)
+
+    def _group_pairs(self, g_idx: np.ndarray, spx_g: np.ndarray,
+                     spy_g: np.ndarray, thr: float):
+        """In-range (fire_row, receiver_col) pairs for one snapshot
+        group, row-major sorted, with snapshot/current-liveness filters
+        and self-hearing excluded.
+
+        The cell-bucket candidate set is a superset of every receiver
+        within ``sqrt(thr) <= cell size``, and the distance filter below
+        applies the same elementwise arithmetic as the dense (B, N)
+        row computation — so membership matches it bitwise.
+        """
+        prows, pcols = self._snap_cells.pair_candidates(spx_g, spy_g)
+        dx = self.snap_x[pcols] - spx_g[prows]
+        dy = self.snap_y[pcols] - spy_g[prows]
+        sel = dx * dx + dy * dy <= thr
+        sel &= self.snap_alive[pcols]
+        sel &= self.alive_mask[pcols]
+        sel &= pcols != g_idx[prows]
+        return prows[sel], pcols[sel]
 
     def _process_fires(self, t_all: np.ndarray, i_all: np.ndarray) -> int:
         """Execute live fires in order; returns the number of delivery
@@ -470,7 +517,7 @@ class BatchedBeaconEngine:
                 and bool(self._acct_touched[self.alive_mask].all()))
 
         n_live = len(tf_list)
-        if (fast and not self._snap_dirty
+        if (fast and not self._large and not self._snap_dirty
                 and bool(self.alive_mask.all())):
             # Whole-EPOCH fast path: everyone is alive and (per ``fast``)
             # nothing can flip mid-flush, so the snapshot-group
@@ -520,16 +567,18 @@ class BatchedBeaconEngine:
             dxm += dym
             in_range = dxm <= r_sq
             in_range[np.arange(n_live), idx] = False
-            row_counts = in_range.sum(axis=1)
+            # np.nonzero is row-major: pairs sorted by (fire, receiver).
+            prows, pcols = np.nonzero(in_range)
+            row_counts = np.bincount(prows, minlength=n_live)
             net.stats.beacons_sent += n_live
             mac.count_lightweight_frames(n_live, net.BEACON_BYTES)
             tx_counts += np.bincount(idx, minlength=n)
-            rx_counts += in_range.sum(axis=0)
+            rx_counts += np.bincount(pcols, minlength=n)
             n_batches = int((row_counts > 0).sum())
-            if row_counts.any():
+            if prows.size:
                 tds = tf + self.delay
                 self.pending.append(
-                    (float(tds[0]), tds, idx.copy(), in_range,
+                    (float(tds[0]), tds, idx.copy(), prows, pcols,
                      spx, spy, ssp, svx, svy))
             self._virtual_now = tf_list[-1]
             self._bulk_energy(ledger, net, tx_counts, rx_counts)
@@ -554,26 +603,36 @@ class BatchedBeaconEngine:
                        and tf_list[g_end] - self.snap_t < eps):
                     g_end += 1
             g_idx = idx[k:g_end]
-            dxm = self.snap_x[None, :] - spx[k:g_end, None]
-            dym = self.snap_y[None, :] - spy[k:g_end, None]
-            d2 = dxm * dxm + dym * dym
-            in_range = d2 <= (max_r_sq if shadowing else r_sq)
-            in_range &= self.snap_alive[None, :]
-            in_range &= self.alive_mask[None, :]
-            rows = np.arange(g_end - k)
-            in_range[rows, g_idx] = False
+            B = g_end - k
+            thr = max_r_sq if shadowing else r_sq
+            if self._large:
+                # Cell-bucketed candidates instead of a (B, N) matrix.
+                prows, pcols = self._group_pairs(
+                    g_idx, spx[k:g_end], spy[k:g_end], thr)
+                row_starts = np.searchsorted(prows, np.arange(B + 1))
+                in_range = None
+            else:
+                dxm = self.snap_x[None, :] - spx[k:g_end, None]
+                dym = self.snap_y[None, :] - spy[k:g_end, None]
+                d2 = dxm * dxm + dym * dym
+                in_range = d2 <= thr
+                in_range &= self.snap_alive[None, :]
+                in_range &= self.alive_mask[None, :]
+                in_range[np.arange(B), g_idx] = False
+                row_starts = None
             if fast:
-                B = g_end - k
-                row_counts = in_range.sum(axis=1)
+                if in_range is not None:
+                    prows, pcols = np.nonzero(in_range)
+                row_counts = np.bincount(prows, minlength=B)
                 net.stats.beacons_sent += B
                 mac.count_lightweight_frames(B, net.BEACON_BYTES)
                 np.add.at(tx_counts, g_idx, 1)
-                rx_counts += in_range.sum(axis=0)
+                rx_counts += np.bincount(pcols, minlength=len(self.ids))
                 n_batches += int((row_counts > 0).sum())
-                if row_counts.any():
+                if prows.size:
                     tds = tf[k:g_end] + self.delay
                     self.pending.append(
-                        (float(tds[0]), tds, g_idx.copy(), in_range,
+                        (float(tds[0]), tds, g_idx.copy(), prows, pcols,
                          spx[k:g_end].copy(), spy[k:g_end].copy(),
                          ssp[k:g_end].copy(), svx[k:g_end].copy(),
                          svy[k:g_end].copy()))
@@ -590,7 +649,10 @@ class BatchedBeaconEngine:
                     # the legacy callback would check liveness at its
                     # own fire time and skip.
                     continue
-                r_idx = np.nonzero(in_range[g - k])[0]
+                if in_range is not None:
+                    r_idx = np.nonzero(in_range[g - k])[0]
+                else:
+                    r_idx = pcols[row_starts[g - k]:row_starts[g - k + 1]]
                 if shadowing and r_idx.size:
                     sid = int(self.ids[s_i])
                     spos = Vec2(float(spx[g]), float(spy[g]))
@@ -648,47 +710,66 @@ class BatchedBeaconEngine:
 
     def _bulk_energy(self, ledger, net, tx_counts: np.ndarray,
                      rx_counts: np.ndarray) -> None:
-        """Materialize counted beacon tx/rx charges into the ledger.
+        """Bank counted beacon tx/rx charges for deferred materialization.
 
         Repeated addition of one constant is order-independent given the
-        count, so only the per-account totals matter; the count==1 common
-        case skips the repeated-add loop entirely.
+        count, and the ``fast`` gate guarantees every involved account
+        already exists — so nothing needs the account objects *now*.
+        Two vector adds bank the counts; :meth:`_energy_probe` (wired as
+        the ledger's ``lazy_source``) converts a row's banked count into
+        the exact repeated-add the eager path would have produced, at the
+        first account touch.  Only the O(1) running total advances here.
         """
         model = ledger.model
         tx_cost = model.tx_cost(self.bits, net.radio.range_m)
         rx_cost = model.rx_cost(self.bits)
-        ids = self.ids
-        accts = self._accts
-        if None in accts:
-            for i in np.nonzero(tx_counts | rx_counts)[0].tolist():
-                if accts[i] is None:
-                    accts[i] = ledger.account(int(ids[i]))
-        # Common epoch shape: every node fired exactly once — a bare
-        # attribute bump per account, no index machinery.
-        if bool((tx_counts == 1).all()):
-            for acct in accts:
-                acct.tx_j += tx_cost
-        else:
-            nz = np.nonzero(tx_counts)[0]
-            for i, c in zip(nz.tolist(), tx_counts[nz].tolist()):
-                acct = accts[i]
-                if c == 1:
-                    acct.tx_j = acct.tx_j + tx_cost
-                else:
-                    total = acct.tx_j
-                    for _ in range(c):
-                        total += tx_cost
-                    acct.tx_j = total
-        nz = np.nonzero(rx_counts)[0]
-        for i, c in zip(nz.tolist(), rx_counts[nz].tolist()):
-            acct = accts[i]
-            if c == 1:
-                acct.rx_j = acct.rx_j + rx_cost
-            else:
-                total = acct.rx_j
-                for _ in range(c):
-                    total += rx_cost
-                acct.rx_j = total
+        self._def_costs = (tx_cost, rx_cost)
+        self._def_tx += tx_counts
+        self._def_rx += rx_counts
+        # These charges bypass charge_tx/charge_rx, so advance the
+        # ledger's O(1) running total to match.
+        ledger.note_external_charges(tx_cost, int(tx_counts.sum()))
+        ledger.note_external_charges(rx_cost, int(rx_counts.sum()))
+
+    def _energy_probe(self, node_id: Optional[int]) -> None:
+        """Ledger ``lazy_source`` gateway: materialize banked beacon
+        charges for ``node_id`` (None = every node) before the account
+        is read or mutated."""
+        if self._def_costs is None:
+            return
+        if node_id is None:
+            nz = np.nonzero(self._def_tx | self._def_rx)[0]
+            for i in nz.tolist():
+                self._materialize_row(i)
+            return
+        i = self.index.get(node_id)
+        if i is not None:
+            self._materialize_row(i)
+
+    def _materialize_row(self, i: int) -> None:
+        ct = int(self._def_tx[i])
+        cr = int(self._def_rx[i])
+        if not (ct or cr):
+            return
+        self._def_tx[i] = 0
+        self._def_rx[i] = 0
+        acct = self._accts[i]
+        if acct is None:
+            # The account exists (fast-gate invariant); fetch it without
+            # going through ledger.account(), which would re-enter this
+            # probe.
+            led = self.net.beacon_ledger
+            nid = int(self.ids[i])
+            acct = led._accounts.get(nid)
+            if acct is None:  # pragma: no cover - defensive
+                acct = EnergyAccount()
+                led._accounts[nid] = acct
+            self._accts[i] = acct
+        tx_cost, rx_cost = self._def_costs
+        if ct:
+            acct.tx_j = repeated_add(acct.tx_j, tx_cost, ct)
+        if cr:
+            acct.rx_j = repeated_add(acct.rx_j, rx_cost, cr)
 
     def _alive_at(self, r: int, t: float) -> bool:
         """Receiver liveness at delivery time ``t``, reconstructed from
@@ -713,6 +794,35 @@ class BatchedBeaconEngine:
             return not first_later
         return bool(self.alive_mask[r])
 
+    def _alive_at_bulk(self, cols: np.ndarray,
+                       times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_alive_at` over (receiver, time) pairs.
+
+        Nodes without transitions (almost all of them) resolve in one
+        ``alive_mask`` gather; each transitioning node's pairs resolve
+        with one searchsorted against its chronological transition log
+        (same last-transition-at-or-before semantics, including the
+        opposite-of-first-later rule for times before any transition).
+        """
+        out = self.alive_mask[cols].copy()
+        per_node: Dict[int, tuple] = {}
+        for (tt, i, new) in self._transitions:
+            if i in per_node:
+                per_node[i][0].append(tt)
+                per_node[i][1].append(new)
+            else:
+                per_node[i] = ([tt], [new])
+        for i, (tts, news) in per_node.items():
+            sel = np.nonzero(cols == i)[0]
+            if sel.size == 0:
+                continue
+            pos = np.searchsorted(np.array(tts), times[sel], side="right")
+            news_arr = np.array(news, dtype=bool)
+            vals = np.where(pos > 0, news_arr[np.maximum(pos - 1, 0)],
+                            not news[0])
+            out[sel] = vals
+        return out
+
     def _apply_due(self, now: float) -> None:
         """Deliver all pending beacon batches with t_deliver <= now."""
         if not self.pending or self.pending[0][0] > now:
@@ -725,11 +835,21 @@ class BatchedBeaconEngine:
                 # A group record straddling ``now``: split it at the
                 # boundary.  Delivery delay is constant, so every later
                 # pending entry starts strictly after this one — safe to
-                # stop scanning here.
-                cut = int(np.searchsorted(e[1], now, side="right"))
-                head = (e[0],) + tuple(a[:cut] for a in e[1:])
-                straddler = ((float(e[1][cut]),)
-                             + tuple(a[cut:] for a in e[1:]))
+                # stop scanning here.  Pair rows are sorted, so the pair
+                # split point is a searchsorted on the fire cut, and the
+                # tail's rows re-base against its first remaining fire.
+                (_t0, tds, gi, prows, pcols,
+                 gbx, gby, gsp, gvx, gvy) = e
+                cut = int(np.searchsorted(tds, now, side="right"))
+                pcut = int(np.searchsorted(prows, cut, side="left"))
+                head = (e[0], tds[:cut], gi[:cut],
+                        prows[:pcut], pcols[:pcut],
+                        gbx[:cut], gby[:cut], gsp[:cut],
+                        gvx[:cut], gvy[:cut])
+                straddler = (float(tds[cut]), tds[cut:], gi[cut:],
+                             prows[pcut:] - cut, pcols[pcut:],
+                             gbx[cut:], gby[cut:], gsp[cut:],
+                             gvx[cut:], gvy[cut:])
                 self.pending[split] = head
                 split += 1
                 break
@@ -752,31 +872,27 @@ class BatchedBeaconEngine:
         VY_parts: List[np.ndarray] = []
         for entry in due:
             if isinstance(entry[1], np.ndarray):
-                _td0, tds, gi, mask, gbx, gby, gsp, gvx, gvy = entry
+                (_td0, tds, gi, g_rows, g_cols,
+                 gbx, gby, gsp, gvx, gvy) = entry
                 F_parts.append(gi)
                 if has_transitions:
-                    g_rows, g_cols = np.nonzero(mask)
                     if g_rows.size:
-                        keep = np.fromiter(
-                            (self._alive_at(int(c), float(tds[r]))
-                             for r, c in zip(g_rows.tolist(),
-                                             g_cols.tolist())),
-                            dtype=bool, count=g_rows.size)
+                        keep = self._alive_at_bulk(g_cols, tds[g_rows])
                         g_rows, g_cols = g_rows[keep], g_cols[keep]
-                elif all_alive:
-                    g_rows, g_cols = np.nonzero(mask)
-                else:
-                    g_rows, g_cols = np.nonzero(
-                        mask & self.alive_mask[None, :])
+                elif not all_alive:
+                    keep = self.alive_mask[g_cols]
+                    g_rows, g_cols = g_rows[keep], g_cols[keep]
                 if g_rows.size == 0:
                     continue
                 if hooks:
-                    # Row-major nonzero order == chronological fires,
+                    # Pair order is row-major == chronological fires,
                     # receivers ascending per fire — legacy hook order.
-                    for r, c in zip(g_rows.tolist(), g_cols.tolist()):
-                        rid = int(self.ids[c])
-                        src = int(self.ids[gi[r]])
-                        t_d = float(tds[r])
+                    # Bulk tolist() gathers yield the same Python
+                    # ints/floats the per-pair conversions did.
+                    rids = self.ids[g_cols].tolist()
+                    srcs = self.ids[gi[g_rows]].tolist()
+                    t_ds = tds[g_rows].tolist()
+                    for rid, src, t_d in zip(rids, srcs, t_ds):
                         for hook in hooks:
                             hook(rid, src, t_d)
                 R_parts.append(g_cols)
@@ -791,10 +907,8 @@ class BatchedBeaconEngine:
             (td, s_i, surv, bx, by, sp, vx, vy) = entry
             F_parts.append(np.array([s_i], dtype=np.int64))
             if has_transitions:
-                alive_surv = np.array(
-                    [self._alive_at(int(r), td) for r in surv.tolist()],
-                    dtype=bool)
-                surv = surv[alive_surv]
+                surv = surv[self._alive_at_bulk(
+                    surv, np.full(surv.size, td))]
             else:
                 surv = surv[self.alive_mask[surv]]
             if surv.size == 0:
@@ -838,27 +952,28 @@ class BatchedBeaconEngine:
                 dup = fire_counts[S] > 1
                 d_idx = np.nonzero(dup)[0]
                 d_key = R[d_idx] * n + S[d_idx]
-                if np.unique(d_key).size != d_key.size:
+                # Stable argsort groups equal keys in delivery order, so
+                # the last element of each run is the latest delivery —
+                # a sort-based unique that avoids np.unique (whose first
+                # call drags in the numpy.ma subtree, ~25 ms).
+                order = np.argsort(d_key, kind="stable")
+                ks = d_key[order]
+                if ks.size > 1 and bool((ks[1:] == ks[:-1]).any()):
                     # Keep the LAST (latest delivery) of each duplicate
                     # pair — fancy assignment order for duplicates is
                     # not guaranteed, so dedup explicitly.  Deliveries
                     # are chronological, so a boolean keep-mask (which
                     # preserves order) is equivalent.
-                    _u, first_rev = np.unique(d_key[::-1],
-                                              return_index=True)
-                    last = d_idx[d_key.size - 1 - first_rev]
+                    run_last = np.nonzero(
+                        np.append(ks[1:] != ks[:-1], True))[0]
+                    last = d_idx[order[run_last]]
                     keep = np.ones(S.size, dtype=bool)
                     keep[d_idx] = False
                     keep[last] = True
                     R, S, T = R[keep], S[keep], T[keep]
                     BX, BY, SP = BX[keep], BY[keep], SP[keep]
                     VX, VY = VX[keep], VY[keep]
-            self.heard[R, S] = T
-            self.st_bx[R, S] = BX
-            self.st_by[R, S] = BY
-            self.st_sp[R, S] = SP
-            self.st_vx[R, S] = VX
-            self.st_vy[R, S] = VY
+            self.store.scatter(R, S, T, BX, BY, SP, VX, VY)
             self.store_rev += 1
         if self._transitions:
             t_min = min((p[0] for p in self.pending), default=math.inf)
@@ -875,35 +990,44 @@ class BatchedBeaconEngine:
         self.flush(self.sim.now)
         if self.mat_rev[r] == self.store_rev:
             return
-        newer = np.nonzero(self.heard[r] > self.mat_time[r])[0]
-        if newer.size:
+        (cols, heard, bx, by, sp, vx, vy) = self.store.newer_entries(
+            r, float(self.mat_time[r]))
+        if cols.size:
             nt = node._nt
             ids = self.ids
-            heard = self.heard[r]
-            bx, by = self.st_bx[r], self.st_by[r]
-            sp = self.st_sp[r]
-            vx, vy = self.st_vx[r], self.st_vy[r]
-            for c in newer.tolist():
-                pos = Vec2(float(bx[c]), float(by[c]))
+            for c, t, x, y, s, ux, uy in zip(
+                    cols.tolist(), heard.tolist(), bx.tolist(),
+                    by.tolist(), sp.tolist(), vx.tolist(), vy.tolist()):
+                pos = Vec2(x, y)
                 nt[int(ids[c])] = NeighborEntry(
-                    int(ids[c]), pos, float(sp[c]), float(heard[c]),
-                    beacon_position=pos,
-                    velocity=Vec2(float(vx[c]), float(vy[c])))
-            self.mat_time[r] = float(heard[newer].max())
+                    int(ids[c]), pos, s, t, beacon_position=pos,
+                    velocity=Vec2(ux, uy))
+            self.mat_time[r] = float(heard.max())
         self.mat_rev[r] = self.store_rev
+
+    def note_observation(self, hearer_id: int, neighbor_id: int,
+                         time: float, position: Vec2, speed: float,
+                         velocity: Vec2) -> None:
+        """Mirror a directly observed beacon (legacy delivery path) into
+        the store so staleness sweeps see it."""
+        r = self.index.get(hearer_id)
+        c = self.index.get(neighbor_id)
+        if r is not None and c is not None:
+            self.store.update_cell(r, c, time, position.x, position.y,
+                                   speed, velocity.x, velocity.y)
 
     def clear_cell(self, hearer_id: int, neighbor_id: int) -> None:
         """Store-side forget (mirror of dict ``pop``)."""
         r = self.index.get(hearer_id)
         c = self.index.get(neighbor_id)
         if r is not None and c is not None:
-            self.heard[r, c] = -np.inf
+            self.store.clear_cell(r, c)
 
     def reset_row(self, node_id: int) -> None:
         """Store-side table wipe (crash recovery)."""
         r = self.index.get(node_id)
         if r is not None:
-            self.heard[r, :] = -np.inf
+            self.store.reset_row(r)
             self.mat_rev[r] = -1
             self.mat_time[r] = -math.inf
 
@@ -911,19 +1035,22 @@ class BatchedBeaconEngine:
         """Proactive staleness eviction across all alive nodes."""
         self.flush(now)
         evicted = 0
+        store = self.store
+        if isinstance(store, SparseNeighborStore):
+            # Compact once so the per-row reads below are base slices
+            # instead of N tail scans.
+            store.compact()
         alive_rows = np.nonzero(self.alive_mask)[0]
         for r in alive_rows.tolist():
             node = self.node_list[r]
             self.sync_node_table(node)
-            row = self.heard[r]
-            stale = np.nonzero(np.isfinite(row)
-                               & (now - row > timeout))[0]
+            stale = store.stale_cols(r, now, timeout)
             # Dict entries may exist for store cells already cleared
             # (never the reverse after a sync), so sweep the dict too.
             dict_stale = [nid for nid, e in node._nt.items()
                           if now - e.heard_at > timeout]
-            for c in stale.tolist():
-                row[c] = -np.inf
+            if stale.size:
+                store.drop_cells(r, stale)
             for nid in dict_stale:
                 node._nt.pop(nid, None)
             evicted += len(dict_stale)

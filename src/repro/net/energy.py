@@ -9,8 +9,84 @@ run totals in the same sub-Joule to few-Joule band as the paper's figures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict
+
+
+def repeated_add(total: float, cost: float, count: int) -> float:
+    """The float ``count`` scalar additions of ``cost`` onto ``total``
+    would produce, computed in O(binades) instead of O(count).
+
+    Bitwise-equal to ``for _ in range(count): total += cost`` (proven in
+    ``tests/test_energy_closed_form.py``).  The blocked jump rests on two
+    facts about IEEE-754 round-to-nearest-even:
+
+    * After one add, ``d = fl(total + cost) - total`` is exact whenever
+      ``cost/2 <= d <= 2*cost`` (Sterbenz), and is a multiple of the
+      current binade's ulp ``u``.
+    * If the rounding error ``r = cost - d`` satisfies ``|r| < u/2``
+      strictly, then every subsequent add *within the binade* also
+      advances by exactly ``d``: each partial total ``x`` is a multiple
+      of ``u``, so ``x + d`` is representable and ``x + cost = (x + d)
+      + r`` rounds back to ``x + d`` (no tie possible).
+
+    The run length to the binade top is then jumped in one exact
+    multiply-add.  Ties (``|r| == u/2``, where round-to-even makes the
+    increment parity-dependent), near-fixed-point steps and non-finite
+    or negative inputs fall back to scalar stepping, which is always
+    correct.
+    """
+    if count <= 0:
+        return total
+    if cost == 0.0:
+        return total + 0.0  # normalizes -0.0 exactly like one scalar add
+    if count <= 64:
+        # Below the crossover the frexp/ldexp guard machinery costs more
+        # than just doing the adds.
+        for _ in range(count):
+            total += cost
+        return total
+    if not (math.isfinite(total) and math.isfinite(cost)) \
+            or cost < 0.0 or total < 0.0:
+        for _ in range(count):
+            total += cost
+        return total
+    while count:
+        t1 = total + cost
+        if t1 == total:
+            return total  # fixed point: all remaining adds are no-ops
+        d = t1 - total
+        total = t1
+        count -= 1
+        if not count:
+            break
+        if total <= 0.0 or not math.isfinite(total):
+            continue
+        _m, e = math.frexp(total)       # total in [2**(e-1), 2**e)
+        top = math.ldexp(1.0, e)
+        if not math.isfinite(top):
+            continue                    # binade top overflows: stay scalar
+        u = math.ldexp(1.0, e - 53)     # spacing within this binade
+        if 2.0 * cost < d or 2.0 * d < cost:
+            continue                    # Sterbenz precondition failed
+        r = cost - d                    # exact by Sterbenz
+        if 2.0 * abs(r) >= u:
+            continue                    # rounding tie: parity-dependent
+        # Exact integer arithmetic in units of u: gap is a multiple of u
+        # by construction; d must be checked (an add that crossed into
+        # this binade can leave d an odd multiple of the *previous*
+        # binade's finer spacing).
+        step_f = math.ldexp(d, 53 - e)
+        if step_f < 1.0 or step_f != int(step_f):
+            continue
+        gap = int(math.ldexp(top - total, 53 - e))
+        step = int(step_f)
+        k = min(count, gap // step)
+        if k > 0:
+            total += k * d              # k*step <= 2**53: product exact
+            count -= k
+    return total
 
 
 @dataclass(frozen=True)
@@ -71,6 +147,21 @@ class EnergyLedger:
         #: every charge (kind is "tx" | "rx" | "idle").  Used by
         #: ``repro.validate`` to shadow the accounts; None costs nothing.
         self.observer = None
+        # Running network-wide total, advanced once per charge, so
+        # snapshot()/since() are O(1) — the service layer checkpoints the
+        # ledger around every query.  Deterministic (charges apply in a
+        # fixed order per seed) but summed in chronological rather than
+        # account order, so it may differ from total_j() in the last few
+        # ulps; total_j() remains the exact account-order sum.
+        self._running_j = 0.0
+        #: optional deferred-charge source, called as ``fn(node_id)``
+        #: before any account access (``fn(None)`` = all accounts).  The
+        #: batched beacon kernel banks per-node charge *counts* and
+        #: materializes them here on first touch, so per-epoch account
+        #: writes are amortized away.  Because every account mutation and
+        #: read funnels through :meth:`account`, materializing at this
+        #: gateway reproduces the eager per-epoch field order exactly.
+        self.lazy_source = None
 
     def set_battery(self, capacity_j: float, on_depleted) -> None:
         """Arm per-node battery enforcement."""
@@ -80,11 +171,22 @@ class EnergyLedger:
         self.on_depleted = on_depleted
 
     def account(self, node_id: int) -> EnergyAccount:
+        src = self.lazy_source
+        if src is not None:
+            src(node_id)
         acct = self._accounts.get(node_id)
         if acct is None:
             acct = EnergyAccount()
             self._accounts[node_id] = acct
         return acct
+
+    def sync(self) -> None:
+        """Materialize every pending deferred charge (no-op without a
+        ``lazy_source``).  Required before iterating ``_accounts``
+        directly instead of going through :meth:`account`."""
+        src = self.lazy_source
+        if src is not None:
+            src(None)
 
     def remaining_j(self, node_id: int) -> float:
         """Battery charge left (inf without battery enforcement)."""
@@ -106,6 +208,7 @@ class EnergyLedger:
     def charge_tx(self, node_id: int, bits: int, distance_m: float) -> float:
         cost = self.model.tx_cost(bits, distance_m)
         self.account(node_id).tx_j += cost
+        self._running_j += cost
         if self.observer is not None:
             self.observer(node_id, "tx", cost)
         self._check_battery(node_id)
@@ -114,6 +217,7 @@ class EnergyLedger:
     def charge_rx(self, node_id: int, bits: int) -> float:
         cost = self.model.rx_cost(bits)
         self.account(node_id).rx_j += cost
+        self._running_j += cost
         if self.observer is not None:
             self.observer(node_id, "rx", cost)
         self._check_battery(node_id)
@@ -124,7 +228,7 @@ class EnergyLedger:
         """Charge ``count`` identical transmissions in one call.
 
         Fast path for the batched beacon kernel: the per-charge cost is a
-        constant, and repeated scalar adds into a local accumulator are
+        constant, and the blocked closed form of :func:`repeated_add` is
         bitwise-identical to ``count`` separate ``charge_tx`` calls on the
         same account field.  Refuses to run when an observer or battery is
         armed — those need the chronological per-charge path.
@@ -134,10 +238,8 @@ class EnergyLedger:
                 "bulk charging is only valid without observer/battery")
         cost = self.model.tx_cost(bits, distance_m)
         acct = self.account(node_id)
-        total = acct.tx_j
-        for _ in range(count):
-            total += cost
-        acct.tx_j = total
+        acct.tx_j = repeated_add(acct.tx_j, cost, count)
+        self._running_j = repeated_add(self._running_j, cost, count)
         return cost * count
 
     def charge_rx_repeated(self, node_id: int, bits: int,
@@ -149,28 +251,37 @@ class EnergyLedger:
                 "bulk charging is only valid without observer/battery")
         cost = self.model.rx_cost(bits)
         acct = self.account(node_id)
-        total = acct.rx_j
-        for _ in range(count):
-            total += cost
-        acct.rx_j = total
+        acct.rx_j = repeated_add(acct.rx_j, cost, count)
+        self._running_j = repeated_add(self._running_j, cost, count)
         return cost * count
+
+    def note_external_charges(self, cost: float, count: int) -> None:
+        """Advance the running total for ``count`` charges of ``cost``
+        applied *directly* to account fields (the batched beacon kernel
+        materializes its counted charges that way).  Keeps
+        :meth:`snapshot` consistent with the accounts."""
+        self._running_j = repeated_add(self._running_j, cost, count)
 
     def charge_idle(self, node_id: int, seconds: float) -> float:
         cost = self.model.idle_cost(seconds)
         self.account(node_id).idle_j += cost
+        self._running_j += cost
         if self.observer is not None:
             self.observer(node_id, "idle", cost)
         self._check_battery(node_id)
         return cost
 
     def total_j(self) -> float:
-        """Energy consumed by the whole network so far."""
+        """Energy consumed by the whole network so far (exact sum over
+        accounts; O(nodes) — prefer :meth:`snapshot` for checkpoints)."""
+        self.sync()
         return sum(acct.total_j for acct in self._accounts.values())
 
     def snapshot(self) -> float:
-        """Checkpoint value; pass to :meth:`since` for a delta."""
-        return self.total_j()
+        """Checkpoint value; pass to :meth:`since` for a delta.  O(1):
+        reads the running total maintained per charge."""
+        return self._running_j
 
     def since(self, checkpoint: float) -> float:
         """Energy consumed since ``checkpoint`` was taken."""
-        return self.total_j() - checkpoint
+        return self._running_j - checkpoint

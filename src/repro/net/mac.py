@@ -26,6 +26,7 @@ from ..sim.engine import Simulator
 from .energy import EnergyLedger
 from .messages import Message
 from .radio import RadioModel
+from .txindex import ActiveTxIndex
 
 DeliverFn = Callable[[int, Message], None]
 FailFn = Callable[[Message], None]
@@ -100,7 +101,11 @@ class MacLayer:
         #: serialization delay).  Used by ``repro.obs``; must not draw
         #: RNG or schedule events; None costs nothing.
         self.obs_hook: Optional[Callable[[str, float], None]] = None
-        self._active: List[_ActiveTx] = []
+        # Active transmissions, bucketed by position at interference-range
+        # cell size with lazy end-time expiry (see repro.net.txindex);
+        # supports append/len/iteration like the flat list it replaced.
+        self._active: ActiveTxIndex = ActiveTxIndex(
+            self.radio.interference_range_m)
         # A node has one radio: its frames serialize. Tracks when each
         # sender's queue drains so bursts (e.g. one node unicasting to many
         # destinations at once) go out one frame at a time.
@@ -162,24 +167,16 @@ class MacLayer:
         self.stats.bytes_sent += n * size_bytes
 
     def _prune_active(self) -> None:
-        now = self.sim.now
-        if self._active and any(tx.end <= now for tx in self._active):
-            self._active = [tx for tx in self._active if tx.end > now]
+        self._active.prune(self.sim.now)
 
     def _interferers_near(self, pos: Vec2, start: float, end: float,
-                          exclude_sender: int) -> int:
+                          exclude_sender: Optional[int] = None) -> int:
         """Concurrent transmissions overlapping [start, end] whose sender is
-        within interference range of ``pos``."""
+        within interference range of ``pos``; ``exclude_sender=None``
+        counts everything (no magic sentinel)."""
         r_sq = self.radio.interference_range_m ** 2
-        count = 0
-        for tx in self._active:
-            if tx.sender == exclude_sender:
-                continue
-            if tx.end <= start or tx.start >= end:
-                continue
-            if tx.pos.distance_sq_to(pos) <= r_sq:
-                count += 1
-        return count
+        return self._active.count_near(pos.x, pos.y, r_sq, start, end,
+                                       exclude_sender=exclude_sender)
 
     def local_load(self, pos: Vec2) -> int:
         """Transmissions currently audible (interference range) around pos."""
@@ -187,8 +184,7 @@ class MacLayer:
         now = self.sim.now
         # Probe a tiny forward window so a frame starting exactly now is
         # counted (a zero-width interval would overlap nothing).
-        return self._interferers_near(pos, now, now + 1e-9,
-                                      exclude_sender=-2)
+        return self._interferers_near(pos, now, now + 1e-9)
 
     def in_flight(self, now: Optional[float] = None) -> List[_ActiveTx]:
         """Transmissions whose airtime overlaps ``now`` (default: the
@@ -216,11 +212,9 @@ class MacLayer:
         # airtime of the loudest overlapping frame.
         residual = 0.0
         if load:
-            now = self.sim.now
-            r_sq = self.radio.interference_range_m ** 2
-            for tx in self._active:
-                if tx.start <= now < tx.end and tx.pos.distance_sq_to(pos) <= r_sq:
-                    residual = max(residual, tx.end - now)
+            residual = self._active.max_residual_near(
+                pos.x, pos.y, self.radio.interference_range_m ** 2,
+                self.sim.now)
         return residual + slots * self.config.slot_time_s
 
     def transmit(self, sender: int, sender_pos: Vec2, message: Message,

@@ -1,0 +1,249 @@
+"""Neighbor-table backing stores for the batched beacon kernel.
+
+The kernel records every delivered beacon as a (hearer, neighbor) cell
+holding the latest heard time and the sender's beaconed kinematics.
+Two interchangeable representations:
+
+* :class:`DenseNeighborStore` — six (N, N) float64 blocks, O(1) cell
+  addressing and native fancy-indexed scatter.  Ideal at the paper's
+  scales but quadratic in memory (4.8 GB at N = 10k), so it is only
+  used up to ``repro.net.beacons._DENSE_MAX`` nodes.
+
+* :class:`SparseNeighborStore` — an append-only columnar log of cell
+  writes with periodic keep-last compaction.  A scatter of P pairs is
+  O(P) (list append of column arrays); reads merge the compacted base
+  (sorted by (row, col), sliced by ``searchsorted``) with a vectorized
+  scan of the pending tail.  Row wipes are sequence-number watermarks,
+  cell clears are ``-inf`` tombstones.  Memory is bounded by
+  (live cells) + (compaction threshold), independent of how many
+  beacons ever fired — the O(1)-per-event discipline large fields need.
+
+Both expose the same surface; equivalence is proven by forcing the
+sparse store at small N against the dense results
+(``tests/test_beacon_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+#: columns of one log record (times/kinematics payload)
+_PAYLOAD = ("t", "bx", "by", "sp", "vx", "vy")
+
+
+class DenseNeighborStore:
+    """(N, N, 6) matrix store: row = hearer, col = neighbor, last axis
+    is the payload record.  One interleaved array instead of six planes:
+    a scatter of P pairs is a single fancy-index pass writing 48
+    contiguous bytes per cell, not six 8-byte passes over the same
+    random addresses."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.pay = np.zeros((n, n, len(_PAYLOAD)))
+        self.pay[:, :, 0] = -np.inf
+        self.heard = self.pay[:, :, 0]  # view: latest heard time
+
+    def grow(self) -> None:
+        n = self.n + 1
+        new = np.zeros((n, n, len(_PAYLOAD)))
+        new[:, :, 0] = -np.inf
+        new[:n - 1, :n - 1] = self.pay
+        self.pay = new
+        self.heard = new[:, :, 0]
+        self.n = n
+
+    def scatter(self, rows: np.ndarray, cols: np.ndarray, t: np.ndarray,
+                bx: np.ndarray, by: np.ndarray, sp: np.ndarray,
+                vx: np.ndarray, vy: np.ndarray) -> None:
+        """Bulk cell update; (rows, cols) pairs must be unique."""
+        rec = np.empty((t.size, len(_PAYLOAD)))
+        rec[:, 0] = t
+        rec[:, 1] = bx
+        rec[:, 2] = by
+        rec[:, 3] = sp
+        rec[:, 4] = vx
+        rec[:, 5] = vy
+        self.pay[rows, cols] = rec
+
+    def update_cell(self, r: int, c: int, t: float, bx: float, by: float,
+                    sp: float, vx: float, vy: float) -> None:
+        self.pay[r, c] = (t, bx, by, sp, vx, vy)
+
+    def clear_cell(self, r: int, c: int) -> None:
+        self.pay[r, c, 0] = -np.inf
+
+    def reset_row(self, r: int) -> None:
+        self.pay[r, :, 0] = -np.inf
+
+    def newer_entries(self, r: int, after: float) -> Tuple[np.ndarray, ...]:
+        """(cols, t, bx, by, sp, vx, vy) of row ``r`` cells heard after
+        ``after``."""
+        row = self.pay[r]
+        cols = np.nonzero(row[:, 0] > after)[0]
+        sel = row[cols]
+        return (cols, sel[:, 0], sel[:, 1], sel[:, 2], sel[:, 3],
+                sel[:, 4], sel[:, 5])
+
+    def stale_cols(self, r: int, now: float, timeout: float) -> np.ndarray:
+        row = self.pay[r, :, 0]
+        return np.nonzero(np.isfinite(row) & (now - row > timeout))[0]
+
+    def drop_cells(self, r: int, cols: np.ndarray) -> None:
+        self.pay[r, cols, 0] = -np.inf
+
+
+class SparseNeighborStore:
+    """Log-structured columnar store for large N (see module docstring)."""
+
+    def __init__(self, n: int, compact_limit: int = 0):
+        self.n = n
+        # Compacted base: unique (row, col) cells sorted by (row, col),
+        # each with the log sequence number of its latest write.
+        self._b_r = np.empty(0, dtype=np.int64)
+        self._b_c = np.empty(0, dtype=np.int64)
+        self._b_seq = np.empty(0, dtype=np.int64)
+        self._b_pay = {k: np.empty(0) for k in _PAYLOAD}
+        # Pending tail: chunks of appended writes, newest last.
+        self._tail: List[tuple] = []
+        self._tail_pairs = 0
+        self._seq = 0
+        # reset_row(r) invalidates all writes to r before this watermark
+        self._reset_seq = np.zeros(n, dtype=np.int64)
+        self._compact_limit = compact_limit or max(100_000, 8 * n)
+
+    def grow(self) -> None:
+        self.n += 1
+        self._reset_seq = np.append(self._reset_seq, 0)
+
+    # -- writes --------------------------------------------------------------
+
+    def scatter(self, rows: np.ndarray, cols: np.ndarray, t: np.ndarray,
+                bx: np.ndarray, by: np.ndarray, sp: np.ndarray,
+                vx: np.ndarray, vy: np.ndarray) -> None:
+        m = int(rows.size)
+        if m == 0:
+            return
+        self._tail.append((np.asarray(rows, dtype=np.int64),
+                           np.asarray(cols, dtype=np.int64),
+                           t, bx, by, sp, vx, vy, self._seq))
+        self._seq += m
+        self._tail_pairs += m
+        if self._tail_pairs > self._compact_limit:
+            self._compact()
+
+    def update_cell(self, r: int, c: int, t: float, bx: float, by: float,
+                    sp: float, vx: float, vy: float) -> None:
+        self.scatter(np.array([r], dtype=np.int64),
+                     np.array([c], dtype=np.int64), np.array([t]),
+                     np.array([bx]), np.array([by]), np.array([sp]),
+                     np.array([vx]), np.array([vy]))
+
+    def clear_cell(self, r: int, c: int) -> None:
+        self.update_cell(r, c, -math.inf, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def reset_row(self, r: int) -> None:
+        self._reset_seq[r] = self._seq
+
+    # -- compaction ----------------------------------------------------------
+
+    def _compact(self) -> None:
+        if not self._tail:
+            return
+        rr = np.concatenate(
+            [self._b_r] + [ch[0] for ch in self._tail])
+        cc = np.concatenate(
+            [self._b_c] + [ch[1] for ch in self._tail])
+        seqs = np.concatenate(
+            [self._b_seq] + [np.arange(ch[8], ch[8] + ch[0].size,
+                                       dtype=np.int64)
+                             for ch in self._tail])
+        pay = {k: np.concatenate([self._b_pay[k]]
+                                 + [ch[2 + i] for ch in self._tail])
+               for i, k in enumerate(_PAYLOAD)}
+        valid = seqs >= self._reset_seq[rr]
+        if not valid.all():
+            rr, cc, seqs = rr[valid], cc[valid], seqs[valid]
+            pay = {k: v[valid] for k, v in pay.items()}
+        order = np.lexsort((seqs, cc, rr))
+        rr, cc, seqs = rr[order], cc[order], seqs[order]
+        # Keep the last write per (row, col): entries are now grouped by
+        # cell with ascending seq, so a run's final element wins.
+        if rr.size:
+            last = np.append((rr[1:] != rr[:-1]) | (cc[1:] != cc[:-1]), True)
+        else:
+            last = np.empty(0, dtype=bool)
+        t_all = pay["t"][order]
+        keep = last & np.isfinite(t_all)  # drop resolved tombstones
+        self._b_r, self._b_c, self._b_seq = rr[keep], cc[keep], seqs[keep]
+        sel = order[keep]
+        for k in _PAYLOAD:
+            self._b_pay[k] = pay[k][sel]
+        self._tail = []
+        self._tail_pairs = 0
+
+    # -- reads ---------------------------------------------------------------
+
+    def _row_view(self, r: int) -> Tuple[np.ndarray, ...]:
+        """Merged keep-last view of row ``r``: (cols, t, bx, by, sp, vx,
+        vy), unique cols in ascending order."""
+        lo = int(np.searchsorted(self._b_r, r, side="left"))
+        hi = int(np.searchsorted(self._b_r, r, side="right"))
+        cols = [self._b_c[lo:hi]]
+        seqs = [self._b_seq[lo:hi]]
+        pay = {k: [self._b_pay[k][lo:hi]] for k in _PAYLOAD}
+        for ch in self._tail:
+            sel = np.nonzero(ch[0] == r)[0]
+            if sel.size == 0:
+                continue
+            cols.append(ch[1][sel])
+            seqs.append(ch[8] + sel)
+            for i, k in enumerate(_PAYLOAD):
+                pay[k].append(ch[2 + i][sel])
+        cc = np.concatenate(cols)
+        if cc.size == 0:
+            return (cc,) + tuple(np.empty(0) for _ in _PAYLOAD)
+        seq = np.concatenate(seqs)
+        valid = seq >= self._reset_seq[r]
+        order = np.lexsort((seq, cc))
+        order = order[valid[order]]
+        cc_o = cc[order]
+        last = np.append(cc_o[1:] != cc_o[:-1], True) \
+            if cc_o.size else np.empty(0, dtype=bool)
+        sel = order[last]
+        t = np.concatenate(pay["t"])[sel]
+        fin = np.isfinite(t)
+        sel = sel[fin]
+        out = [cc[sel], t[fin]]
+        for k in _PAYLOAD[1:]:
+            out.append(np.concatenate(pay[k])[sel])
+        return tuple(out)
+
+    def newer_entries(self, r: int, after: float) -> Tuple[np.ndarray, ...]:
+        cols, t, bx, by, sp, vx, vy = self._row_view(r)
+        newer = t > after
+        if newer.all():
+            return cols, t, bx, by, sp, vx, vy
+        return (cols[newer], t[newer], bx[newer], by[newer], sp[newer],
+                vx[newer], vy[newer])
+
+    def stale_cols(self, r: int, now: float, timeout: float) -> np.ndarray:
+        cols, t = self._row_view(r)[:2]
+        return cols[now - t > timeout]
+
+    def drop_cells(self, r: int, cols: np.ndarray) -> None:
+        for c in np.asarray(cols).tolist():
+            self.clear_cell(r, int(c))
+
+    def compact(self) -> None:
+        """Fold the pending tail into the base now (e.g. before a sweep
+        that will read every row)."""
+        self._compact()
+
+    @property
+    def cells(self) -> int:
+        """Live base cells + pending tail writes (diagnostics)."""
+        return int(self._b_r.size) + self._tail_pairs

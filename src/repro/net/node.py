@@ -141,17 +141,10 @@ class SensorNode:
             velocity=velocity)
         engine = self._beacon_engine()
         if engine is not None:
-            # Mirror direct observations into the columnar store so
+            # Mirror direct observations into the neighbor store so
             # staleness sweeps see them.
-            r = engine.index.get(self.id)
-            c = engine.index.get(node_id)
-            if r is not None and c is not None:
-                engine.heard[r, c] = time
-                engine.st_bx[r, c] = position.x
-                engine.st_by[r, c] = position.y
-                engine.st_sp[r, c] = speed
-                engine.st_vx[r, c] = velocity.x
-                engine.st_vy[r, c] = velocity.y
+            engine.note_observation(self.id, node_id, time, position,
+                                    speed, velocity)
 
     def neighbors(self, max_age: Optional[float] = None) -> List[NeighborEntry]:
         """Fresh neighbor entries (protocol view).

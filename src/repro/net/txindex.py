@@ -1,0 +1,152 @@
+"""Spatial index of in-flight MAC transmissions.
+
+The MAC needs three queries against the set of active (not-yet-drained)
+transmissions: how many overlap a time window within interference range
+of a point (collision checks, channel load), the longest residual
+airtime audible at a point (CSMA wait), and plain iteration (diagnostics
+and the validation layer).  The seed implementation kept a flat list and
+linear-scanned it per receiver — O(active) per query, which dominates
+unicast cost under concurrent service traffic.
+
+:class:`ActiveTxIndex` buckets transmissions into grid cells of side
+``interference_range_m`` so a range query touches at most the 3x3 cell
+neighborhood, and keeps an end-time min-heap so expiry is a single
+lazy pop-loop instead of an any()-then-rebuild double scan.  Counting
+and max-residual queries are order-independent, so replacing the scan
+cannot change results (proven against a reference linear scan in
+``tests/test_mac_txindex.py``).  Below ``_LINEAR_CUTOFF`` entries the
+queries fall back to the plain scan — at light load the dict machinery
+costs more than the loop it saves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: below this many live entries, queries linear-scan instead of hashing
+_LINEAR_CUTOFF = 8
+
+
+class ActiveTxIndex:
+    """Bucketed set of active transmissions with lazy end-time expiry.
+
+    Stores any object with ``start``, ``end``, ``pos`` and ``sender``
+    attributes (the MAC's ``_ActiveTx``).  Supports ``append`` / ``len``
+    / iteration like the flat list it replaces, so existing diagnostics
+    and tests keep working unchanged.
+    """
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0.0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], List[object]] = {}
+        self._heap: List[Tuple[float, int, object]] = []
+        self._seq = 0
+        self._count = 0
+
+    # -- container protocol (list compatibility) -----------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[object]:
+        for bucket in self._cells.values():
+            yield from bucket
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def _key(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(x // self.cell_size), int(y // self.cell_size))
+
+    def append(self, tx: object) -> None:
+        key = self._key(tx.pos.x, tx.pos.y)
+        bucket = self._cells.get(key)
+        if bucket is None:
+            self._cells[key] = [tx]
+        else:
+            bucket.append(tx)
+        heapq.heappush(self._heap, (tx.end, self._seq, tx))
+        self._seq += 1
+        self._count += 1
+
+    # -- expiry --------------------------------------------------------------
+
+    def prune(self, now: float) -> None:
+        """Drop every transmission whose airtime drained by ``now``.
+
+        Single pass: the heap yields expired entries in end-time order,
+        each removed from its bucket by identity.
+        """
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _end, _seq, tx = heapq.heappop(heap)
+            key = self._key(tx.pos.x, tx.pos.y)
+            bucket = self._cells.get(key)
+            if bucket is not None:
+                for i, cand in enumerate(bucket):
+                    if cand is tx:
+                        del bucket[i]
+                        break
+                if not bucket:
+                    del self._cells[key]
+            self._count -= 1
+
+    # -- queries -------------------------------------------------------------
+
+    def _near_buckets(self, x: float, y: float):
+        """Buckets covering the 3x3 cell neighborhood of (x, y) — their
+        union is a superset of everything within ``cell_size``.  Plain
+        sequences (no generator frames, no allocation in the small
+        case): these queries are the MAC unicast hot path."""
+        cells = self._cells
+        if self._count <= _LINEAR_CUTOFF:
+            return cells.values()
+        cs = self.cell_size
+        cx, cy = int(x // cs), int(y // cs)
+        out = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                bucket = cells.get((cx + dx, cy + dy))
+                if bucket is not None:
+                    out.append(bucket)
+        return out
+
+    def count_near(self, x: float, y: float, r_sq: float,
+                   start: float, end: float,
+                   exclude_sender: Optional[int] = None) -> int:
+        """Transmissions overlapping [start, end) whose sender is within
+        ``sqrt(r_sq)`` of (x, y); ``exclude_sender`` skips one sender's
+        own frames.  Requires ``r_sq <= cell_size**2``."""
+        count = 0
+        for bucket in self._near_buckets(x, y):
+            for tx in bucket:
+                if exclude_sender is not None \
+                        and tx.sender == exclude_sender:
+                    continue
+                if tx.end <= start or tx.start >= end:
+                    continue
+                dx = tx.pos.x - x
+                dy = tx.pos.y - y
+                if dx * dx + dy * dy <= r_sq:
+                    count += 1
+        return count
+
+    def max_residual_near(self, x: float, y: float, r_sq: float,
+                          now: float) -> float:
+        """Longest remaining airtime among transmissions in flight at
+        ``now`` within ``sqrt(r_sq)`` of (x, y); 0.0 when the channel is
+        idle there."""
+        residual = 0.0
+        for bucket in self._near_buckets(x, y):
+            for tx in bucket:
+                if tx.start <= now < tx.end:
+                    dx = tx.pos.x - x
+                    dy = tx.pos.y - y
+                    if dx * dx + dy * dy <= r_sq:
+                        rem = tx.end - now
+                        if rem > residual:
+                            residual = rem
+        return residual

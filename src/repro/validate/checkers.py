@@ -111,6 +111,10 @@ class EnergyChecker(Checker):
         self._ledgers = [("protocol", ctx.network.ledger),
                          ("beacon", ctx.network.beacon_ledger)]
         for tag, ledger in self._ledgers:
+            # Materialize any deferred (banked) charges first: the
+            # baseline must include everything already charged, or the
+            # late materialization would read as an unobserved charge.
+            ledger.sync()
             self._shadow[tag] = {}
             self._baseline[tag] = {
                 nid: (acct.tx_j, acct.rx_j, acct.idle_j)
@@ -145,6 +149,7 @@ class EnergyChecker(Checker):
     def checkpoint(self, ctx: ValidationContext) -> None:
         now = ctx.sim.now
         for tag, ledger in self._ledgers:
+            ledger.sync()
             shadow = self._shadow[tag]
             baseline = self._baseline[tag]
             for node_id, acct in ledger._accounts.items():

@@ -34,13 +34,17 @@ def tiny_artifact(tiny_result):
 
 class TestSuites:
     def test_known_suites(self):
-        assert {"smoke", "small", "full"} <= set(SUITES)
+        assert {"smoke", "small", "scale", "full"} <= set(SUITES)
 
     def test_small_has_the_canonical_scenarios(self):
         names = {scn.name for scn in suite("small")}
         assert names == {"paper-default", "fig8-k100", "fig9-speed30",
                          "faults-on", "validate-on", "obs-on",
-                         "service-soak"}
+                         "service-soak", "scale-2k"}
+
+    def test_scale_suite_covers_the_large_field_points(self):
+        names = {scn.name for scn in suite("scale")}
+        assert {"scale-2k", "scale-10k", "scale-50k"} <= names
 
     def test_full_adds_the_blackout_soak(self):
         names = {scn.name for scn in suite("full")}

@@ -157,3 +157,30 @@ class TestOracleImplementations:
         _sim, net = self._network(0)
         with pytest.raises(ValueError):
             true_knn(net, POINT, 5, method="exhaustive")
+
+    def test_agreement_at_10k_nodes_with_deaths_and_exclusions(self):
+        """Scale-axis differential: all three oracle implementations
+        agree on a 10k-node field at paper density, with dead nodes and
+        an exclusion set in play (the regime where the sparse-store /
+        cell-bucket kernel paths replace the dense ones)."""
+        from tests.test_beacon_equivalence import build_network
+        n = 10_000
+        side = 813.2  # 115 * sqrt(10000 / 200): paper density
+        sim, net = build_network("batched", 17, n_nodes=n, mobile=True,
+                                 side=side, deployment="uniform")
+        net.start_beacons()
+        sim.run(until=0.3)
+        rng = np.random.default_rng(17)
+        for nid in rng.choice(n, size=50, replace=False).tolist():
+            net.nodes[int(nid)].alive = False
+        exclude = {int(i) for i in rng.choice(n, size=80, replace=False)}
+        for k in (10, 200):
+            for point in (Vec2(side / 2, side / 2), Vec2(5.0, 790.0)):
+                ref = true_knn(net, point, k, exclude=exclude,
+                               method="brute")
+                assert len(ref) == k
+                assert not exclude & set(ref)
+                assert true_knn(net, point, k, exclude=exclude,
+                                method="grid") == ref
+                assert true_knn(net, point, k, exclude=exclude,
+                                method="auto") == ref

@@ -1,0 +1,139 @@
+"""The bucketed active-transmission index vs the legacy linear scan.
+
+``ActiveTxIndex`` replaced the MAC's flat ``_active`` list.  Its three
+queries (overlap count, max residual airtime, lazy prune) are
+order-independent folds, so the index must agree with a reference
+linear scan *exactly* for any population of transmissions — hypothesis
+drives randomized airtime overlaps, clustered positions (many txs per
+cell) and repeated interleaved prunes to hunt for disagreements.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Vec2
+from repro.net.mac import _ActiveTx
+from repro.net.txindex import ActiveTxIndex
+
+RANGE = 30.0  # cell size == interference range in the MAC
+
+
+def reference_count(txs, x, y, r_sq, start, end, exclude=None):
+    n = 0
+    for tx in txs:
+        if exclude is not None and tx.sender == exclude:
+            continue
+        if tx.end <= start or tx.start >= end:
+            continue
+        dx, dy = tx.pos.x - x, tx.pos.y - y
+        if dx * dx + dy * dy <= r_sq:
+            n += 1
+    return n
+
+
+def reference_residual(txs, x, y, r_sq, now):
+    best = 0.0
+    for tx in txs:
+        if tx.start <= now < tx.end:
+            dx, dy = tx.pos.x - x, tx.pos.y - y
+            if dx * dx + dy * dy <= r_sq:
+                best = max(best, tx.end - now)
+    return best
+
+
+# Positions clustered into few distinct values so many txs share a
+# bucket, senders from a small id pool so exclusion actually triggers,
+# and airtimes short enough that windows overlap adversarially.
+tx_strategy = st.builds(
+    lambda sx, sy, t0, dur, sender: _ActiveTx(
+        t0, t0 + dur, Vec2(sx, sy), sender),
+    sx=st.sampled_from([0.0, 10.0, 29.9, 30.1, 45.0, 89.9, -15.0]),
+    sy=st.sampled_from([0.0, 10.0, 29.9, 30.1, 45.0, 89.9, -15.0]),
+    t0=st.floats(0.0, 5.0),
+    dur=st.floats(1e-6, 2.0),
+    sender=st.integers(0, 5))
+
+
+@given(txs=st.lists(tx_strategy, max_size=40),
+       qx=st.sampled_from([0.0, 10.0, 30.0, 45.0, 90.0]),
+       qy=st.sampled_from([0.0, 10.0, 30.0, 45.0, 90.0]),
+       start=st.floats(0.0, 6.0), width=st.floats(0.0, 2.0),
+       exclude=st.one_of(st.none(), st.integers(0, 5)))
+@settings(max_examples=200, deadline=None)
+def test_count_near_matches_linear_scan(txs, qx, qy, start, width,
+                                        exclude):
+    index = ActiveTxIndex(RANGE)
+    for tx in txs:
+        index.append(tx)
+    got = index.count_near(qx, qy, RANGE ** 2, start, start + width,
+                           exclude_sender=exclude)
+    want = reference_count(txs, qx, qy, RANGE ** 2, start, start + width,
+                           exclude)
+    assert got == want
+
+
+@given(txs=st.lists(tx_strategy, max_size=40),
+       qx=st.sampled_from([0.0, 10.0, 30.0, 45.0, 90.0]),
+       qy=st.sampled_from([0.0, 10.0, 30.0, 45.0, 90.0]),
+       now=st.floats(0.0, 7.0))
+@settings(max_examples=200, deadline=None)
+def test_max_residual_matches_linear_scan(txs, qx, qy, now):
+    index = ActiveTxIndex(RANGE)
+    for tx in txs:
+        index.append(tx)
+    got = index.max_residual_near(qx, qy, RANGE ** 2, now)
+    assert got == reference_residual(txs, qx, qy, RANGE ** 2, now)
+
+
+@given(txs=st.lists(tx_strategy, max_size=40),
+       prune_times=st.lists(st.floats(0.0, 8.0), min_size=1, max_size=5))
+@settings(max_examples=200, deadline=None)
+def test_prune_matches_end_time_filter(txs, prune_times):
+    index = ActiveTxIndex(RANGE)
+    kept = list(txs)
+    for tx in txs:
+        index.append(tx)
+    for now in sorted(prune_times):
+        index.prune(now)
+        kept = [tx for tx in kept if tx.end > now]
+        assert len(index) == len(kept)
+        assert sorted(id(t) for t in index) == sorted(id(t) for t in kept)
+        # Queries remain exact after interleaved prunes.
+        assert index.count_near(10.0, 10.0, RANGE ** 2, now, now + 0.5) \
+            == reference_count(kept, 10.0, 10.0, RANGE ** 2, now,
+                               now + 0.5)
+
+
+def test_linear_cutoff_boundary():
+    """Below the cutoff the generator falls back to full iteration —
+    results must not depend on which side of the cutoff we're on."""
+    index = ActiveTxIndex(RANGE)
+    txs = []
+    for i in range(12):
+        tx = _ActiveTx(0.0, 10.0, Vec2(5.0 * i, 0.0), i)
+        txs.append(tx)
+        index.append(tx)
+        got = index.count_near(20.0, 0.0, RANGE ** 2, 0.0, 1.0)
+        assert got == reference_count(txs, 20.0, 0.0, RANGE ** 2,
+                                      0.0, 1.0)
+
+
+def test_rejects_degenerate_cell_size():
+    import pytest
+    with pytest.raises(ValueError):
+        ActiveTxIndex(0.0)
+
+
+def test_iteration_and_bool_protocol():
+    index = ActiveTxIndex(RANGE)
+    assert not index and len(index) == 0
+    tx = _ActiveTx(0.0, 1.0, Vec2(1.0, 2.0), 3)
+    index.append(tx)
+    assert index and list(index) == [tx]
+    index.prune(1.0)  # end <= now drains it
+    assert not index and list(index) == []
+    assert math.isclose(index.max_residual_near(1.0, 2.0, RANGE ** 2,
+                                                0.5), 0.0)
