@@ -116,7 +116,13 @@ def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
         profiler = None
         harness = None
         if scn.obs and handle.obs is None:
-            telemetry = Telemetry()
+            # obs_sample > 0 selects the scale-aware tier: tail sampler
+            # on, raw trace + kernel profiler off (their cost is what
+            # the sampled tier exists to avoid).
+            sampled = scn.obs_sample > 0
+            telemetry = Telemetry(trace_events=not sampled,
+                                  profile_kernel=not sampled,
+                                  sample_every_n=scn.obs_sample)
             telemetry.attach_handle(handle)
             profiler = telemetry.profiler
         elif handle.obs is not None:      # process-wide --obs already on

@@ -77,6 +77,10 @@ def _add_validate(parser: argparse.ArgumentParser) -> None:
                         help="attach the telemetry subsystem (spans, "
                              "metrics, kernel profiler) to every "
                              "simulation and print a summary")
+    parser.add_argument("--obs-sample", type=int, default=0, metavar="N",
+                        help="scale-aware telemetry tier (implies --obs): "
+                             "tail-sample spans, keeping failures at full "
+                             "fidelity plus 1-in-N of complete queries")
 
 
 def _config(args) -> SimulationConfig:
@@ -245,13 +249,27 @@ def cmd_service(args) -> int:
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         breaker_grid=args.breaker_grid,
-        breaker_cooldown_s=args.breaker_cooldown)
+        breaker_cooldown_s=args.breaker_cooldown,
+        slo_latency_threshold_s=args.slo_latency,
+        slo_availability_target=args.slo_availability,
+        slo_window_s=args.slo_window,
+        slo_burn_alert=args.slo_burn_alert)
     report, service = run_service_soak(
         _config(args), k=args.k, rate_qps=args.rate,
-        duration=args.duration, service_config=service_config)
+        duration=args.duration, service_config=service_config,
+        flight_dir=args.flight_dir)
     if service.handle.validator is not None:
         service.handle.validator.finalize()
     print(report.table())
+    print()
+    print(service.slo.table())
+    for alert in report.slo_alerts or []:
+        tag = "resolved" if alert.get("resolved") else "ALERT"
+        print(f"  [{tag}] t={alert['time']:.1f}s "
+              f"{alert['slo']}: burn {alert['burn']}x")
+    if service.flight is not None and service.flight.dumps_written:
+        for path in service.flight.dumps_written:
+            print(f"[flight] wrote {path}")
     return 0 if report.all_accounted else 1
 
 
@@ -397,7 +415,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="golden scenario name (default: static-diknn)")
     st.add_argument("--top", type=int, default=10,
                     help="kernel hotspot rows to show")
+    st.add_argument("--from-jsonl", default=None, metavar="FILE",
+                    help="summarize a previously exported raw event "
+                         "stream (.jsonl or .jsonl.gz) instead of "
+                         "running a scenario")
     st.set_defaults(func=cmd_stats)
+
+    ob = sub.add_parser("obs",
+                        help="flight-recorder tools: dump a post-mortem "
+                             "bundle or summarize an existing one")
+    obsub = ob.add_subparsers(dest="obs_command", required=True)
+    od = obsub.add_parser("dump",
+                          help="run a scenario with the flight recorder "
+                               "installed and dump its ring (manual "
+                               "trigger)")
+    od.add_argument("scenario", nargs="?", default="static-diknn",
+                    help="golden scenario name (default: static-diknn)")
+    od.add_argument("--out", default="flight.jsonl",
+                    help="bundle path (.gz compresses transparently)")
+    od.add_argument("--sample", type=int, default=0, metavar="N",
+                    help="also run the tail sampler at 1-in-N")
+    od.set_defaults(func=cmd_obs_dump)
+    osh = obsub.add_parser("show",
+                           help="summarize a flight-recorder bundle")
+    osh.add_argument("bundle", help="bundle file (.jsonl or .jsonl.gz)")
+    osh.set_defaults(func=cmd_obs_show)
 
     sv = sub.add_parser("service",
                         help="concurrent serving soak: Poisson arrivals "
@@ -423,6 +465,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="circuit-breaker regions per field axis")
     sv.add_argument("--breaker-cooldown", type=float, default=8.0,
                     help="seconds an open breaker waits before probing")
+    sv.add_argument("--slo-latency", type=float, default=5.0,
+                    help="latency SLO: useful answers under this many "
+                         "seconds (p-target from the service config)")
+    sv.add_argument("--slo-availability", type=float, default=0.95,
+                    help="availability SLO target (useful fraction)")
+    sv.add_argument("--slo-window", type=float, default=30.0,
+                    help="rolling SLO window (simulated seconds)")
+    sv.add_argument("--slo-burn-alert", type=float, default=2.0,
+                    help="burn rate at which an SLO alert fires")
+    sv.add_argument("--flight-dir", default=None, metavar="DIR",
+                    help="install a flight recorder; post-mortem bundles "
+                         "land here on breaker-open/unaccounted triggers")
     sv.set_defaults(func=cmd_service)
 
     b = sub.add_parser("bench",
@@ -637,11 +691,11 @@ def cmd_golden(args) -> int:
 def cmd_trace(args) -> int:
     import json
 
-    from .obs import validate_chrome_trace
+    from .obs import open_text, validate_chrome_trace
 
     if args.check:
         try:
-            with open(args.check, "r", encoding="utf-8") as handle:
+            with open_text(args.check, "r") as handle:
                 data = json.load(handle)
         except OSError as exc:
             print(f"error: cannot read {args.check}: {exc}")
@@ -684,6 +738,30 @@ def cmd_trace(args) -> int:
 def cmd_stats(args) -> int:
     from .obs.capture import capture_scenario
 
+    if args.from_jsonl:
+        from .obs import TraceLog
+
+        try:
+            entries = TraceLog.read_jsonl(args.from_jsonl)
+        except OSError as exc:
+            print(f"error: cannot read {args.from_jsonl}: {exc}")
+            return 2
+        counts: dict = {}
+        by_query: dict = {}
+        for entry in entries:
+            if entry.event == "send":
+                counts[entry.kind] = counts.get(entry.kind, 0) + 1
+            if entry.query_id is not None:
+                by_query.setdefault(entry.query_id, 0)
+                by_query[entry.query_id] += 1
+        span = (entries[-1].time - entries[0].time) if entries else 0.0
+        print(f"{args.from_jsonl}: {len(entries)} events over "
+              f"{span:.3f} simulated seconds, "
+              f"{len(by_query)} queries")
+        for kind in sorted(counts):
+            print(f"  {kind:<24} {counts[kind]:>8} sends")
+        return 0
+
     try:
         result = capture_scenario(args.scenario)
     except ValueError as exc:
@@ -694,14 +772,74 @@ def cmd_stats(args) -> int:
     return 0 if result.completed else 1
 
 
+def cmd_obs_dump(args) -> int:
+    from .obs.capture import capture_scenario
+    from .obs.flight import TRIGGER_MANUAL
+
+    try:
+        result = capture_scenario(args.scenario,
+                                  sample_every_n=args.sample,
+                                  flight=True)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    recorder = result.flight
+    recorder.trigger(TRIGGER_MANUAL,
+                     at=result.telemetry.spans.spans[-1].start
+                     if result.telemetry.spans.spans else 0.0,
+                     scenario=result.name)
+    path = recorder.dump(args.out, spans=result.telemetry.spans,
+                         extra={"scenario": result.name,
+                                "digest": result.digest})
+    print(f"{result.name}: {result.spec}")
+    print(f"wrote {path} ({recorder.recorded} events recorded, "
+          f"{recorder.dropped} overwritten, ring of "
+          f"{recorder.capacity})")
+    return 0
+
+
+def cmd_obs_show(args) -> int:
+    from .obs import FlightRecorder
+
+    try:
+        bundle = FlightRecorder.read_bundle(args.bundle)
+    except OSError as exc:
+        print(f"error: cannot read {args.bundle}: {exc}")
+        return 2
+    header = (bundle.get("header") or [{}])[0]
+    print(f"{args.bundle}: ring capacity "
+          f"{header.get('capacity', '?')}, "
+          f"{header.get('recorded', '?')} recorded, "
+          f"{header.get('dropped', '?')} overwritten")
+    for trig in bundle.get("trigger", []):
+        detail = {k: v for k, v in trig.items()
+                  if k not in ("record", "reason", "time")}
+        print(f"  trigger {trig.get('reason')} at "
+              f"t={trig.get('time', 0.0):.3f}s {detail}")
+    counts: dict = {}
+    for rec in bundle.get("event", []):
+        counts[rec.get("category", "?")] = \
+            counts.get(rec.get("category", "?"), 0) + 1
+    for category in sorted(counts):
+        print(f"  ring[{category}]: {counts[category]} events")
+    spans = bundle.get("span", [])
+    trees = {rec.get("tree") for rec in spans if rec.get("tree")}
+    print(f"  spans: {len(spans)}"
+          + (f" (promoted trees: {', '.join(sorted(trees))})"
+             if trees else ""))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "validate", False):
         from .validate import enable_validation
         enable_validation(True)
-    if getattr(args, "obs", False):
+    sample = getattr(args, "obs_sample", 0)
+    if getattr(args, "obs", False) or sample > 0:
         from .obs import enable_observability
-        enable_observability(True)
+        enable_observability(True, sample_every_n=sample)
+        args.obs = True
     status = args.func(args)
     if getattr(args, "validate", False):
         from .validate import validation_summary
@@ -720,6 +858,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         spans = sum(len(t.spans.spans) for t in telemetries)
         print(f"[obs] {len(telemetries)} runs instrumented: "
               f"{spans} spans, {len(merged)} metric series")
+        for telemetry in telemetries:
+            if telemetry.sampler is not None:
+                s = telemetry.sampler.summary()
+                print(f"[obs] tail sampling 1-in-"
+                      f"{s['sample_every_n']}: {s['promoted']} promoted, "
+                      f"{s['discarded']} discarded, {s['flagged']} "
+                      f"flagged, {s['evicted']} evicted")
         print(merged.summary_table())
     return status
 

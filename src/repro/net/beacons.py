@@ -861,6 +861,8 @@ class BatchedBeaconEngine:
         has_transitions = bool(self._transitions)
         all_alive = not has_transitions and bool(self.alive_mask.all())
         hooks = self.net._beacon_hooks
+        batch_hooks = self.net._beacon_batch_hooks
+        n_delivered = 0
         F_parts: List[np.ndarray] = []
         R_parts: List[np.ndarray] = []
         S_parts: List[np.ndarray] = []
@@ -895,6 +897,7 @@ class BatchedBeaconEngine:
                     for rid, src, t_d in zip(rids, srcs, t_ds):
                         for hook in hooks:
                             hook(rid, src, t_d)
+                n_delivered += int(g_rows.size)
                 R_parts.append(g_cols)
                 S_parts.append(gi[g_rows])
                 T_parts.append(tds[g_rows])
@@ -920,6 +923,7 @@ class BatchedBeaconEngine:
                     for hook in hooks:
                         hook(rid, src, td)
             m = surv.size
+            n_delivered += int(m)
             R_parts.append(surv)
             S_parts.append(np.full(m, s_i, dtype=np.int64))
             T_parts.append(np.full(m, td))
@@ -928,6 +932,9 @@ class BatchedBeaconEngine:
             SP_parts.append(np.full(m, sp))
             VX_parts.append(np.full(m, vx))
             VY_parts.append(np.full(m, vy))
+        if n_delivered and batch_hooks:
+            for hook in batch_hooks:
+                hook(n_delivered)
         if R_parts:
             if len(R_parts) == 1:
                 R, S, T = R_parts[0], S_parts[0], T_parts[0]

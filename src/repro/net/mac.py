@@ -101,6 +101,10 @@ class MacLayer:
         #: serialization delay).  Used by ``repro.obs``; must not draw
         #: RNG or schedule events; None costs nothing.
         self.obs_hook: Optional[Callable[[str, float], None]] = None
+        #: optional flight recorder (repro.obs.FlightRecorder): trouble
+        #: frames (losses, retries, exhausted ARQ) land in its ring as
+        #: structured notes; None costs one comparison per frame.
+        self.flight = None
         # Active transmissions, bucketed by position at interference-range
         # cell size with lazy end-time expiry (see repro.net.txindex);
         # supports append/len/iteration like the flat list it replaced.
@@ -318,6 +322,7 @@ class MacLayer:
 
         delivered_to: List[int] = []
         unicast_ok = False
+        lost_ch = lost_col = 0
         loss = self.loss_rate()
         for rid, rpos in receivers:
             addressed = message.is_broadcast or rid == message.dst
@@ -331,10 +336,12 @@ class MacLayer:
             if lost_channel:
                 if addressed:
                     self.stats.frames_lost_channel += 1
+                    lost_ch += 1
                 continue
             if lost_collision:
                 if addressed:
                     self.stats.frames_lost_collision += 1
+                    lost_col += 1
                 continue
             if addressed:
                 self.ledger.charge_rx(rid, bits)
@@ -347,6 +354,14 @@ class MacLayer:
                 self.ledger.charge_rx(rid, bits)
 
         delay = airtime + self.radio.propagation_delay_s
+
+        if self.flight is not None and (lost_ch or lost_col):
+            # Only trouble frames reach the ring; a clean delivery costs
+            # the single ``is not None`` comparison above.
+            self.flight.note(start, "mac", kind=message.kind,
+                             sender=sender, dst=message.dst,
+                             lost_channel=lost_ch, lost_collision=lost_col,
+                             attempt=attempt)
 
         if message.is_broadcast:
             if delivered_to:
@@ -383,6 +398,10 @@ class MacLayer:
             return
 
         self.stats.unicast_failures += 1
+        if self.flight is not None:
+            self.flight.note(start, "mac", kind=message.kind,
+                             sender=sender, dst=message.dst,
+                             arq_exhausted=True, attempts=attempt + 1)
         if on_unicast_fail is not None:
             self.sim.schedule_in(delay + cfg.retry_timeout_s,
                                  lambda: on_unicast_fail(message))

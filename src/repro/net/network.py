@@ -91,6 +91,7 @@ class Network:
         self.neighbor_evictions = 0
         self._trace_hooks: List[Callable[[str, Message, int], None]] = []
         self._beacon_hooks: List[Callable[[int, int, float], None]] = []
+        self._beacon_batch_hooks: List[Callable[[int], None]] = []
 
     # -- population ----------------------------------------------------------
 
@@ -209,6 +210,15 @@ class Network:
         for neighbor-table entries).  Hooks must be pure observers."""
         self._beacon_hooks.append(hook)
 
+    def add_beacon_batch_hook(self,
+                              hook: Callable[[int], None]) -> None:
+        """Register an aggregate hook called as ``hook(count)`` once per
+        delivery batch.  A per-pair hook costs one Python call per
+        delivered beacon inside the vectorized engine; observers that
+        only need totals (telemetry's delivery counter) must use this
+        instead.  Hooks must be pure observers."""
+        self._beacon_batch_hooks.append(hook)
+
     # -- beacons -------------------------------------------------------------
 
     def _beacons_running(self) -> bool:
@@ -293,6 +303,8 @@ class Network:
         if self._beacon_hooks:
             for hook in self._beacon_hooks:
                 hook(receiver_id, message.src, self.sim.now)
+        for hook in self._beacon_batch_hooks:
+            hook(1)
         node.observe_beacon(message.src, message.payload["pos"],
                             message.payload["speed"], self.sim.now,
                             velocity=message.payload["vel"])

@@ -9,7 +9,9 @@ proving instrumentation changed nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from .flight import FlightRecorder
 from .telemetry import Telemetry
 
 
@@ -22,6 +24,9 @@ class CaptureResult:
     digest: str          # sha256 of the raw-event stream
     completed: bool      # did the query answer within the window?
     spec: str
+    #: the (uninstalled) flight recorder when capture ran with one; its
+    #: ring still holds the run's tail and can be dumped
+    flight: Optional[FlightRecorder] = None
 
     @property
     def spans(self):
@@ -39,12 +44,20 @@ def scenario_names():
 
 
 def capture_scenario(name: str = "static-diknn",
-                     profile_kernel: bool = True) -> CaptureResult:
+                     profile_kernel: bool = True,
+                     sample_every_n: int = 0,
+                     flight: bool = False) -> CaptureResult:
     """Run one golden scenario with a :class:`Telemetry` attached.
 
     Mirrors ``run_golden`` exactly — same config, same fixed
     ``query_id=1``, same full-timeout window — with the telemetry's own
     ``TraceLog`` standing in for the digest trace.
+
+    ``sample_every_n > 0`` additionally runs the tail sampler (raw-event
+    capture stays on so the digest remains comparable); ``flight``
+    installs a :class:`~repro.obs.flight.FlightRecorder` on the kernel
+    and MAC.  Both must leave the digest bit-identical — that is the
+    point of the determinism suite using this entry.
     """
     # Heavy imports stay local: repro.obs must be importable before the
     # experiment/protocol layers finish loading.
@@ -65,8 +78,13 @@ def capture_scenario(name: str = "static-diknn",
     handle = build_simulation(config, _make_protocol(spec.protocol))
     telemetry = handle.obs
     if telemetry is None:
-        telemetry = Telemetry(profile_kernel=profile_kernel)
+        telemetry = Telemetry(profile_kernel=profile_kernel,
+                              sample_every_n=sample_every_n)
         telemetry.attach_handle(handle)
+    recorder = None
+    if flight:
+        recorder = FlightRecorder().install(handle.sim,
+                                            mac=handle.network.mac)
     handle.warm_up()
     query = KNNQuery(query_id=1, sink_id=handle.sink.id,
                      point=Vec2(*spec.point), k=spec.k,
@@ -80,6 +98,11 @@ def capture_scenario(name: str = "static-diknn",
     if not done:
         handle.protocol.abandon(query.query_id)
     telemetry.finalize()
+    if recorder is not None:
+        recorder.uninstall()
+    entries = (telemetry.events.entries
+               if telemetry.events is not None else [])
     return CaptureResult(name=spec.name, telemetry=telemetry,
-                         digest=trace_digest(telemetry.events.entries),
-                         completed=bool(done), spec=spec.describe())
+                         digest=trace_digest(entries),
+                         completed=bool(done), spec=spec.describe(),
+                         flight=recorder)

@@ -15,9 +15,21 @@ stream the golden-trace digests fingerprint.  (It originally lived at
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+
+def open_text(path, mode: str = "r", newline: Optional[str] = None):
+    """Open a text file, transparently gzip-compressed when the path
+    ends in ``.gz`` — 50k-node soak artifacts compress ~20x, and every
+    exporter/reader in ``repro.obs`` routes through here so ``.jsonl``
+    and ``.jsonl.gz`` are interchangeable."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8",
+                         newline=newline)
+    return open(path, mode, encoding="utf-8", newline=newline)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..net.messages import Message
@@ -179,17 +191,18 @@ class TraceLog:
     # -- export ---------------------------------------------------------------
 
     def to_jsonl(self, path: str) -> int:
-        """Write all entries as JSON lines; returns the entry count."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Write all entries as JSON lines (gzipped for ``.gz`` paths);
+        returns the entry count."""
+        with open_text(path, "w") as handle:
             for entry in self.entries:
                 handle.write(json.dumps(entry_to_wire(entry)) + "\n")
         return len(self.entries)
 
     @staticmethod
     def read_jsonl(path: str) -> List[TraceEntry]:
-        """Load entries written by :meth:`to_jsonl`."""
+        """Load entries written by :meth:`to_jsonl` (``.gz`` aware)."""
         out = []
-        with open(path, "r", encoding="utf-8") as handle:
+        with open_text(path, "r") as handle:
             for line in handle:
                 if line.strip():
                     out.append(entry_from_wire(json.loads(line)))

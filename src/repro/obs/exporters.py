@@ -13,16 +13,23 @@ import csv
 import json
 from typing import Dict, List
 
+from .events import open_text
 from .spans import SpanTracker
 
 #: tid used for events not tied to any node (query-global markers)
 _GLOBAL_TID = -1
+#: dedicated track for the serving layer: service spans, breaker
+#: transitions and SLO alerts render on one row instead of scattering
+#: across per-node tracks
+_SERVICE_TID = -2
 
 _VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C", "b", "e", "n",
                  "s", "t", "f"}
 
 
-def _tid(node) -> int:
+def _tid(node, category=None) -> int:
+    if category == "service":
+        return _SERVICE_TID
     return _GLOBAL_TID if node is None else int(node)
 
 
@@ -40,15 +47,20 @@ def _args(query_id, attrs: Dict[str, object]) -> Dict[str, object]:
 def chrome_trace_events(spans: SpanTracker) -> List[dict]:
     """Trace Event Format dicts for a recorded span tree."""
     events: List[dict] = []
-    tids = sorted({_tid(s.node) for s in spans.spans}
-                  | {_tid(i.node) for i in spans.instants})
+    tids = sorted({_tid(s.node, s.category) for s in spans.spans}
+                  | {_tid(i.node, i.category) for i in spans.instants})
     events.append({"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
                    "args": {"name": "repro simulation"}})
     for tid in tids:
-        name = "(global)" if tid == _GLOBAL_TID else f"node {tid}"
+        if tid == _SERVICE_TID:
+            name = "service"
+        elif tid == _GLOBAL_TID:
+            name = "(global)"
+        else:
+            name = f"node {tid}"
         events.append({"ph": "M", "name": "thread_name", "pid": 0,
                        "tid": tid, "args": {"name": name}})
-        # Sort tracks by node id in the UI.
+        # Sort tracks by node id in the UI (service first).
         events.append({"ph": "M", "name": "thread_sort_index", "pid": 0,
                        "tid": tid, "args": {"sort_index": tid}})
     for span in spans.spans:
@@ -56,13 +68,13 @@ def chrome_trace_events(spans: SpanTracker) -> List[dict]:
         events.append({
             "ph": "X", "name": span.name, "cat": span.category,
             "ts": span.start * 1e6, "dur": (end - span.start) * 1e6,
-            "pid": 0, "tid": _tid(span.node),
+            "pid": 0, "tid": _tid(span.node, span.category),
             "args": _args(span.query_id, span.attrs),
         })
     for inst in spans.instants:
         events.append({
             "ph": "i", "name": inst.name, "ts": inst.time * 1e6,
-            "pid": 0, "tid": _tid(inst.node), "s": "t",
+            "pid": 0, "tid": _tid(inst.node, inst.category), "s": "t",
             "args": _args(inst.query_id, inst.attrs),
         })
     return events
@@ -76,7 +88,7 @@ def export_chrome_trace(telemetry, path: str) -> int:
     """
     telemetry.finalize()
     events = chrome_trace_events(telemetry.spans)
-    with open(path, "w", encoding="utf-8") as handle:
+    with open_text(path, "w") as handle:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
                   handle)
     return len(events)
@@ -131,7 +143,7 @@ def export_jsonl(telemetry, path: str) -> int:
     """Write the raw network event stream as JSON lines; returns the
     entry count (0 when raw-event capture was off)."""
     if telemetry.events is None:
-        with open(path, "w", encoding="utf-8"):
+        with open_text(path, "w"):
             pass
         return 0
     return telemetry.events.to_jsonl(path)
@@ -141,7 +153,7 @@ def export_metrics_csv(telemetry, path: str) -> int:
     """Write the metrics registry as CSV rows; returns the series count."""
     telemetry.finalize()
     rows = telemetry.metrics.rows()
-    with open(path, "w", encoding="utf-8", newline="") as handle:
+    with open_text(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["series", "kind", "count", "value", "mean",
                          "p50", "p95", "min", "max"])

@@ -89,21 +89,28 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
 
-    _ZERO_KEY = -(10 ** 9)   # far below any log-derived index
+    # Keyspace layout (quantiles walk keys in sorted order, so the
+    # ordering must match value ordering): negatives live near
+    # ``_NEG_BASE`` with *larger* magnitudes mapping to *smaller* keys,
+    # zero sits alone at ``_ZERO_KEY``, positives use the raw magnitude.
+    # Double-precision magnitudes stay within ±16k of zero for any
+    # growth >= 1.01, so the three bands can never touch.
+    _ZERO_KEY = -(10 ** 9)
+    _NEG_BASE = -(2 * 10 ** 9)
 
     def _key(self, value: float) -> int:
         if value == 0.0:
             return self._ZERO_KEY
         magnitude = int(math.ceil(math.log(abs(value)) / self._log_growth
                                   - 1e-12))
-        return magnitude if value > 0.0 else self._ZERO_KEY - 1 - magnitude
+        return magnitude if value > 0.0 else self._NEG_BASE - magnitude
 
     def _bucket_value(self, key: int) -> float:
         """Representative value of a bucket (geometric midpoint)."""
         if key == self._ZERO_KEY:
             return 0.0
         if key < self._ZERO_KEY:
-            return -self.growth ** (self._ZERO_KEY - 1 - key - 0.5)
+            return -self.growth ** (self._NEG_BASE - key - 0.5)
         return self.growth ** (key - 0.5)
 
     def observe(self, value: float) -> None:

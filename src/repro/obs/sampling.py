@@ -1,0 +1,210 @@
+"""Tail-based query sampling: keep the interesting traces, drop the rest.
+
+At 50k nodes or under soak traffic, full-fidelity span capture for every
+query is the dominant telemetry cost — yet almost all of that detail
+describes queries that finished fine.  Tail sampling inverts the
+decision point: spans, instants and high-cardinality histogram
+observations are *buffered per query* in a bounded staging area while
+the query runs, and the keep/drop decision happens at finalization, when
+the outcome is known:
+
+* queries ending in TIMEOUT / FAILED / SHED / PARTIAL are always
+  promoted (kept at full fidelity), as is any query flagged mid-flight
+  (a ``repro.validate`` checker tripped, a circuit breaker opened);
+* COMPLETE queries are promoted 1-in-N, drawn from the dedicated
+  ``obs.sampling`` RNG stream — no simulation code reads that stream,
+  so golden digests are bit-identical with sampling on or off.
+
+Staging keys are opaque tuples: ``("q", query_id)`` for bare protocol
+queries, ``("s", service_id)`` for served queries.  A served query's
+protocol attempts are *aliased* onto their service key, so promotion
+keeps the whole serve tree (service span plus every attempt's span
+tree) or none of it.
+
+The staging area is bounded (``max_staged``): on overflow the oldest
+unflagged staged query is evicted — its buffered record is discarded
+immediately and it can no longer be promoted — and the eviction is
+counted loudly in ``obs.sampling.evicted``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .spans import Instant, SpanTracker
+
+#: name of the dedicated RNG stream the 1-in-N draw reads
+SAMPLING_STREAM = "obs.sampling"
+
+Key = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Knobs of the tail sampler."""
+
+    #: promote 1 in ``sample_every_n`` COMPLETE queries (1 = keep all)
+    sample_every_n: int = 10
+    #: staging bound: total buffered spans+instants across open queries
+    max_staged: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.sample_every_n < 1:
+            raise ValueError("sample_every_n must be >= 1")
+        if self.max_staged < 1:
+            raise ValueError("max_staged must be >= 1")
+
+
+@dataclass
+class _Staged:
+    """The buffered record of one not-yet-finalized query."""
+
+    span_ids: List[int] = field(default_factory=list)
+    instants: List[Instant] = field(default_factory=list)
+    #: deferred histogram observations [(series, value), ...]
+    observations: List[Tuple[str, float]] = field(default_factory=list)
+    flags: List[str] = field(default_factory=list)
+    #: attempt keys aliased onto this one (served-query attempts)
+    aliases: List[Key] = field(default_factory=list)
+    evicted: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.span_ids) + len(self.instants)
+
+
+class TailSampler:
+    """Buffers per-query telemetry and promotes or discards it at
+    finalization.  All decisions draw only from the ``obs.sampling``
+    stream, so attaching a sampler never perturbs simulation RNG."""
+
+    def __init__(self, policy: SamplingPolicy, rng,
+                 metrics: MetricsRegistry, spans: SpanTracker):
+        self.policy = policy
+        self._rng = rng
+        self._metrics = metrics
+        self._spans = spans
+        self._staged: "OrderedDict[Key, _Staged]" = OrderedDict()
+        self._alias: Dict[Key, Key] = {}
+        self._staged_size = 0
+
+    # -- staging --------------------------------------------------------
+
+    @property
+    def staged_count(self) -> int:
+        """Queries currently buffered (awaiting their outcome)."""
+        return len(self._staged)
+
+    def resolve(self, key: Key) -> Key:
+        return self._alias.get(key, key)
+
+    def is_staged(self, key: Key) -> bool:
+        return self.resolve(key) in self._staged
+
+    def open(self, key: Key) -> None:
+        """Start buffering a query (idempotent)."""
+        if key not in self._staged:
+            self._staged[key] = _Staged()
+
+    def adopt(self, attempt_key: Key, owner_key: Key) -> None:
+        """Alias a protocol attempt onto its owning served query, so the
+        attempt's spans ride the owner's promote/discard decision."""
+        self._alias[attempt_key] = owner_key
+        owner = self._staged.get(owner_key)
+        if owner is not None:
+            owner.aliases.append(attempt_key)
+
+    def note_span(self, key: Key, span_id: int) -> bool:
+        """Buffer a span id under ``key``; False if the key is not
+        staged (caller keeps the span unconditionally)."""
+        staged = self._staged.get(self.resolve(key))
+        if staged is None:
+            return False
+        staged.span_ids.append(span_id)
+        self._staged_size += 1
+        self._maybe_evict()
+        return True
+
+    def note_instant(self, key: Key, inst: Instant) -> bool:
+        staged = self._staged.get(self.resolve(key))
+        if staged is None:
+            return False
+        staged.instants.append(inst)
+        self._staged_size += 1
+        self._maybe_evict()
+        return True
+
+    def buffer(self, key: Key, series: str, value: float) -> bool:
+        """Defer a histogram observation until the keep/drop decision;
+        False if the key is not staged (caller observes directly)."""
+        staged = self._staged.get(self.resolve(key))
+        if staged is None:
+            return False
+        staged.observations.append((series, value))
+        return True
+
+    def flag(self, key: Key, reason: str) -> None:
+        """Force promotion of a staged query (validate trip, breaker
+        open); a no-op for unknown keys."""
+        staged = self._staged.get(self.resolve(key))
+        if staged is not None:
+            staged.flags.append(reason)
+            self._metrics.counter("obs.sampling.flagged").inc()
+
+    def _maybe_evict(self) -> None:
+        while self._staged_size > self.policy.max_staged:
+            victim = next((s for s in self._staged.values()
+                           if not s.flags and not s.evicted), None)
+            if victim is None:
+                return  # everything left is flagged; bound goes soft
+            victim.evicted = True
+            self._metrics.counter("obs.sampling.evicted").inc()
+            # Gut the record now; open spans keep their live ids (their
+            # ends must still resolve) and go with the final discard.
+            self._spans.discard(victim.span_ids, victim.instants)
+            self._staged_size -= victim.size
+            victim.span_ids = [sid for sid in victim.span_ids
+                               if self._spans.is_open(sid)]
+            victim.instants = []
+            victim.observations = []
+            self._staged_size += victim.size
+
+    # -- decision -------------------------------------------------------
+
+    def finalize(self, key: Key, complete: bool) -> Optional[bool]:
+        """Decide a staged query's fate; returns True (promoted), False
+        (discarded) or None when ``key`` was never staged."""
+        key = self.resolve(key)
+        staged = self._staged.pop(key, None)
+        if staged is None:
+            return None
+        for alias in staged.aliases:
+            self._alias.pop(alias, None)
+        self._staged_size -= staged.size
+        promote = not staged.evicted and (bool(staged.flags)
+                                          or not complete)
+        if not promote and not staged.evicted:
+            n = self.policy.sample_every_n
+            promote = n == 1 or int(self._rng.integers(n)) == 0
+        if promote:
+            self._metrics.counter("obs.sampling.promoted").inc()
+            for series, value in staged.observations:
+                self._metrics.histogram(series).observe(value)
+        else:
+            self._metrics.counter("obs.sampling.discarded").inc()
+            self._metrics.counter("obs.sampling.dropped_spans").inc(
+                len(staged.span_ids) + len(staged.instants))
+            self._spans.discard(staged.span_ids, staged.instants)
+        return promote
+
+    # -- reporting ------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        counters = {
+            name: int(self._metrics.counter(f"obs.sampling.{name}").value)
+            for name in ("promoted", "discarded", "flagged", "evicted")}
+        return {"sample_every_n": self.policy.sample_every_n,
+                "staged": self.staged_count, **counters}

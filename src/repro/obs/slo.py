@@ -1,0 +1,257 @@
+"""Declarative SLO monitoring over rolling sim-time windows.
+
+An :class:`SloSpec` states an objective the way an operator would — "95%
+of queries answer usefully" (availability) or "95% of queries finish
+under 5 s" (latency) — and an :class:`SloMonitor` evaluates it over a
+rolling window of simulated time, bucketed so old traffic ages out.
+
+The alerting signal is the **burn rate**: the fraction of the error
+budget (``1 - target``) the current window is consuming.  A burn of 1.0
+means failing at exactly the tolerated rate; a regional blackout that
+fails 40% of queries against a 5% budget burns at 8x and pages
+immediately.  Alerts fire on bucket boundaries (at most a handful of
+evaluations per window), emit into the attached telemetry trace and
+flight recorder, and resolve when the burn drops back under threshold.
+
+Latency monitors additionally keep a streaming-histogram shard per
+window bucket; the windowed percentile in alerts and summaries comes
+from merging the shards — which is exactly why histogram merges must be
+order-independent.
+
+Everything here is pure observation on the sim clock: no RNG, no
+scheduling, so an SLO-monitored run is bit-identical to a bare one.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .metrics import Histogram
+
+#: window buckets per monitor (granularity of the rolling window)
+_N_BUCKETS = 6
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective."""
+
+    name: str
+    #: "availability" (outcome is useful) or "latency" (useful and
+    #: finished under ``threshold_s``)
+    kind: str
+    #: required good fraction over the window; error budget is 1-target
+    target: float = 0.95
+    #: latency kind: the per-query duration bound
+    threshold_s: float = 5.0
+    #: rolling window length in simulated seconds
+    window_s: float = 20.0
+    #: burn rate at/above which the alert fires (1.0 = budget exactly)
+    burn_alert: float = 1.0
+    #: minimum events in the window before evaluating (noise gate)
+    min_events: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must lie in (0, 1)")
+        if self.threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.burn_alert <= 0:
+            raise ValueError("burn_alert must be positive")
+        if self.min_events < 1:
+            raise ValueError("min_events must be >= 1")
+
+
+class _Bucket:
+    """Good/bad counts (and a latency shard) of one window slice."""
+
+    __slots__ = ("index", "good", "bad", "shard")
+
+    def __init__(self, index: int, with_shard: bool):
+        self.index = index
+        self.good = 0
+        self.bad = 0
+        self.shard: Optional[Histogram] = (
+            Histogram("shard") if with_shard else None)
+
+
+class SloMonitor:
+    """Rolling-window evaluation of one :class:`SloSpec`."""
+
+    def __init__(self, spec: SloSpec,
+                 on_alert: Optional[Callable[["SloMonitor", dict],
+                                             None]] = None):
+        self.spec = spec
+        self._bucket_s = spec.window_s / _N_BUCKETS
+        self._buckets: "deque[_Bucket]" = deque()
+        self._on_alert = on_alert
+        self.alerting = False
+        self.alerts: List[dict] = []
+        self.events = 0
+        self.good = 0
+        self.worst_burn = 0.0
+
+    # -- feeding --------------------------------------------------------
+
+    def record(self, now: float, good: bool,
+               latency_s: Optional[float] = None) -> None:
+        index = int(now // self._bucket_s)
+        if self._buckets and index > self._buckets[-1].index:
+            # a bucket boundary passed: evaluate the closed window
+            self._evaluate(now)
+        if not self._buckets or self._buckets[-1].index != index:
+            self._buckets.append(
+                _Bucket(index, self.spec.kind == "latency"))
+            while self._buckets[0].index <= index - _N_BUCKETS:
+                self._buckets.popleft()
+        bucket = self._buckets[-1]
+        self.events += 1
+        if good:
+            bucket.good += 1
+            self.good += 1
+        else:
+            bucket.bad += 1
+        if bucket.shard is not None and latency_s is not None:
+            bucket.shard.observe(latency_s)
+
+    # -- evaluation -----------------------------------------------------
+
+    def window_counts(self) -> "tuple[int, int]":
+        good = sum(b.good for b in self._buckets)
+        bad = sum(b.bad for b in self._buckets)
+        return good, bad
+
+    def window_quantile(self) -> float:
+        """Windowed ``target``-quantile latency from the merged shards
+        (NaN for availability monitors or an empty window)."""
+        merged: Optional[Histogram] = None
+        for bucket in self._buckets:
+            if bucket.shard is None or bucket.shard.count == 0:
+                continue
+            if merged is None:
+                merged = Histogram("window")
+            merged.merge(bucket.shard)
+        if merged is None:
+            return math.nan
+        return merged.quantile(self.spec.target)
+
+    def burn_rate(self) -> float:
+        good, bad = self.window_counts()
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - self.spec.target)
+
+    def _evaluate(self, now: float) -> None:
+        good, bad = self.window_counts()
+        if good + bad < self.spec.min_events:
+            return
+        burn = self.burn_rate()
+        self.worst_burn = max(self.worst_burn, burn)
+        if burn >= self.spec.burn_alert and not self.alerting:
+            self.alerting = True
+            alert = {"slo": self.spec.name, "kind": self.spec.kind,
+                     "time": now, "burn": round(burn, 3),
+                     "window_good": good, "window_bad": bad}
+            quantile = self.window_quantile()
+            if not math.isnan(quantile):
+                alert[f"p{self.spec.target * 100:g}_s"] = round(quantile, 4)
+            self.alerts.append(alert)
+            if self._on_alert is not None:
+                self._on_alert(self, alert)
+        elif burn < self.spec.burn_alert and self.alerting:
+            self.alerting = False
+            if self._on_alert is not None:
+                self._on_alert(self, {"slo": self.spec.name,
+                                      "resolved": True, "time": now,
+                                      "burn": round(burn, 3)})
+
+    def finalize(self, now: float) -> None:
+        """Evaluate once more at end of run (last partial bucket)."""
+        if self._buckets:
+            self._evaluate(now)
+
+    # -- reporting ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.spec.name, "kind": self.spec.kind,
+                "target": self.spec.target,
+                "events": self.events,
+                "good_fraction": (round(self.good / self.events, 4)
+                                  if self.events else None),
+                "alerts": len(self.alerts),
+                "alerting": self.alerting,
+                "worst_burn": round(self.worst_burn, 3)}
+
+
+class SloBoard:
+    """A set of monitors fed from one outcome stream, with alert events
+    fanned out to metrics / telemetry / flight-recorder sinks."""
+
+    def __init__(self, specs: List[SloSpec], metrics=None, obs=None,
+                 flight=None):
+        self.monitors = [SloMonitor(spec, on_alert=self._emit)
+                         for spec in specs]
+        self._metrics = metrics
+        self._obs = obs
+        self._flight = flight
+
+    def record_outcome(self, now: float, useful: bool,
+                       latency_s: Optional[float]) -> None:
+        for monitor in self.monitors:
+            if monitor.spec.kind == "availability":
+                monitor.record(now, useful)
+            else:
+                good = (useful and latency_s is not None
+                        and latency_s <= monitor.spec.threshold_s)
+                monitor.record(now, good, latency_s=latency_s)
+
+    def _emit(self, monitor: SloMonitor, event: dict) -> None:
+        resolved = bool(event.get("resolved"))
+        if self._metrics is not None and not resolved:
+            self._metrics.counter(
+                f"slo.{monitor.spec.name}.alerts").inc()
+        if self._obs is not None:
+            name = ("slo alert resolved" if resolved
+                    else "slo burn alert")
+            self._obs.spans.instant(
+                name, at=event["time"], category="service",
+                slo=monitor.spec.name, burn=event["burn"])
+        if self._flight is not None:
+            fields = {k: v for k, v in event.items() if k != "time"}
+            self._flight.note(event["time"], "slo", **fields)
+
+    def finalize(self, now: float) -> None:
+        for monitor in self.monitors:
+            monitor.finalize(now)
+
+    @property
+    def alerts(self) -> List[dict]:
+        out = []
+        for monitor in self.monitors:
+            out.extend(monitor.alerts)
+        return sorted(out, key=lambda a: (a["time"], a["slo"]))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {m.spec.name: m.to_dict() for m in self.monitors}
+
+    def table(self) -> str:
+        header = (f"{'slo':<16} {'kind':<13} {'target':>7} {'events':>7} "
+                  f"{'good%':>7} {'alerts':>7} {'worst burn':>11}")
+        lines = [header, "-" * len(header)]
+        for monitor in self.monitors:
+            d = monitor.to_dict()
+            good = (f"{d['good_fraction'] * 100:.1f}"
+                    if d["good_fraction"] is not None else "")
+            lines.append(
+                f"{d['name']:<16} {d['kind']:<13} "
+                f"{d['target'] * 100:>6.1f}% {d['events']:>7} "
+                f"{good:>7} {d['alerts']:>7} {d['worst_burn']:>10.2f}x")
+        return "\n".join(lines)

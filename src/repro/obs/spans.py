@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -57,6 +57,7 @@ class Instant:
     time: float
     node: Optional[int] = None
     query_id: Optional[int] = None
+    category: Optional[str] = None   # "service" renders on its own track
     attrs: Dict[str, object] = field(default_factory=dict)
 
 
@@ -107,9 +108,36 @@ class SpanTracker:
         return span
 
     def instant(self, name: str, at: float, node: Optional[int] = None,
-                query_id: Optional[int] = None, **attrs) -> None:
-        self.instants.append(Instant(name=name, time=at, node=node,
-                                     query_id=query_id, attrs=dict(attrs)))
+                query_id: Optional[int] = None,
+                category: Optional[str] = None, **attrs) -> Instant:
+        inst = Instant(name=name, time=at, node=node, query_id=query_id,
+                       category=category, attrs=dict(attrs))
+        self.instants.append(inst)
+        return inst
+
+    def discard(self, span_ids: Iterable[int] = (),
+                instants: Iterable[Instant] = ()) -> int:
+        """Drop spans (by id) and instants (by identity) from the record.
+
+        The tail sampler calls this for queries it decides not to keep;
+        open spans cannot be discarded (their owners still hold live ids
+        that ``end`` must resolve).  Returns the number of objects
+        removed.
+        """
+        drop = {sid for sid in span_ids if not self.is_open(sid)}
+        removed = 0
+        if drop:
+            kept = [s for s in self.spans if s.span_id not in drop]
+            removed += len(self.spans) - len(kept)
+            self.spans = kept
+            for sid in drop:
+                self._by_id.pop(sid, None)
+        gone = {id(inst) for inst in instants}
+        if gone:
+            kept_i = [i for i in self.instants if id(i) not in gone]
+            removed += len(self.instants) - len(kept_i)
+            self.instants = kept_i
+        return removed
 
     # -- queries --------------------------------------------------------
 

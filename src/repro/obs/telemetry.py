@@ -21,20 +21,34 @@ from typing import Dict, List, Optional, Tuple
 from .events import TraceLog
 from .metrics import MetricsRegistry
 from .profiler import KernelProfiler
+from .sampling import SAMPLING_STREAM, SamplingPolicy, TailSampler
 from .spans import SpanTracker
 
 
 class Telemetry:
-    """Telemetry state of one simulation run."""
+    """Telemetry state of one simulation run.
+
+    ``sample_every_n > 0`` switches the hub into the scale-aware
+    *sampled* tier: spans and per-query histogram observations are
+    staged by a :class:`~repro.obs.sampling.TailSampler` and only kept
+    for failed/flagged queries plus a deterministic 1-in-N of the
+    COMPLETE ones.  The sampler draws exclusively from the dedicated
+    ``obs.sampling`` stream, so enabling it never perturbs simulation
+    randomness.
+    """
 
     def __init__(self, profile_kernel: bool = True,
-                 trace_events: bool = True):
+                 trace_events: bool = True, sample_every_n: int = 0,
+                 max_staged: int = 10_000):
         self.metrics = MetricsRegistry()
         self.spans = SpanTracker()
         self.profiler: Optional[KernelProfiler] = (
             KernelProfiler() if profile_kernel else None)
         self.events: Optional[TraceLog] = None
+        self.sampler: Optional[TailSampler] = None
         self._trace_events = trace_events
+        self._sample_every_n = sample_every_n
+        self._max_staged = max_staged
         self._sim = None
         self._network = None
         self._router = None
@@ -49,6 +63,13 @@ class Telemetry:
         self._return: Dict[Tuple[int, frozenset], int] = {}
         self._energy0: Dict[int, float] = {}
         self._issued_at: Dict[int, float] = {}
+        # Hot-path observer caches: the MAC/ledger/beacon hooks fire per
+        # frame sample / charge / delivery batch, so the metric objects
+        # are resolved once instead of a registry lookup per call.
+        self._beacons_delivered = self.metrics.counter(
+            "net.beacons.delivered")
+        self._mac_hists: Dict[str, object] = {}
+        self._charge_counters: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -70,7 +91,13 @@ class Telemetry:
             self.events = TraceLog(network)
         if self.profiler is not None:
             self.profiler.install(sim)
-        network.add_beacon_hook(self._on_beacon)
+        if self._sample_every_n > 0 and self.sampler is None:
+            self.sampler = TailSampler(
+                SamplingPolicy(sample_every_n=self._sample_every_n,
+                               max_staged=self._max_staged),
+                sim.rng.stream(SAMPLING_STREAM), self.metrics,
+                self.spans)
+        network.add_beacon_batch_hook(self._on_beacon_batch)
         network.mac.obs_hook = self._on_mac
         # Chain behind any observer the validation layer installed.
         self._prev_ledger_observer = network.ledger.observer
@@ -97,9 +124,9 @@ class Telemetry:
             self.profiler.uninstall()
         # Bound methods are recreated per attribute access, so these
         # slots compare with == (method equality), never ``is``.
-        hooks = self._network._beacon_hooks
-        if self._on_beacon in hooks:
-            hooks.remove(self._on_beacon)
+        hooks = self._network._beacon_batch_hooks
+        if self._on_beacon_batch in hooks:
+            hooks.remove(self._on_beacon_batch)
         if self._network.mac.obs_hook == self._on_mac:
             self._network.mac.obs_hook = None
         if self._network.ledger.observer == self._on_charge:
@@ -154,15 +181,22 @@ class Telemetry:
     # substrate observers
     # ------------------------------------------------------------------
 
-    def _on_beacon(self, _receiver_id: int, _src_id: int,
-                   _time: float) -> None:
-        self.metrics.counter("net.beacons.delivered").inc()
+    def _on_beacon_batch(self, count: int) -> None:
+        self._beacons_delivered.inc(count)
 
     def _on_mac(self, kind: str, value: float) -> None:
-        self.metrics.histogram(f"mac.{kind}").observe(value)
+        hist = self._mac_hists.get(kind)
+        if hist is None:
+            hist = self._mac_hists[kind] = \
+                self.metrics.histogram(f"mac.{kind}")
+        hist.observe(value)
 
     def _on_charge(self, node_id: int, kind: str, cost: float) -> None:
-        self.metrics.counter(f"energy.{kind}_j").inc(cost)
+        counter = self._charge_counters.get(kind)
+        if counter is None:
+            counter = self._charge_counters[kind] = \
+                self.metrics.counter(f"energy.{kind}_j")
+        counter.inc(cost)
         if self._prev_ledger_observer is not None:
             self._prev_ledger_observer(node_id, kind, cost)
 
@@ -190,6 +224,54 @@ class Telemetry:
         self.metrics.counter(f"gpsr.drops.{reason}").inc()
 
     # ------------------------------------------------------------------
+    # tail-sampling plumbing (no-ops when the sampler is off)
+    # ------------------------------------------------------------------
+
+    def _stage(self, qid: int, span_id: int) -> None:
+        if self.sampler is not None:
+            self.sampler.note_span(("q", qid), span_id)
+
+    def stage_instant(self, qid: int, inst) -> None:
+        """Buffer an instant under its query's staging key."""
+        if self.sampler is not None:
+            self.sampler.note_instant(("q", qid), inst)
+
+    def _observe_query(self, qid: int, series: str,
+                       value: float) -> None:
+        """Record a per-query histogram observation, deferred to the
+        promote/discard decision when the query is staged."""
+        if self.sampler is None \
+                or not self.sampler.buffer(("q", qid), series, value):
+            self.metrics.histogram(series).observe(value)
+
+    # -- service-layer staging (called by repro.service) ----------------
+
+    def service_opened(self, service_id: int, span_id: int) -> None:
+        """A served query began: stage it as one sampling unit."""
+        if self.sampler is not None:
+            key = ("s", service_id)
+            self.sampler.open(key)
+            self.sampler.note_span(key, span_id)
+
+    def service_attempt(self, service_id: int, query_id: int) -> None:
+        """Alias a protocol attempt onto its served query, so the whole
+        serve tree is promoted or discarded together."""
+        if self.sampler is not None:
+            self.sampler.adopt(("q", query_id), ("s", service_id))
+
+    def service_flag(self, service_id: int, reason: str) -> None:
+        """Force promotion of a served query (breaker opened on it)."""
+        if self.sampler is not None:
+            self.sampler.flag(("s", service_id), reason)
+
+    def service_finalized(self, service_id: int,
+                          complete: bool) -> Optional[bool]:
+        """Decide a served query's sampling fate at finalization."""
+        if self.sampler is not None:
+            return self.sampler.finalize(("s", service_id), complete)
+        return None
+
+    # ------------------------------------------------------------------
     # protocol lifecycle observers (DIKNN)
     # ------------------------------------------------------------------
 
@@ -201,6 +283,13 @@ class Telemetry:
         self._root[qid] = self.spans.begin(
             f"query q{qid}", "query", at=at, node=sink_id, query_id=qid,
             k=query.k)
+        if self.sampler is not None:
+            key = ("q", qid)
+            if self.sampler.resolve(key) == key:
+                # a bare protocol query is its own sampling unit; a
+                # served attempt was already adopted by its service key
+                self.sampler.open(key)
+            self.sampler.note_span(key, self._root[qid])
 
     def route_attempt(self, qid: int, attempt: int, at: float) -> None:
         root = self._root.get(qid)
@@ -210,10 +299,11 @@ class Telemetry:
             self._route[qid] = self.spans.begin(
                 "route", "route", at=at,
                 node=self.spans.get(root).node, query_id=qid, parent=root)
+            self._stage(qid, self._route[qid])
         else:
             self.metrics.counter("diknn.query.route_retries").inc()
-            self.spans.instant("route retry", at=at, query_id=qid,
-                               attempt=attempt)
+            self.stage_instant(qid, self.spans.instant(
+                "route retry", at=at, query_id=qid, attempt=attempt))
 
     def home_reached(self, qid: int, node_id: int, radius: float,
                      hops: int, at: float) -> None:
@@ -230,13 +320,15 @@ class Telemetry:
         if key in self._sector and self.spans.is_open(self._sector[key]):
             # Watchdog re-dispatch into a still-unreported sector: the
             # traversal restarts inside the same sector span.
-            self.spans.instant("sector redispatch", at=at, node=node_id,
-                               query_id=qid, sector=sector)
+            self.stage_instant(qid, self.spans.instant(
+                "sector redispatch", at=at, node=node_id,
+                query_id=qid, sector=sector))
             return
         self.metrics.counter("diknn.sector.dispatched").inc()
         self._sector[key] = self.spans.begin(
             f"sector {sector}", "sector", at=at, node=node_id,
             query_id=qid, parent=self._root.get(qid), sector=sector)
+        self._stage(qid, self._sector[key])
 
     def token_hop(self, qid: int, sector: int, node_id: int,
                   at: float) -> None:
@@ -256,12 +348,14 @@ class Telemetry:
         self._window[key] = self.spans.begin(
             f"window @{node_id}", "window", at=at, node=node_id,
             query_id=qid, parent=parent, sector=sector)
+        self._stage(qid, self._window[key])
 
     def token_retry(self, qid: int, sector: int, node_id: int,
                     at: float) -> None:
         self.metrics.counter("diknn.token.retries").inc()
-        self.spans.instant("token retry", at=at, node=node_id,
-                           query_id=qid, sector=sector)
+        self.stage_instant(qid, self.spans.instant(
+            "token retry", at=at, node=node_id, query_id=qid,
+            sector=sector))
 
     def window_closed(self, qid: int, sector: int, node_id: int,
                       replies: int, at: float) -> None:
@@ -275,13 +369,14 @@ class Telemetry:
         self.metrics.counter("diknn.bundle.sent").inc()
         key = (qid, frozenset(sectors))
         if key in self._return and self.spans.is_open(self._return[key]):
-            self.spans.instant("bundle resent", at=at, node=node_id,
-                               query_id=qid)
+            self.stage_instant(qid, self.spans.instant(
+                "bundle resent", at=at, node=node_id, query_id=qid))
             return
         self._return[key] = self.spans.begin(
             "return", "return", at=at, node=node_id, query_id=qid,
             parent=self._sector.get((qid, sectors[0])),
             sectors=list(sectors))
+        self._stage(qid, self._return[key])
 
     def bundle_received(self, qid: int, sectors: List[int],
                         at: float) -> None:
@@ -302,8 +397,8 @@ class Telemetry:
                 if window_id is not None and self.spans.is_open(window_id):
                     self.spans.end(window_id, at=at, status="superseded")
                 span = self.spans.end(span_id, at=at)
-                self.metrics.histogram("diknn.sector.latency_s").observe(
-                    at - span.start)
+                self._observe_query(qid, "diknn.sector.latency_s",
+                                    at - span.start)
         if fresh:
             self.metrics.counter("diknn.bundle.received").inc()
         else:
@@ -312,8 +407,9 @@ class Telemetry:
     def requery_dispatched(self, qid: int, sectors: List[int],
                            at: float) -> None:
         self.metrics.counter("diknn.requery.dispatched").inc(len(sectors))
-        self.spans.instant("watchdog requery", at=at, query_id=qid,
-                           sectors=list(sectors))
+        self.stage_instant(qid, self.spans.instant(
+            "watchdog requery", at=at, query_id=qid,
+            sectors=list(sectors)))
 
     def query_finalized(self, qid: int, completed: bool,
                         at: float) -> None:
@@ -336,14 +432,19 @@ class Telemetry:
         self.spans.end(root, at=at, status=status)
         issued = self._issued_at.pop(qid, None)
         if completed and issued is not None:
-            self.metrics.histogram("diknn.query.latency_s").observe(
-                at - issued)
+            self._observe_query(qid, "diknn.query.latency_s", at - issued)
         energy0 = self._energy0.pop(qid, None)
         if energy0 is not None:
             # Approximate under overlapping queries (ledger deltas are
             # network-wide), exactly like the runner's per-query energy.
-            self.metrics.histogram("diknn.query.energy_j").observe(
-                self._network.ledger.total_j() - energy0)
+            self._observe_query(qid, "diknn.query.energy_j",
+                                self._network.ledger.total_j() - energy0)
+        if self.sampler is not None:
+            key = ("q", qid)
+            if self.sampler.resolve(key) == key:
+                # bare query: decide now; a served attempt's fate rides
+                # its owning service key (decided by the service layer)
+                self.sampler.finalize(key, completed)
 
     # ------------------------------------------------------------------
     # reporting
@@ -362,6 +463,8 @@ class Telemetry:
             "raw_events": (len(self.events)
                            if self.events is not None else 0),
         }
+        if self.sampler is not None:
+            out["sampling"] = self.sampler.summary()
         if self.profiler is not None:
             out["kernel_hotspots"] = [
                 {"handler": label, "calls": calls, "total_s": total_s,
@@ -389,13 +492,20 @@ class Telemetry:
 # ---------------------------------------------------------------------------
 
 _ENABLED = False
+_SAMPLE_EVERY_N = 0
 _ACTIVE: List[Telemetry] = []
 
 
-def enable_observability(enabled: bool = True) -> None:
-    """Turn telemetry on/off for subsequently built simulations."""
-    global _ENABLED
+def enable_observability(enabled: bool = True,
+                         sample_every_n: int = 0) -> None:
+    """Turn telemetry on/off for subsequently built simulations.
+
+    ``sample_every_n > 0`` selects the scale-aware sampled tier: the
+    raw-event trace and kernel profiler stay off and per-query spans go
+    through the tail sampler (the CLI's ``--obs-sample N``)."""
+    global _ENABLED, _SAMPLE_EVERY_N
     _ENABLED = enabled
+    _SAMPLE_EVERY_N = sample_every_n if enabled else 0
 
 
 def observability_enabled() -> bool:
@@ -410,7 +520,11 @@ def maybe_attach_obs(handle) -> Optional[Telemetry]:
     """
     if not _ENABLED:
         return None
-    telemetry = Telemetry()
+    if _SAMPLE_EVERY_N > 0:
+        telemetry = Telemetry(profile_kernel=False, trace_events=False,
+                              sample_every_n=_SAMPLE_EVERY_N)
+    else:
+        telemetry = Telemetry()
     telemetry.attach_handle(handle)
     _ACTIVE.append(telemetry)
     return telemetry
@@ -423,8 +537,9 @@ def active_telemetry() -> List[Telemetry]:
 
 def reset_observability() -> None:
     """Disable telemetry and detach everything (tests)."""
-    global _ENABLED
+    global _ENABLED, _SAMPLE_EVERY_N
     _ENABLED = False
+    _SAMPLE_EVERY_N = 0
     for telemetry in _ACTIVE:
         telemetry.detach()
     _ACTIVE.clear()

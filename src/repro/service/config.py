@@ -73,6 +73,29 @@ class ServiceConfig:
     #: arrival so in-flight queries can resolve naturally
     drain_s: float = 8.0
 
+    # -- SLO monitoring ----------------------------------------------------
+    #: availability objective: this fraction of queries must end usefully
+    #: (COMPLETE or PARTIAL) over each rolling window
+    slo_availability_target: float = 0.95
+    #: latency objective: this fraction of queries must end usefully
+    #: within ``slo_latency_threshold_s``
+    slo_latency_target: float = 0.90
+    slo_latency_threshold_s: float = 5.0
+    #: rolling window (simulated seconds) the burn rate is computed over
+    slo_window_s: float = 30.0
+    #: burn rate at/above which an alert fires (1.0 = consuming the error
+    #: budget exactly as fast as tolerated)
+    slo_burn_alert: float = 2.0
+    #: events required in the window before evaluating (noise gate)
+    slo_min_events: int = 10
+
+    # -- flight recorder ---------------------------------------------------
+    #: ring capacity when a flight recorder is installed (entries)
+    flight_capacity: int = 4096
+    #: bound on post-mortem bundles written per service (breaker storms
+    #: must not fill the disk)
+    flight_dumps_max: int = 4
+
     def __post_init__(self) -> None:
         if self.deadline_s <= 0:
             raise ConfigurationError("deadline_s must be positive")
@@ -103,3 +126,19 @@ class ServiceConfig:
                 "breaker_half_open_probes must be >= 1")
         if self.drain_s < 0:
             raise ConfigurationError("drain_s must be >= 0")
+        for name in ("slo_availability_target", "slo_latency_target"):
+            if not 0.0 < getattr(self, name) < 1.0:
+                raise ConfigurationError(f"{name} must lie in (0, 1)")
+        if self.slo_latency_threshold_s <= 0:
+            raise ConfigurationError(
+                "slo_latency_threshold_s must be positive")
+        if self.slo_window_s <= 0:
+            raise ConfigurationError("slo_window_s must be positive")
+        if self.slo_burn_alert <= 0:
+            raise ConfigurationError("slo_burn_alert must be positive")
+        if self.slo_min_events < 1:
+            raise ConfigurationError("slo_min_events must be >= 1")
+        if self.flight_capacity < 1:
+            raise ConfigurationError("flight_capacity must be >= 1")
+        if self.flight_dumps_max < 0:
+            raise ConfigurationError("flight_dumps_max must be >= 0")

@@ -148,6 +148,10 @@ class ServiceReport:
     breaker: Dict[str, object]
     #: queries that never resolved to an outcome (must be 0)
     unaccounted: int
+    #: per-SLO digest (name -> SloMonitor.to_dict()), set by the service
+    slo: Optional[Dict[str, object]] = None
+    #: burn-rate alert events in time order, set by the service
+    slo_alerts: Optional[List[dict]] = None
 
     @property
     def all_accounted(self) -> bool:
@@ -176,6 +180,15 @@ class ServiceReport:
             f"{self.breaker.get('closes', 0)} closes, "
             f"{self.breaker.get('short_circuits', 0)} short-circuits",
         ]
+        if self.slo:
+            for name, d in self.slo.items():
+                good = d.get("good_fraction")
+                lines.append(
+                    f"slo {name:<14} target {d['target'] * 100:.0f}%  "
+                    f"good {good * 100:.1f}%  " if good is not None else
+                    f"slo {name:<14} target {d['target'] * 100:.0f}%  ")
+                lines[-1] += (f"alerts {d['alerts']}  "
+                              f"worst burn {d['worst_burn']:.2f}x")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -194,6 +207,9 @@ class ServiceReport:
             "degraded": self.degraded,
             "breaker": dict(self.breaker),
             "unaccounted": self.unaccounted,
+            "slo": (dict(self.slo) if self.slo is not None else None),
+            "slo_alerts": (list(self.slo_alerts)
+                           if self.slo_alerts is not None else None),
         }
 
 

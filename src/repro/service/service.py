@@ -27,7 +27,9 @@ asserts identical event counts across repeats.
 from __future__ import annotations
 
 import itertools
+import os
 from collections import deque
+from pathlib import Path
 from typing import Deque, Dict, List, Optional
 
 from ..core.query import QueryResult, merge_candidates, per_run_allocator
@@ -35,12 +37,19 @@ from ..experiments.config import SimulationConfig, SimulationHandle, \
     build_simulation
 from ..experiments.workloads import UniformWorkload
 from ..geometry import Vec2
+from ..obs.flight import (FlightRecorder, TRIGGER_BREAKER,
+                          TRIGGER_UNACCOUNTED)
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SloBoard, SloSpec
 from ..sim.engine import EventHandle
 from .backoff import BackoffPolicy
 from .breaker import BreakerRegistry, BreakerState
 from .config import ServiceConfig
-from .outcomes import (Outcome, ServedQuery, ServiceReport, build_report)
+from .outcomes import (Outcome, ServedQuery, ServiceReport,
+                       USEFUL_OUTCOMES, build_report)
+
+#: environment hook the test/CI harness uses to request flight bundles
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
 
 
 class QueryService:
@@ -48,7 +57,8 @@ class QueryService:
     control and per-region circuit breaking on one simulation handle."""
 
     def __init__(self, handle: SimulationHandle,
-                 config: Optional[ServiceConfig] = None):
+                 config: Optional[ServiceConfig] = None,
+                 flight_dir: Optional[str] = None):
         self.handle = handle
         self.sim = handle.sim
         self.config = config if config is not None else ServiceConfig()
@@ -70,6 +80,29 @@ class QueryService:
         #: service-local metrics on the repro.obs streaming primitives;
         #: always on (cheap), independent of whether --obs is attached
         self.metrics = MetricsRegistry()
+        #: flight recorder, installed only when a dump directory is given
+        #: (or the REPRO_FLIGHT_DIR env hook is set)
+        self.flight: Optional[FlightRecorder] = None
+        self._flight_dir: Optional[Path] = None
+        self._pending_dump: Optional[ServedQuery] = None
+        if flight_dir is not None:
+            self._flight_dir = Path(flight_dir)
+            self.flight = FlightRecorder(self.config.flight_capacity)
+            self.flight.install(self.sim, mac=handle.network.mac)
+        #: declarative objectives fed from the finalization stream
+        self.slo = SloBoard(
+            [SloSpec("availability", "availability",
+                     target=self.config.slo_availability_target,
+                     window_s=self.config.slo_window_s,
+                     burn_alert=self.config.slo_burn_alert,
+                     min_events=self.config.slo_min_events),
+             SloSpec("latency", "latency",
+                     target=self.config.slo_latency_target,
+                     threshold_s=self.config.slo_latency_threshold_s,
+                     window_s=self.config.slo_window_s,
+                     burn_alert=self.config.slo_burn_alert,
+                     min_events=self.config.slo_min_events)],
+            metrics=self.metrics, obs=handle.obs, flight=self.flight)
 
     # ------------------------------------------------------------------
     # submission / admission
@@ -90,6 +123,7 @@ class QueryService:
                 f"serve s{sq.service_id}", "service", at=now,
                 node=self.handle.sink.id,
                 region=f"{sq.region[0]},{sq.region[1]}", k=k)
+            obs.service_opened(sq.service_id, sq.span_id)
 
         breaker = self.breakers.breaker(sq.region)
         if not breaker.allow(now):
@@ -147,10 +181,15 @@ class QueryService:
             self.handle.config.assurance_gain)
         self._owner[query.query_id] = sq
         self.metrics.counter("service.attempts").inc()
-        if sq.attempts > 1 and self.handle.obs is not None:
-            self.handle.obs.spans.instant(
-                "service retry", at=now, query_id=query.query_id,
-                attempt=sq.attempts)
+        obs = self.handle.obs
+        if obs is not None:
+            # Alias the attempt onto the served query *before* issue, so
+            # the whole serve tree samples as one unit.
+            obs.service_attempt(sq.service_id, query.query_id)
+            if sq.attempts > 1:
+                obs.stage_instant(query.query_id, obs.spans.instant(
+                    "service retry", at=now, query_id=query.query_id,
+                    category="service", attempt=sq.attempts))
 
         def _on_complete(result: QueryResult, _sq=sq) -> None:
             self._on_protocol_complete(_sq, result)
@@ -192,7 +231,7 @@ class QueryService:
         now = self.sim.now
         self.metrics.counter("service.attempt_timeouts").inc()
         self.breakers.breaker(sq.region).record_failure(now)
-        self._note_breaker(sq.region, now)
+        self._note_breaker(sq.region, now, sq=sq)
 
         if sq.retries >= self.config.max_retries:
             self._finalize(sq,
@@ -237,7 +276,7 @@ class QueryService:
             self._owner.pop(qid, None)
             self._merge(sq, self.handle.protocol.abandon(qid))
             self.breakers.breaker(sq.region).record_failure(self.sim.now)
-            self._note_breaker(sq.region, self.sim.now)
+            self._note_breaker(sq.region, self.sim.now, sq=sq)
         if sq in self._queue:
             self._queue.remove(sq)
             self.metrics.gauge("service.queue.depth").set(
@@ -256,15 +295,35 @@ class QueryService:
         if handle is not None:
             handle.cancel()
 
-    def _note_breaker(self, region, now: float) -> None:
+    def _note_breaker(self, region, now: float,
+                      sq: Optional[ServedQuery] = None) -> None:
         breaker = self.breakers.breaker(region)
         if breaker.transitions and breaker.transitions[-1][0] == now:
             _, frm, to = breaker.transitions[-1]
             self.metrics.counter(f"service.breaker.{to}").inc()
-            if self.handle.obs is not None:
-                self.handle.obs.spans.instant(
-                    f"breaker {frm}->{to}", at=now,
-                    region=f"{region[0]},{region[1]}")
+            region_label = f"{region[0]},{region[1]}"
+            obs = self.handle.obs
+            if obs is not None:
+                obs.spans.instant(
+                    f"breaker {frm}->{to}", at=now, category="service",
+                    region=region_label)
+            if self.flight is not None:
+                self.flight.note(now, "service",
+                                 breaker=f"{frm}->{to}",
+                                 region=region_label)
+            if to == BreakerState.OPEN.value:
+                # The breaker opening is the post-mortem moment: flag the
+                # triggering query so the sampler keeps its full span
+                # tree, and dump the flight ring once it finalizes.
+                if sq is not None and obs is not None:
+                    obs.service_flag(sq.service_id, "breaker_open")
+                if self.flight is not None:
+                    self.flight.trigger(
+                        TRIGGER_BREAKER, now, region=region_label,
+                        service_id=(sq.service_id
+                                    if sq is not None else None))
+                    if sq is not None and self._pending_dump is None:
+                        self._pending_dump = sq
 
     def _finalize(self, sq: ServedQuery, outcome: Outcome,
                   reason: str) -> None:
@@ -283,7 +342,8 @@ class QueryService:
         self.metrics.gauge("service.inflight").set(
             float(len(self._inflight)))
         if sq.outcome is Outcome.COMPLETE:
-            self._note_breaker(sq.region, now)  # may have just re-closed
+            # may have just re-closed
+            self._note_breaker(sq.region, now, sq=sq)
 
         self.metrics.counter(f"service.outcome.{outcome.value}").inc()
         if outcome is not Outcome.SHED:
@@ -294,13 +354,47 @@ class QueryService:
                 sq.confidence)
         if sq.degraded:
             self.metrics.counter("service.degraded").inc()
-        if self.handle.obs is not None and sq.span_id is not None:
-            self.handle.obs.spans.end(
+        self.slo.record_outcome(
+            now, outcome in USEFUL_OUTCOMES,
+            None if outcome is Outcome.SHED else now - sq.submitted_at)
+        obs = self.handle.obs
+        if obs is not None and sq.span_id is not None:
+            obs.spans.end(
                 sq.span_id, at=now, status=outcome.value, reason=reason,
                 attempts=sq.attempts, confidence=round(sq.confidence, 4))
+        if obs is not None:
+            obs.service_finalized(sq.service_id,
+                                  outcome is Outcome.COMPLETE)
+        if self._pending_dump is sq:
+            # the breaker-open trigger waited for this query's span tree
+            # to close (and the sampler to promote it)
+            self._pending_dump = None
+            self._dump_flight(sq)
 
         if was_inflight:
             self._pump_queue()
+
+    def _dump_flight(self, sq: ServedQuery) -> None:
+        """Write the post-mortem bundle for a trigger-marked query."""
+        if self.flight is None or self._flight_dir is None:
+            return
+        if len(self.flight.dumps_written) >= self.config.flight_dumps_max:
+            return
+        obs = self.handle.obs
+        query_spans = None
+        if obs is not None:
+            qids = set(sq.attempt_ids)
+            tree = [s for s in obs.spans.spans
+                    if s.span_id == sq.span_id or s.query_id in qids]
+            query_spans = {f"s{sq.service_id}": tree}
+        path = self._flight_dir / f"flight-s{sq.service_id}.jsonl"
+        self.flight.dump(
+            path, query_spans=query_spans,
+            extra={"service_id": sq.service_id,
+                   "outcome": (sq.outcome.value
+                               if sq.outcome is not None else None),
+                   "reason": sq.reason,
+                   "region": f"{sq.region[0]},{sq.region[1]}"})
 
     def _pump_queue(self) -> None:
         while (self._queue
@@ -349,6 +443,22 @@ class QueryService:
             report.latency_p50_s = hist.quantile(0.50)
             report.latency_p95_s = hist.quantile(0.95)
             report.latency_p99_s = hist.quantile(0.99)
+        self.slo.finalize(self.sim.now)
+        report.slo = self.slo.to_dict()
+        report.slo_alerts = self.slo.alerts
+        if report.unaccounted and self.flight is not None:
+            # a leaked query is exactly what the black box exists for
+            leaked = [sq.service_id for sq in self.queries
+                      if not sq.finalized]
+            self.flight.trigger(TRIGGER_UNACCOUNTED, self.sim.now,
+                                count=report.unaccounted,
+                                service_ids=leaked[:8])
+            if self._flight_dir is not None and \
+                    len(self.flight.dumps_written) \
+                    < self.config.flight_dumps_max:
+                self.flight.dump(
+                    self._flight_dir / "flight-unaccounted.jsonl",
+                    extra={"unaccounted": report.unaccounted})
         return report
 
 
@@ -356,7 +466,8 @@ def run_service_soak(config: SimulationConfig, k: int = 5,
                      rate_qps: float = 5.0, duration: float = 200.0,
                      service_config: Optional[ServiceConfig] = None,
                      protocol_factory=None,
-                     handle: Optional[SimulationHandle] = None
+                     handle: Optional[SimulationHandle] = None,
+                     flight_dir: Optional[str] = None
                      ) -> "tuple[ServiceReport, QueryService]":
     """Run a Poisson-arrival soak through a :class:`QueryService`.
 
@@ -364,7 +475,9 @@ def run_service_soak(config: SimulationConfig, k: int = 5,
     points, drawn from the dedicated ``service.arrivals`` stream.  The
     kernel runs for ``duration`` simulated seconds of arrivals plus the
     configured drain window; the returned report accounts every
-    submission.
+    submission.  ``flight_dir`` (or the ``REPRO_FLIGHT_DIR`` env var)
+    installs a flight recorder that dumps post-mortem bundles there on
+    breaker-open / unaccounted-outcome triggers.
     """
     if rate_qps <= 0:
         raise ValueError("rate_qps must be positive")
@@ -377,7 +490,9 @@ def run_service_soak(config: SimulationConfig, k: int = 5,
         handle = build_simulation(config, protocol_factory(config))
         handle.warm_up()
     sim = handle.sim
-    service = QueryService(handle, service_config)
+    if flight_dir is None:
+        flight_dir = os.environ.get(FLIGHT_DIR_ENV) or None
+    service = QueryService(handle, service_config, flight_dir=flight_dir)
 
     workload = UniformWorkload(
         mean_interval=1.0 / rate_qps,

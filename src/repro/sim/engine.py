@@ -71,6 +71,10 @@ class Simulator:
         # only reads the wall clock — never the seeded RNG — so results
         # stay bit-identical with or without it.
         self.profiler = None
+        # Optional flight recorder (repro.obs.FlightRecorder): when set,
+        # every executed event lands in its bounded ring — one deque
+        # append, labels resolved only at dump time.
+        self.flight = None
 
     # -- observation ---------------------------------------------------------
 
@@ -125,6 +129,8 @@ class Simulator:
             if self._observers:
                 for observer in self._observers:
                     observer(event.time)
+            if self.flight is not None:
+                self.flight.record_event(event.time, event.callback)
             if self.profiler is not None:
                 t0 = perf_counter()
                 event.callback()
@@ -164,6 +170,8 @@ class Simulator:
                 if self._observers:
                     for observer in self._observers:
                         observer(event.time)
+                if self.flight is not None:
+                    self.flight.record_event(event.time, event.callback)
                 if self.profiler is not None:
                     t0 = perf_counter()
                     event.callback()

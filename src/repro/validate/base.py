@@ -46,6 +46,13 @@ class InvariantViolation(AssertionError):
             where.append(f"query={query_id}")
         prefix = f"[{invariant}]" + (" " + " ".join(where) if where else "")
         super().__init__(f"{prefix}: {detail}")
+        # Any installed flight recorder gets a trigger before the raise
+        # unwinds, so the ring captures the events leading up to this.
+        try:
+            from ..obs.flight import notify_violation
+            notify_violation(self)
+        except Exception:  # pragma: no cover - never mask the violation
+            pass
 
 
 @dataclass

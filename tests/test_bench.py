@@ -40,7 +40,7 @@ class TestSuites:
         names = {scn.name for scn in suite("small")}
         assert names == {"paper-default", "fig8-k100", "fig9-speed30",
                          "faults-on", "validate-on", "obs-on",
-                         "service-soak", "scale-2k"}
+                         "obs-sampled", "service-soak", "scale-2k"}
 
     def test_scale_suite_covers_the_large_field_points(self):
         names = {scn.name for scn in suite("scale")}
@@ -64,6 +64,7 @@ class TestSuites:
         assert "+validate" in by_name["validate-on"].describe()
         assert "+obs" in by_name["obs-on"].describe()
         assert "crash" in by_name["faults-on"].describe()
+        assert "+obs-sample:10" in by_name["obs-sampled"].describe()
 
 
 class TestRunScenario:

@@ -92,3 +92,96 @@ class TestStats:
     def test_unknown_scenario_exit_two(self, capsys):
         assert main(["stats", "no-such-scenario"]) == 2
         assert "error:" in capsys.readouterr().out
+
+
+class TestGzipSurface:
+    """`.gz` paths compress/decompress transparently across the trace,
+    stats and obs commands (the archived-soak workflow)."""
+
+    def test_trace_writes_and_checks_gz(self, tmp_path, capsys):
+        out = tmp_path / "trace.json.gz"
+        jsonl = tmp_path / "events.jsonl.gz"
+        assert main(["trace", "static-diknn", "--out", str(out),
+                     "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        import gzip
+        with gzip.open(out, "rt") as handle:
+            assert "traceEvents" in json.load(handle)
+        assert main(["trace", "--check", str(out)]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+    def test_stats_reads_gz_jsonl(self, tmp_path, capsys):
+        jsonl = tmp_path / "events.jsonl.gz"
+        assert main(["trace", "static-diknn", "--jsonl", str(jsonl),
+                     "--out", str(tmp_path / "t.json")]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--from-jsonl", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "events over" in out and "queries" in out
+        assert "sends" in out
+
+    def test_stats_from_jsonl_missing_file(self, capsys, tmp_path):
+        assert main(["stats", "--from-jsonl",
+                     str(tmp_path / "absent.jsonl.gz")]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+
+class TestObsCommand:
+    def test_dump_then_show_round_trip(self, tmp_path, capsys):
+        bundle = tmp_path / "flight.jsonl.gz"
+        code = main(["obs", "dump", "static-diknn", "--out", str(bundle),
+                     "--sample", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out and "ring of" in out
+        assert bundle.exists()
+        assert main(["obs", "show", str(bundle)]) == 0
+        shown = capsys.readouterr().out
+        assert "trigger manual" in shown
+        assert "ring[kernel]" in shown
+        assert "spans:" in shown
+
+    def test_dump_unknown_scenario_exit_two(self, tmp_path, capsys):
+        assert main(["obs", "dump", "no-such", "--out",
+                     str(tmp_path / "f.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_show_missing_bundle_exit_two(self, tmp_path, capsys):
+        assert main(["obs", "show",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_query_with_obs_sample_flag(self, capsys):
+        code = main(["query", "--obs-sample", "5", "-k", "10",
+                     "--seed", "3", "--speed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[obs] 1 runs instrumented" in out
+        assert "tail sampling 1-in-5" in out
+
+
+class TestServiceCommand:
+    def test_healthy_soak_prints_report_and_slo_tables(self, capsys):
+        code = main(["service", "--speed", "0", "--rate", "2",
+                     "--duration", "15", "-k", "4", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries submitted:" in out
+        assert "availability" in out and "latency" in out
+        assert "worst burn" in out
+
+    def test_blackout_soak_alerts_and_dumps_flight(self, tmp_path,
+                                                   capsys):
+        code = main(["service", "--speed", "0", "--rate", "4",
+                     "--duration", "30", "-k", "4", "--seed", "11",
+                     "--blackout", "5", "57.5", "57.5", "45", "20",
+                     "--slo-window", "15", "--slo-burn-alert", "1.5",
+                     "--breaker-grid", "2",
+                     "--flight-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[ALERT]" in out and "burn" in out
+        assert "[flight] wrote" in out
+        dumps = [p for p in tmp_path.iterdir()
+                 if p.name.startswith("flight-s")]
+        assert dumps

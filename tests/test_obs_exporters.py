@@ -72,6 +72,29 @@ class TestChromeTrace:
             [{"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
               "args": {"name": "x"}}]) == []
 
+    def test_service_category_gets_its_own_track(self):
+        """Service spans and instants (breaker transitions, SLO alerts)
+        render on one dedicated track, not scattered across nodes."""
+        from repro.obs import SpanTracker
+        from repro.obs.exporters import _SERVICE_TID
+        spans = SpanTracker()
+        sid = spans.begin("serve s1", "service", at=0.0, node=42,
+                          query_id=1)
+        spans.end(sid, at=1.0)
+        spans.instant("breaker open", at=0.5, node=42,
+                      category="service", region="1,1")
+        spans.instant("token retry", at=0.6, node=42)  # a node instant
+        events = chrome_trace_events(spans)
+        slice_ = next(e for e in events if e["ph"] == "X")
+        assert slice_["tid"] == _SERVICE_TID
+        instants = [e for e in events if e["ph"] == "i"]
+        by_name = {e["name"]: e["tid"] for e in instants}
+        assert by_name["breaker open"] == _SERVICE_TID
+        assert by_name["token retry"] == 42
+        meta = {e["args"]["name"] for e in events if e["ph"] == "M"
+                and e["name"] == "thread_name"}
+        assert "service" in meta
+
 
 class TestFlatExports:
     def test_jsonl_preserves_the_digest(self, captured, tmp_path):
@@ -92,6 +115,82 @@ class TestFlatExports:
         names = {row[0] for row in rows[1:]}
         assert "diknn.query.latency_s" in names
         assert "mac.backoff_s" in names
+
+
+class TestSparseStoreScalePath:
+    """Exports survive the sparse-store kernel (n > ``_DENSE_MAX``):
+    the vectorized beacon/neighbor path hands numpy scalars around, and
+    every exporter must still emit pure-JSON/CSV values."""
+
+    @pytest.fixture(scope="class")
+    def sparse_captured(self):
+        from repro.core import DIKNNProtocol
+        from repro.core.query import KNNQuery
+        from repro.experiments.config import (SimulationConfig,
+                                              build_simulation)
+        from repro.geometry import Vec2
+        from repro.net.beacons import _DENSE_MAX
+        from repro.obs import Telemetry
+
+        n = 1200
+        assert n > _DENSE_MAX  # the scale path under test
+        side = round(115.0 * (n / 200.0) ** 0.5, 1)
+        config = SimulationConfig(n_nodes=n, field_size=(side, side),
+                                  deployment="jittered-grid", seed=1)
+        handle = build_simulation(config, DIKNNProtocol())
+        telemetry = Telemetry(profile_kernel=False)
+        telemetry.attach_handle(handle)
+        handle.warm_up()
+        query = KNNQuery(query_id=1, sink_id=handle.sink.id,
+                         point=Vec2(side / 2.0, side / 2.0), k=10,
+                         issued_at=handle.sim.now)
+        done = []
+        handle.protocol.issue(handle.sink, query, done.append)
+        handle.sim.run(until=handle.sim.now + 4.0)
+        stop = getattr(handle.protocol, "stop", None)
+        if callable(stop):
+            stop()
+        if not done:
+            handle.protocol.abandon(query.query_id)
+        telemetry.finalize()
+        assert handle.network._beacon_engine._large
+        return telemetry
+
+    def test_jsonl_gz_round_trip_preserves_digest(self, sparse_captured,
+                                                  tmp_path):
+        from repro.obs.events import TraceLog
+        path = tmp_path / "events.jsonl.gz"
+        n = export_jsonl(sparse_captured, str(path))
+        assert n == len(sparse_captured.events) > 0
+        back = TraceLog.read_jsonl(str(path))
+        assert trace_digest(back) == \
+            trace_digest(sparse_captured.events.entries)
+        for entry in back[:50]:  # wire values are plain Python
+            for value in (entry.time, entry.src, entry.dst):
+                assert type(value) in (float, int, type(None))
+
+    def test_chrome_trace_is_valid_and_json_pure(self, sparse_captured,
+                                                 tmp_path):
+        path = tmp_path / "trace.json.gz"
+        import gzip
+        n = export_chrome_trace(sparse_captured, str(path))
+        assert n > 0
+        with gzip.open(path, "rt") as handle:
+            data = json.load(handle)
+        assert validate_chrome_trace(data) == []
+
+    def test_metrics_csv_re_reads_as_floats(self, sparse_captured,
+                                            tmp_path):
+        path = tmp_path / "metrics.csv"
+        n = export_metrics_csv(sparse_captured, str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == n + 1
+        for row in rows[1:]:
+            for cell in row[2:]:
+                if cell:
+                    float(cell)  # numeric, not a repr'd numpy scalar
+                    assert "(" not in cell
 
 
 class TestCli:

@@ -6,6 +6,7 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
                        merge_registries)
@@ -115,6 +116,63 @@ class TestHistogram:
     def test_merge_rejects_mismatched_growth(self):
         with pytest.raises(ValueError):
             Histogram("x", growth=1.05).merge(Histogram("x", growth=1.1))
+
+    def test_negative_buckets_stay_ordered_after_merge(self):
+        """Regression: negative observations must occupy their own
+        bucket keyspace — a collision with positive keys skews every
+        quantile of a merged histogram spanning zero."""
+        a, b = Histogram("x"), Histogram("x")
+        for v in (-100.0, -10.0, -1.0):
+            a.observe(v)
+        for v in (1.0, 10.0, 100.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.quantile(0.0) == -100.0
+        assert a.quantile(1.0) == 100.0
+        got = [a.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert got == sorted(got)
+        assert got[0] < 0 < got[-1]
+
+
+#: finite, histogram-accepted values spanning sign, zero and magnitude
+_VALUES = st.floats(min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+
+
+class TestMergeOrderIndependence:
+    """SLO latency windows merge one shard per window bucket; any
+    arrival permutation of the same shards must yield identical
+    percentiles, or rolling-window p95s would depend on bucket order."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards=st.lists(st.lists(_VALUES, min_size=1, max_size=30),
+                           min_size=2, max_size=6),
+           seed=st.integers(0, 2**31 - 1))
+    def test_any_shard_permutation_yields_identical_quantiles(
+            self, shards, seed):
+        built = []
+        for shard_values in shards:
+            h = Histogram("shard")
+            for v in shard_values:
+                h.observe(v)
+            built.append(h)
+        order = np.random.default_rng(seed).permutation(len(built))
+
+        def merged(hists):
+            total = Histogram("merged")
+            for h in hists:
+                total.merge(h)
+            return total
+
+        forward = merged(built)
+        permuted = merged([built[i] for i in order])
+        assert forward.count == permuted.count
+        assert forward.sum == pytest.approx(permuted.sum)
+        assert forward.min == permuted.min
+        assert forward.max == permuted.max
+        for q in (0.5, 0.95, 0.99):
+            f, p = forward.quantile(q), permuted.quantile(q)
+            assert f == p or (math.isnan(f) and math.isnan(p)), q
 
 
 class TestRegistry:

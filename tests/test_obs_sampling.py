@@ -1,0 +1,192 @@
+"""Tail-based query sampling: promotion rules, staging bounds, aliasing,
+and the determinism guarantee (a sampled+flight-recorded run keeps every
+golden digest bit-identical — the sampler draws only ``obs.sampling``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (MetricsRegistry, SamplingPolicy, SpanTracker,
+                       TailSampler, reset_observability)
+from repro.obs.capture import capture_scenario
+from repro.validate.golden import DEFAULT_FIXTURE_PATH, GOLDEN_SPECS
+
+
+def make_sampler(sample_every_n=10, max_staged=10_000, seed=0):
+    metrics = MetricsRegistry()
+    spans = SpanTracker()
+    sampler = TailSampler(
+        SamplingPolicy(sample_every_n=sample_every_n,
+                       max_staged=max_staged),
+        np.random.default_rng(seed), metrics, spans)
+    return sampler, metrics, spans
+
+
+def stage_query(sampler, spans, key, n_spans=3):
+    """Open a key and buffer a few closed spans under it."""
+    sampler.open(key)
+    ids = []
+    for i in range(n_spans):
+        sid = spans.begin(f"s{i}", "sector", at=float(i),
+                          query_id=key[1])
+        spans.end(sid, at=float(i) + 0.5)
+        sampler.note_span(key, sid)
+        ids.append(sid)
+    return ids
+
+
+class TestPolicy:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(sample_every_n=0)
+        with pytest.raises(ValueError):
+            SamplingPolicy(max_staged=0)
+
+
+class TestPromotionRules:
+    def test_incomplete_queries_always_promoted(self):
+        sampler, _metrics, spans = make_sampler(sample_every_n=1000)
+        ids = stage_query(sampler, spans, ("q", 1))
+        assert sampler.finalize(("q", 1), complete=False) is True
+        assert [s.span_id for s in spans.spans] == ids
+
+    def test_flag_forces_promotion_of_complete_query(self):
+        sampler, metrics, spans = make_sampler(sample_every_n=1000)
+        stage_query(sampler, spans, ("q", 1))
+        sampler.flag(("q", 1), "breaker_open")
+        assert sampler.finalize(("q", 1), complete=True) is True
+        assert metrics.counter("obs.sampling.flagged").value == 1
+
+    def test_one_in_one_keeps_every_complete_query(self):
+        sampler, _metrics, spans = make_sampler(sample_every_n=1)
+        for qid in range(20):
+            stage_query(sampler, spans, ("q", qid), n_spans=1)
+            assert sampler.finalize(("q", qid), complete=True) is True
+        assert len(spans.spans) == 20
+
+    def test_discarded_queries_lose_their_spans_and_observations(self):
+        sampler, metrics, spans = make_sampler(sample_every_n=10**9)
+        stage_query(sampler, spans, ("q", 1))
+        sampler.buffer(("q", 1), "lat_s", 0.25)
+        assert sampler.finalize(("q", 1), complete=True) is False
+        assert spans.spans == []
+        assert metrics.counter("obs.sampling.discarded").value == 1
+        assert metrics.counter("obs.sampling.dropped_spans").value == 3
+        # the deferred observation never reached the histogram
+        assert metrics.histogram("lat_s").count == 0
+
+    def test_promoted_observations_reach_the_histograms(self):
+        sampler, metrics, _spans = make_sampler(sample_every_n=1)
+        sampler.open(("q", 1))
+        sampler.buffer(("q", 1), "lat_s", 0.25)
+        sampler.buffer(("q", 1), "lat_s", 0.75)
+        assert sampler.finalize(("q", 1), complete=True) is True
+        assert metrics.histogram("lat_s").count == 2
+
+    def test_sampling_rate_is_roughly_one_in_n(self):
+        sampler, metrics, spans = make_sampler(sample_every_n=4, seed=3)
+        for qid in range(400):
+            stage_query(sampler, spans, ("q", qid), n_spans=1)
+            sampler.finalize(("q", qid), complete=True)
+        kept = metrics.counter("obs.sampling.promoted").value
+        assert 60 <= kept <= 140  # ~100 expected
+
+    def test_unknown_key_returns_none(self):
+        sampler, _metrics, _spans = make_sampler()
+        assert sampler.finalize(("q", 404), complete=True) is None
+
+
+class TestEviction:
+    def test_staging_bound_evicts_oldest_and_blocks_promotion(self):
+        sampler, metrics, spans = make_sampler(sample_every_n=1,
+                                               max_staged=4)
+        stage_query(sampler, spans, ("q", 1), n_spans=3)
+        stage_query(sampler, spans, ("q", 2), n_spans=3)  # overflows
+        assert metrics.counter("obs.sampling.evicted").value >= 1
+        # the victim's closed spans were gutted immediately
+        assert all(s.query_id != 1 for s in spans.spans)
+        # an evicted query can never be promoted, even on failure
+        assert sampler.finalize(("q", 1), complete=False) is False
+
+    def test_flagged_queries_survive_eviction_pressure(self):
+        sampler, metrics, spans = make_sampler(sample_every_n=1,
+                                               max_staged=2)
+        stage_query(sampler, spans, ("q", 1), n_spans=2)
+        sampler.flag(("q", 1), "important")
+        stage_query(sampler, spans, ("q", 2), n_spans=2)
+        # the only eviction candidates are unflagged; q1 is untouchable
+        assert sampler.finalize(("q", 1), complete=True) is True
+        assert any(s.query_id == 1 for s in spans.spans)
+        assert metrics.counter("obs.sampling.evicted").value >= 1
+
+
+class TestAliasing:
+    def test_adopted_attempt_rides_the_owner_decision(self):
+        sampler, _metrics, spans = make_sampler(sample_every_n=10**9)
+        sampler.open(("s", 7))
+        sampler.adopt(("q", 1), ("s", 7))
+        stage_query(sampler, spans, ("s", 7), n_spans=1)
+        # attempt traffic lands under the owner via the alias
+        sid = spans.begin("route", "route", at=0.0, query_id=1)
+        spans.end(sid, at=0.1)
+        assert sampler.note_span(("q", 1), sid) is True
+        assert sampler.resolve(("q", 1)) == ("s", 7)
+        # finalizing the attempt key resolves to the owner; the service
+        # layer owns the decision, here: discard drops both trees
+        assert sampler.finalize(("s", 7), complete=True) is False
+        assert spans.spans == []
+        # aliases are cleaned up with the owner
+        assert sampler.resolve(("q", 1)) == ("q", 1)
+
+    def test_unstaged_key_falls_through_to_caller(self):
+        sampler, _metrics, spans = make_sampler()
+        sid = spans.begin("x", "query", at=0.0)
+        assert sampler.note_span(("q", 99), sid) is False
+        assert sampler.buffer(("q", 99), "s", 1.0) is False
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        sampler, _metrics, spans = make_sampler(sample_every_n=5)
+        stage_query(sampler, spans, ("q", 1), n_spans=1)
+        summary = sampler.summary()
+        assert summary["sample_every_n"] == 5
+        assert summary["staged"] == 1
+        for key in ("promoted", "discarded", "flagged", "evicted"):
+            assert summary[key] == 0
+
+
+# ---------------------------------------------------------------------------
+# determinism: sampling + flight recorder never perturb the simulation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    return json.loads(DEFAULT_FIXTURE_PATH.read_text())["traces"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    reset_observability()
+    yield
+    reset_observability()
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SPECS,
+                         ids=[s.name for s in GOLDEN_SPECS])
+def test_sampled_run_keeps_golden_digest(spec, fixtures):
+    """The sampler draws only ``obs.sampling`` and the flight recorder
+    is a pure observer: both on, every golden digest is bit-identical."""
+    result = capture_scenario(spec.name, sample_every_n=3, flight=True)
+    assert result.digest == fixtures[spec.name]["digest"], (
+        f"{spec.name}: sampling/flight changed simulation behavior")
+    assert result.telemetry.sampler is not None
+    assert result.flight is not None and result.flight.recorded > 0
+    if "diknn" in spec.name:  # only DIKNN queries are span-instrumented
+        summary = result.telemetry.sampler.summary()
+        assert summary["promoted"] + summary["discarded"] >= 1

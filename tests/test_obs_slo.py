@@ -1,0 +1,188 @@
+"""SLO monitors: burn-rate math, rolling windows, alert lifecycle, and
+the board's fan-out into metrics / telemetry instants / flight notes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import FlightRecorder, MetricsRegistry, SpanTracker
+from repro.obs.slo import SloBoard, SloMonitor, SloSpec, _N_BUCKETS
+
+
+def avail_spec(**kw):
+    kw.setdefault("target", 0.9)
+    kw.setdefault("window_s", 60.0)
+    kw.setdefault("min_events", 5)
+    return SloSpec("avail", "availability", **kw)
+
+
+class TestSpec:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SloSpec("x", "throughput")
+        with pytest.raises(ValueError):
+            SloSpec("x", "availability", target=1.0)
+        with pytest.raises(ValueError):
+            SloSpec("x", "latency", threshold_s=0.0)
+        with pytest.raises(ValueError):
+            SloSpec("x", "availability", window_s=-1.0)
+        with pytest.raises(ValueError):
+            SloSpec("x", "availability", burn_alert=0.0)
+        with pytest.raises(ValueError):
+            SloSpec("x", "availability", min_events=0)
+
+
+class TestBurnMath:
+    def test_burn_is_bad_fraction_over_error_budget(self):
+        mon = SloMonitor(avail_spec(target=0.9))  # budget = 10%
+        for i in range(8):
+            mon.record(float(i), good=True)
+        for i in range(2):
+            mon.record(8.0 + i, good=False)
+        # 20% bad against a 10% budget: burning at exactly 2x
+        assert mon.burn_rate() == pytest.approx(2.0)
+
+    def test_empty_window_burns_nothing(self):
+        assert SloMonitor(avail_spec()).burn_rate() == 0.0
+
+
+class TestWindowRoll:
+    def test_old_buckets_age_out(self):
+        spec = avail_spec(window_s=60.0)  # bucket = 10 s
+        mon = SloMonitor(spec)
+        for i in range(5):
+            mon.record(float(i), good=False)
+        # a full window later the failures have aged out entirely
+        mon.record(100.0, good=True)
+        good, bad = mon.window_counts()
+        assert (good, bad) == (1, 0)
+        assert mon.burn_rate() == 0.0
+        # lifetime totals still remember everything
+        assert mon.events == 6 and mon.good == 1
+
+    def test_bucket_count_is_bounded(self):
+        mon = SloMonitor(avail_spec(window_s=6.0))  # bucket = 1 s
+        for i in range(50):
+            mon.record(float(i), good=True)
+        assert len(mon._buckets) <= _N_BUCKETS
+
+
+class TestAlertLifecycle:
+    def test_fires_once_then_resolves(self):
+        events = []
+        mon = SloMonitor(avail_spec(target=0.9, burn_alert=2.0),
+                         on_alert=lambda _m, e: events.append(e))
+        # saturate the window with failures across bucket boundaries
+        t = 0.0
+        for i in range(30):
+            mon.record(t, good=(i % 2 == 0))
+            t += 11.0  # > bucket width: evaluates each time
+        assert mon.alerting
+        fired = [e for e in events if not e.get("resolved")]
+        assert len(fired) == 1  # no re-fire while still alerting
+        assert fired[0]["burn"] >= 2.0
+        assert fired[0]["window_bad"] >= 1
+        # recovery: all-good traffic ages the bad buckets out
+        for i in range(30):
+            mon.record(t, good=True)
+            t += 11.0
+        assert not mon.alerting
+        assert any(e.get("resolved") for e in events)
+        assert mon.worst_burn >= 2.0
+
+    def test_min_events_gate_suppresses_noise(self):
+        mon = SloMonitor(avail_spec(min_events=50, burn_alert=0.5))
+        t = 0.0
+        for _ in range(10):
+            mon.record(t, good=False)  # 100% bad, but only 10 events
+            t += 11.0
+        mon.finalize(t)
+        assert not mon.alerting and mon.alerts == []
+
+    def test_finalize_evaluates_the_last_partial_bucket(self):
+        mon = SloMonitor(avail_spec(target=0.9, burn_alert=1.0,
+                                    min_events=5))
+        for i in range(10):
+            mon.record(float(i), good=False)  # all in one bucket
+        assert not mon.alerting  # no boundary crossed yet
+        mon.finalize(10.0)
+        assert mon.alerting and len(mon.alerts) == 1
+
+
+class TestLatencyMonitors:
+    def test_windowed_quantile_comes_from_merged_shards(self):
+        spec = SloSpec("lat", "latency", target=0.5, threshold_s=1.0,
+                       window_s=60.0, min_events=5)
+        mon = SloMonitor(spec)
+        # spread observations across several buckets
+        for i in range(30):
+            mon.record(float(i * 3), good=True, latency_s=0.1 * (i % 10))
+        q = mon.window_quantile()
+        assert math.isfinite(q) and 0.0 <= q <= 1.0
+
+    def test_availability_monitor_has_no_quantile(self):
+        mon = SloMonitor(avail_spec())
+        mon.record(0.0, good=True)
+        assert math.isnan(mon.window_quantile())
+
+    def test_alert_carries_the_windowed_percentile(self):
+        spec = SloSpec("lat", "latency", target=0.9, threshold_s=0.5,
+                       window_s=60.0, burn_alert=1.0, min_events=5)
+        mon = SloMonitor(spec)
+        t = 0.0
+        for _ in range(20):
+            mon.record(t, good=False, latency_s=2.0)  # all too slow
+            t += 11.0
+        assert mon.alerts
+        assert mon.alerts[0]["p90_s"] == pytest.approx(2.0, rel=0.1)
+
+
+class TestBoard:
+    def make_board(self):
+        metrics = MetricsRegistry()
+        spans = SpanTracker()
+        obs = type("Obs", (), {"spans": spans})()
+        flight = FlightRecorder(capacity=32)
+        board = SloBoard(
+            [SloSpec("availability", "availability", target=0.9,
+                     window_s=60.0, burn_alert=1.0, min_events=5),
+             SloSpec("latency", "latency", target=0.9, threshold_s=0.5,
+                     window_s=60.0, burn_alert=1.0, min_events=5)],
+            metrics=metrics, obs=obs, flight=flight)
+        return board, metrics, spans, flight
+
+    def test_record_outcome_feeds_both_kinds(self):
+        board, *_ = self.make_board()
+        board.record_outcome(1.0, useful=True, latency_s=0.1)
+        board.record_outcome(2.0, useful=True, latency_s=3.0)  # slow
+        board.record_outcome(3.0, useful=False, latency_s=None)
+        d = board.to_dict()
+        assert d["availability"]["events"] == 3
+        assert d["availability"]["good_fraction"] == pytest.approx(2 / 3, abs=1e-3)
+        # slow-but-useful counts against latency, not availability
+        assert d["latency"]["good_fraction"] == pytest.approx(1 / 3, abs=1e-3)
+
+    def test_alerts_fan_out_to_every_sink(self):
+        board, metrics, spans, flight = self.make_board()
+        t = 0.0
+        for _ in range(20):
+            board.record_outcome(t, useful=False, latency_s=None)
+            t += 11.0
+        board.finalize(t)
+        assert board.alerts, "saturated failures must alert"
+        assert metrics.counter("slo.availability.alerts").value >= 1
+        names = {i.name for i in spans.instants}
+        assert "slo burn alert" in names
+        assert all(i.category == "service" for i in spans.instants)
+        slo_notes = [r for r in flight.records()
+                     if r["category"] == "slo"]
+        assert slo_notes and "burn" in slo_notes[0]
+
+    def test_table_lists_every_monitor(self):
+        board, *_ = self.make_board()
+        board.record_outcome(1.0, useful=True, latency_s=0.1)
+        table = board.table()
+        assert "availability" in table and "latency" in table
+        assert "worst burn" in table

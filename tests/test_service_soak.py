@@ -94,3 +94,61 @@ def test_chaos_soak_acceptance():
     assert report.retries > 0
     latencies = service.metrics.histogram("service.latency_s")
     assert latencies.count == report.submitted - report.shed
+
+
+def test_chaos_soak_observability_acceptance(tmp_path):
+    """PR 9 acceptance: the same chaos soak with the sampled telemetry
+    tier and a flight directory must (a) alert on SLO burn, (b) dump a
+    flight bundle on breaker-open, and (c) promote the triggering
+    query's full-fidelity span tree into that bundle."""
+    from repro.obs import (FlightRecorder, enable_observability,
+                           reset_observability)
+
+    enable_observability(True, sample_every_n=10)
+    try:
+        report, service = run_service_soak(
+            CHAOS, k=5, rate_qps=5.0, duration=200.0,
+            service_config=CHAOS_SERVICE, flight_dir=tmp_path)
+    finally:
+        reset_observability()
+
+    # instrumentation never changes outcomes: same counts as the bare
+    # chaos acceptance run above
+    assert report.all_accounted
+    assert report.breaker["opens"] >= 1
+
+    # -- SLO burn alerts fired and reached the report ------------------
+    assert report.slo is not None
+    assert set(report.slo) == {"availability", "latency"}
+    assert report.slo_alerts, "a 40 s blackout must burn the budget"
+    assert any(a["burn"] >= CHAOS_SERVICE.slo_burn_alert
+               for a in report.slo_alerts)
+    assert "availability" in report.table()
+
+    # -- the sampler kept the tail, not the bulk -----------------------
+    sampler = service.handle.obs.sampler
+    summary = sampler.summary()
+    assert summary["promoted"] >= 1
+    assert summary["discarded"] > summary["promoted"]
+    assert summary["flagged"] >= 1  # the breaker-open victim
+
+    # -- breaker-open produced a flight bundle -------------------------
+    dumps = [p for p in tmp_path.iterdir()
+             if p.name.startswith("flight-s")]
+    assert dumps, "breaker open must dump a flight bundle"
+    assert len(dumps) <= service.config.flight_dumps_max
+    bundle = FlightRecorder.read_bundle(dumps[0])
+    (header,) = bundle["header"]
+    assert header["reason"] == "breaker_open"
+    triggers = bundle["trigger"]
+    assert any(t["reason"] == "breaker_open" for t in triggers)
+    # the ring captured the steady-state traffic around the trigger
+    categories = {r["category"] for r in bundle["event"]}
+    assert "kernel" in categories
+    # the triggering query's promoted tree rides in the bundle, at
+    # full fidelity: the service span plus its protocol attempts
+    tree = [s for s in bundle.get("span", []) if "tree" in s]
+    assert tree, "promoted span tree missing from the dump"
+    tree_categories = {s["category"] for s in tree}
+    assert "service" in tree_categories
+    assert {"query", "route"} & tree_categories
