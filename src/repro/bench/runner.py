@@ -47,6 +47,8 @@ class ScenarioResult:
     metrics: Dict[str, dict]
     peak_mem_kib: Optional[float] = None
     validate: Optional[Dict[str, int]] = None
+    #: per-node energy-balance digest (metrics.energy_dispersion)
+    energy: Optional[Dict[str, object]] = None
 
     @property
     def wall_min_s(self) -> float:
@@ -74,6 +76,7 @@ class ScenarioResult:
             "hotspots": self.hotspots,
             "metrics": self.metrics,
             "validate": self.validate,
+            "energy": self.energy,
         }
 
 
@@ -89,6 +92,7 @@ class _Pass:
     metrics: Dict[str, dict] = field(default_factory=dict)
     validate: Optional[Dict[str, int]] = None
     peak_mem_kib: Optional[float] = None
+    energy: Optional[Dict[str, object]] = None
 
 
 def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
@@ -170,6 +174,12 @@ def _run_pass(scn: BenchScenario, trace_memory: bool = False) -> _Pass:
             events_executed=handle.sim.events_executed,
             completed=scenario_ok,
             peak_mem_kib=peak_kib)
+        from ..metrics.outcome import energy_dispersion
+        ledger = handle.network.ledger
+        ledger.sync()
+        result.energy = energy_dispersion(
+            {nid: acct.total_j
+             for nid, acct in ledger._accounts.items()})
         if harness is not None:
             harness.finalize()
             result.validate = {"checkpoints": harness.checkpoints_run,
@@ -217,7 +227,8 @@ def run_scenario(scn: BenchScenario, memory: bool = True,
         scenario=scn, wall_s=[p.wall_s for p in passes],
         phases_s=best.phases_s, events_executed=best.events_executed,
         completed=best.completed, hotspots=best.hotspots,
-        metrics=best.metrics, peak_mem_kib=peak, validate=best.validate)
+        metrics=best.metrics, peak_mem_kib=peak, validate=best.validate,
+        energy=best.energy)
 
 
 def environment() -> Dict[str, object]:

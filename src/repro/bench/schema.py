@@ -25,7 +25,11 @@ Top-level shape (format 1)::
           "hotspots": [{"handler", "calls", "total_s", "mean_us",
                         "share"}, ...],
           "metrics": {"<series>": {"kind": ...}, ...},
-          "validate": {"checkpoints": .., "outcomes": ..} | null
+          "validate": {"checkpoints": .., "outcomes": ..} | null,
+          "energy": {"nodes": .., "max_j": .., "mean_j": ..,
+                     "max_mean_ratio": ..,
+                     "top_consumers": [{"node": .., "energy_j": ..},
+                                       ...]} | null  (optional)
         }, ...
       },
       "microbench": {
@@ -97,6 +101,17 @@ def validate_artifact(data) -> List[str]:
         if peak is not None and not _is_num(peak):
             problems.append(f"{tag}: peak_mem_kib {peak!r} is neither "
                             "numeric nor null")
+        # optional (format-1 artifacts predating it stay valid)
+        energy = scn.get("energy")
+        if energy is not None:
+            if not isinstance(energy, dict) or not all(
+                    _is_num(energy.get(key)) for key in
+                    ("max_j", "mean_j", "max_mean_ratio")):
+                problems.append(f"{tag}: energy digest lacks numeric "
+                                "max_j/mean_j/max_mean_ratio")
+            elif not isinstance(energy.get("top_consumers"), list):
+                problems.append(f"{tag}: energy.top_consumers is not "
+                                "a list")
         hotspots = scn.get("hotspots")
         if not isinstance(hotspots, list):
             problems.append(f"{tag}: hotspots is not a list")

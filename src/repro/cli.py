@@ -13,6 +13,10 @@ Commands:
   (load the JSON in ui.perfetto.dev), plus optional JSONL/CSV exports.
 * ``stats``     — run an instrumented scenario and print the metrics
   summary and sim-kernel hotspot report.
+* ``explain``   — post-mortem root-cause attribution (``repro.obs.
+  postmortem``): classify why queries degraded (ANCHOR_DISPLACED,
+  SECTOR_LOST_TO_CRASH, DEADLINE_QUEUE_WAIT, ...) from a live scenario,
+  a seed replay, a dumped flight bundle, or a service soak.
 * ``service``   — run a concurrent serving soak (``repro.service``):
   Poisson query arrivals against one long-lived network with deadlines,
   bounded retries, admission control and per-region circuit breakers;
@@ -441,6 +445,52 @@ def build_parser() -> argparse.ArgumentParser:
     osh.add_argument("bundle", help="bundle file (.jsonl or .jsonl.gz)")
     osh.set_defaults(func=cmd_obs_show)
 
+    exp = sub.add_parser(
+        "explain",
+        help="post-mortem root-cause attribution: why did a query "
+             "degrade? (anchor displacement, perimeter dead ends, "
+             "crashed sectors, queue wait, breakers, ...)")
+    exp.add_argument("query_id", nargs="?", type=int, default=None,
+                     help="restrict to one query / served id")
+    exp.add_argument("--scenario", default="static-diknn",
+                     help="golden scenario to run and attribute "
+                          "(default: static-diknn)")
+    exp.add_argument("--bundle", default=None, metavar="PATH",
+                     help="attribute a dumped flight bundle "
+                          "(.jsonl or .jsonl.gz) instead of running")
+    exp.add_argument("--replay", default=None, type=int, metavar="SEED",
+                     help="replay one static-field protocol query "
+                          "(property-test RNG discipline) and "
+                          "attribute it; e.g. --replay 9999 -k 1 "
+                          "--x 20 --y 52 reproduces ROADMAP item 4")
+    exp.add_argument("--soak", action="store_true",
+                     help="run a service soak under telemetry and "
+                          "attribute every served query")
+    exp.add_argument("--worst", type=int, default=0, metavar="N",
+                     help="print the N most severe attributions "
+                          "(default: flagged ones only)")
+    exp.add_argument("--json", default=None, metavar="PATH",
+                     help="also write a machine-readable JSONL report "
+                          "(.gz compresses transparently)")
+    exp.add_argument("-k", type=int, default=5)
+    exp.add_argument("--x", type=float, default=60.0)
+    exp.add_argument("--y", type=float, default=60.0)
+    exp.add_argument("--nodes", type=int, default=120,
+                     help="replay/soak field size (default: 120)")
+    exp.add_argument("--seed", type=int, default=7,
+                     help="soak seed (replay uses --replay SEED)")
+    exp.add_argument("--speed", type=float, default=10.0)
+    exp.add_argument("--deployment", default="uniform",
+                     choices=("uniform", "clustered", "caribou", "grid",
+                              "jittered-grid", "halton"))
+    exp.add_argument("--rate", type=float, default=5.0,
+                     help="soak arrival rate (queries/s)")
+    exp.add_argument("--duration", type=float, default=40.0,
+                     help="soak duration (simulated s)")
+    exp.add_argument("--timeout", type=float, default=15.0,
+                     help="replay run budget (simulated s)")
+    exp.set_defaults(func=cmd_explain)
+
     sv = sub.add_parser("service",
                         help="concurrent serving soak: Poisson arrivals "
                              "with deadlines, retries, admission control "
@@ -772,6 +822,13 @@ def cmd_stats(args) -> int:
     return 0 if result.completed else 1
 
 
+#: everything that can go wrong reading a .jsonl[.gz] bundle back:
+#: missing/unreadable file (OSError, incl. gzip.BadGzipFile), a
+#: truncated gzip stream (EOFError), binary garbage (UnicodeDecodeError)
+#: and corrupt JSON lines (json.JSONDecodeError, a ValueError).
+_BUNDLE_ERRORS = (OSError, EOFError, UnicodeDecodeError, ValueError)
+
+
 def cmd_obs_dump(args) -> int:
     from .obs.capture import capture_scenario
     from .obs.flight import TRIGGER_MANUAL
@@ -781,16 +838,20 @@ def cmd_obs_dump(args) -> int:
                                   sample_every_n=args.sample,
                                   flight=True)
     except ValueError as exc:
-        print(f"error: {exc}")
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     recorder = result.flight
     recorder.trigger(TRIGGER_MANUAL,
                      at=result.telemetry.spans.spans[-1].start
                      if result.telemetry.spans.spans else 0.0,
                      scenario=result.name)
-    path = recorder.dump(args.out, spans=result.telemetry.spans,
-                         extra={"scenario": result.name,
-                                "digest": result.digest})
+    try:
+        path = recorder.dump(args.out, spans=result.telemetry.spans,
+                             extra={"scenario": result.name,
+                                    "digest": result.digest})
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
     print(f"{result.name}: {result.spec}")
     print(f"wrote {path} ({recorder.recorded} events recorded, "
           f"{recorder.dropped} overwritten, ring of "
@@ -803,9 +864,14 @@ def cmd_obs_show(args) -> int:
 
     try:
         bundle = FlightRecorder.read_bundle(args.bundle)
-    except OSError as exc:
-        print(f"error: cannot read {args.bundle}: {exc}")
+    except _BUNDLE_ERRORS as exc:
+        print(f"error: cannot read {args.bundle}: {exc}",
+              file=sys.stderr)
         return 2
+    if not bundle:
+        print(f"error: {args.bundle} is empty (no bundle records)",
+              file=sys.stderr)
+        return 1
     header = (bundle.get("header") or [{}])[0]
     print(f"{args.bundle}: ring capacity "
           f"{header.get('capacity', '?')}, "
@@ -827,6 +893,98 @@ def cmd_obs_show(args) -> int:
     print(f"  spans: {len(spans)}"
           + (f" (promoted trees: {', '.join(sorted(trees))})"
              if trees else ""))
+    return 0
+
+
+def _print_attributions(attributions, worst: int,
+                        show_aggregate: bool) -> None:
+    from .obs.postmortem import aggregate
+
+    if show_aggregate:
+        agg = aggregate(attributions)
+        print(f"{agg['total']} queries attributed, "
+              f"{agg['flagged']} flagged")
+        for row in agg["top_causes"]:
+            print(f"  {row['cause']:<22} {row['count']}")
+        if agg["top_causes"]:
+            print()
+    ranked = sorted(attributions, key=lambda a: a.severity,
+                    reverse=True)
+    shown = ranked[:worst] if worst > 0 else \
+        [a for a in ranked if a.flagged] or ranked[:1]
+    for att in shown:
+        print(att.summary())
+
+
+def cmd_explain(args) -> int:
+    """Root-cause attribution: live scenario, replay, bundle or soak."""
+    from .obs.postmortem import PostMortem, write_report
+
+    attributions = []
+    if args.bundle is not None:
+        try:
+            engine = PostMortem.from_bundle(args.bundle)
+        except _BUNDLE_ERRORS as exc:
+            print(f"error: cannot read {args.bundle}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not engine.spans and not engine.instants:
+            print(f"error: {args.bundle} holds no spans/instants to "
+                  "attribute (dump with spans, or use --obs runs)",
+                  file=sys.stderr)
+            return 1
+        attributions = engine.explain_all()
+    elif args.replay is not None:
+        from .obs.postmortem import replay_seed_query
+
+        attribution, result, _net = replay_seed_query(
+            args.replay, args.k, args.x, args.y, n=args.nodes,
+            duration_s=args.timeout)
+        ids = result.top_k_ids() if result is not None else []
+        print(f"replay seed={args.replay} k={args.k} "
+              f"q=({args.x:g}, {args.y:g}): returned {ids}")
+        attributions = [attribution]
+    elif args.soak:
+        from .obs import enable_observability, reset_observability
+        from .service import ServiceConfig, run_service_soak
+
+        enable_observability(True)
+        try:
+            report, service = run_service_soak(
+                _config(args), k=args.k, rate_qps=args.rate,
+                duration=args.duration,
+                service_config=ServiceConfig())
+            engine = PostMortem.from_telemetry(service.handle.obs)
+            attributions = engine.explain_all()
+            print(report.table())
+            print()
+        finally:
+            reset_observability()
+    else:
+        from .obs.capture import capture_scenario
+
+        try:
+            result = capture_scenario(args.scenario, flight=True)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        engine = PostMortem.from_telemetry(result.telemetry)
+        attributions = engine.explain_all()
+
+    if args.query_id is not None:
+        attributions = [a for a in attributions
+                        if a.query_id == args.query_id
+                        or a.service_id == args.query_id]
+        if not attributions:
+            print(f"error: query {args.query_id} not found in the "
+                  "recorded artifacts", file=sys.stderr)
+            return 1
+
+    _print_attributions(attributions, args.worst,
+                        show_aggregate=len(attributions) > 1)
+    if args.json is not None:
+        path = write_report(attributions, args.json)
+        print(f"wrote {path}")
     return 0
 
 

@@ -376,8 +376,9 @@ class DIKNNProtocol(QueryProtocol):
                                     token.waypoint_index, token.width,
                                     token.visited, cfg.lookahead,
                                     max_reach=self._link_reach)
-            self._note_hop(token, hop)
+            self._note_hop(token, hop, node)
             if hop.node_id is None:
+                self._note_finish(node, token, hop, itinerary)
                 finished.append(token)
             else:
                 self._send_token(node, hop.node_id, token,
@@ -386,14 +387,37 @@ class DIKNNProtocol(QueryProtocol):
         if finished:
             self._send_result_bundle(node, finished)
 
-    def _note_hop(self, token: TokenState, hop: NextHop) -> None:
+    def _note_hop(self, token: TokenState, hop: NextHop,
+                  node: Optional[SensorNode] = None) -> None:
         """Update waypoint progress and the void-detour budget."""
         token.waypoint_index = hop.waypoint_index
         if hop.void_detour:
             token.voids += 1
             token.consecutive_detours += 1
+            if self.obs is not None and node is not None:
+                self.obs.sector_void(token.query_id, token.sector,
+                                     node.id, token.voids,
+                                     token.consecutive_detours,
+                                     self.network.sim.now)
         else:
             token.consecutive_detours = 0
+
+    def _note_finish(self, node: SensorNode, token: TokenState,
+                     hop: NextHop, itinerary) -> None:
+        """Observer note of why a sector traversal ended here."""
+        if self.obs is None:
+            return
+        if token.consecutive_detours > self.config.max_detours:
+            reason = "detours_exhausted"
+        elif hop.dead_end:
+            reason = "dead_end"
+        else:
+            reason = "plan_complete"
+        self.obs.sector_finished(
+            token.query_id, token.sector, node.id, reason,
+            token.waypoint_index, token.voids,
+            itinerary.progress_fraction(token.waypoint_index),
+            self.network.sim.now)
 
     def _hop_exhausted(self, token: TokenState, hop: NextHop) -> bool:
         """True when the traversal should end here: plan complete, dead
@@ -433,8 +457,9 @@ class DIKNNProtocol(QueryProtocol):
                                 token.width, token.visited,
                                 self.config.lookahead,
                                 max_reach=self._link_reach)
-        self._note_hop(token, hop)
+        self._note_hop(token, hop, node)
         if self._hop_exhausted(token, hop):
+            self._note_finish(node, token, hop, itinerary)
             self._send_result_bundle(node, [token])
         else:
             self._send_token(node, hop.node_id, token)
@@ -625,8 +650,9 @@ class DIKNNProtocol(QueryProtocol):
                                         token.waypoint_index, token.width,
                                         token.visited, cfg.lookahead,
                                         max_reach=self._link_reach)
-        self._note_hop(token, hop)
+        self._note_hop(token, hop, node)
         if self._hop_exhausted(token, hop):
+            self._note_finish(node, token, hop, itinerary)
             self._send_result_bundle(node, [token])
         else:
             self._send_token(node, hop.node_id, token)

@@ -88,6 +88,18 @@ class SectorItinerary:
         return sum(self.waypoints[i].distance_to(self.waypoints[i + 1])
                    for i in range(len(self.waypoints) - 1))
 
+    def progress_fraction(self, waypoint_index: int) -> float:
+        """Fraction of the waypoint plan consumed at ``waypoint_index``.
+
+        Clamped to [0, 1]; a single-waypoint plan is complete the moment
+        its only waypoint is targeted.  Pure accessor — used by the
+        observability layer to report per-sector itinerary progress.
+        """
+        last = len(self.waypoints) - 1
+        if last <= 0:
+            return 1.0
+        return max(0.0, min(1.0, waypoint_index / last))
+
     def covers(self, p: Vec2, tolerance: float = 1e-9) -> bool:
         """True when ``p`` is within w/2 of the waypoint polyline."""
         limit = self.width / 2.0 + tolerance

@@ -12,7 +12,8 @@ from typing import Callable, Dict, List, Optional
 from ..core.query import KNNQuery, QueryResult, per_run_allocator
 from ..geometry import Vec2
 from ..metrics.accuracy import post_accuracy, pre_accuracy
-from ..metrics.outcome import QueryOutcome, RunMetrics
+from ..metrics.outcome import (QueryOutcome, RunMetrics,
+                               energy_dispersion)
 from .config import SimulationConfig, SimulationHandle, build_simulation
 from .workloads import QueryWorkload, UniformWorkload
 
@@ -185,6 +186,10 @@ def run_workload(config: SimulationConfig,
                          duration_s=duration,
                          params={"k": k, "max_speed": config.max_speed,
                                  "seed": config.seed})
+    ledger = network.ledger
+    ledger.sync()
+    metrics.energy_dispersion = energy_dispersion(
+        {nid: acct.total_j for nid, acct in ledger._accounts.items()})
     if handle.obs is not None:
         metrics.obs = handle.obs.run_summary()
     return metrics

@@ -2,10 +2,12 @@
 
 from .accuracy import accuracy_against, post_accuracy, pre_accuracy
 from .oracle import true_knn
-from .outcome import QueryOutcome, RunMetrics, mean_ignoring_nan
+from .outcome import (QueryOutcome, RunMetrics, energy_dispersion,
+                      mean_ignoring_nan)
 from .stats import (Summary, overlaps, significantly_less, summarize,
                     t_quantile_95)
 
 __all__ = ["accuracy_against", "post_accuracy", "pre_accuracy", "true_knn",
-           "QueryOutcome", "RunMetrics", "mean_ignoring_nan", "Summary",
+           "QueryOutcome", "RunMetrics", "energy_dispersion",
+           "mean_ignoring_nan", "Summary",
            "overlaps", "significantly_less", "summarize", "t_quantile_95"]

@@ -21,6 +21,33 @@ class QueryOutcome:
     meta: Dict[str, float] = field(default_factory=dict)
 
 
+def energy_dispersion(totals: Dict[int, float],
+                      top: int = 5) -> Dict[str, object]:
+    """Energy-balance digest over per-node totals (paper §5's
+    energy-balance axis).
+
+    A protocol that funnels all traffic through a few relay nodes shows
+    a high ``max_mean_ratio`` — those nodes die first even when total
+    consumption looks fine.  ``top_consumers`` names them.
+    """
+    if not totals:
+        return {"nodes": 0, "max_j": 0.0, "mean_j": 0.0,
+                "max_mean_ratio": 0.0, "top_consumers": []}
+    values = list(totals.values())
+    mean = sum(values) / len(values)
+    peak = max(values)
+    ranked = sorted(totals.items(), key=lambda kv: kv[1],
+                    reverse=True)[:max(0, top)]
+    return {
+        "nodes": len(totals),
+        "max_j": peak,
+        "mean_j": mean,
+        "max_mean_ratio": (peak / mean) if mean > 0 else 0.0,
+        "top_consumers": [{"node": int(nid), "energy_j": j}
+                          for nid, j in ranked],
+    }
+
+
 @dataclass
 class RunMetrics:
     """Metrics of one simulation run (many queries, paper §5.1)."""
@@ -32,6 +59,8 @@ class RunMetrics:
     params: Dict[str, float] = field(default_factory=dict)
     #: telemetry digest (Telemetry.run_summary()) when --obs was on
     obs: Optional[Dict[str, object]] = None
+    #: per-node energy-balance digest (:func:`energy_dispersion`)
+    energy_dispersion: Optional[Dict[str, object]] = None
 
     @property
     def queries_issued(self) -> int:

@@ -14,6 +14,8 @@ Layers, bottom-up:
   post-mortem bundle on trigger;
 * :mod:`.slo` — declarative latency/availability objectives with
   burn-rate alerting over rolling sim-time windows;
+* :mod:`.postmortem` — causal root-cause attribution over the recorded
+  artifacts (the ``repro explain`` engine);
 * :mod:`.telemetry` — the hub attaching all of the above to a run;
 * :mod:`.exporters` — JSONL / CSV / Chrome-trace (Perfetto) output.
 
@@ -30,6 +32,9 @@ from .flight import (FlightRecorder, active_recorders,  # noqa: F401
                      notify_violation, reset_recorders)
 from .metrics import (Counter, Gauge, Histogram,  # noqa: F401
                       MetricsRegistry, merge_registries)
+from .postmortem import (ALL_CAUSES, Attribution,  # noqa: F401
+                         Evidence, PostMortem, aggregate,
+                         replay_seed_query, write_report)
 from .profiler import HandlerStats, KernelProfiler  # noqa: F401
 from .sampling import (SAMPLING_STREAM, SamplingPolicy,  # noqa: F401
                        TailSampler)
@@ -49,6 +54,8 @@ __all__ = [
     "SAMPLING_STREAM", "SamplingPolicy", "TailSampler",
     "FlightRecorder", "active_recorders", "notify_violation",
     "reset_recorders",
+    "ALL_CAUSES", "Attribution", "Evidence", "PostMortem",
+    "aggregate", "replay_seed_query", "write_report",
     "SloBoard", "SloMonitor", "SloSpec",
     "Telemetry", "active_telemetry", "enable_observability",
     "maybe_attach_obs", "observability_enabled", "reset_observability",

@@ -63,6 +63,9 @@ class Telemetry:
         self._return: Dict[Tuple[int, frozenset], int] = {}
         self._energy0: Dict[int, float] = {}
         self._issued_at: Dict[int, float] = {}
+        # geometric query point per query id, kept so home_reached can
+        # report the anchor displacement (declared home vs. target)
+        self._qpoint: Dict[int, Tuple[float, float]] = {}
         # Hot-path observer caches: the MAC/ledger/beacon hooks fire per
         # frame sample / charge / delivery batch, so the metric objects
         # are resolved once instead of a registry lookup per call.
@@ -223,6 +226,30 @@ class Telemetry:
         self.metrics.counter("gpsr.drops").inc()
         self.metrics.counter(f"gpsr.drops.{reason}").inc()
 
+    def route_mode(self, _inner_kind: str, qid: Optional[int],
+                   node_id: int, old: str, new: str, dist_m: float,
+                   at: float) -> None:
+        """A route flipped greedy<->perimeter at ``node_id``."""
+        self.metrics.counter(f"gpsr.mode.{old}_to_{new}").inc()
+        if new == "perimeter":
+            self.metrics.counter("gpsr.perimeter_entries").inc()
+        if qid is not None:
+            self.stage_instant(qid, self.spans.instant(
+                f"gpsr {old}->{new}", at=at, node=node_id, query_id=qid,
+                dist_m=dist_m))
+
+    def route_anchor(self, _inner_kind: str, qid: Optional[int],
+                     node_id: int, offset_m: float, mode: str,
+                     reason: str, at: float) -> None:
+        """A route-to-location terminal declared ``node_id`` the home
+        anchor, ``offset_m`` away from the geometric target."""
+        self.metrics.histogram("gpsr.anchor.offset_m").observe(offset_m)
+        self.metrics.counter(f"gpsr.anchor.{reason}").inc()
+        if qid is not None:
+            self.stage_instant(qid, self.spans.instant(
+                "anchor declared", at=at, node=node_id, query_id=qid,
+                offset_m=offset_m, mode=mode, reason=reason))
+
     # ------------------------------------------------------------------
     # tail-sampling plumbing (no-ops when the sampler is off)
     # ------------------------------------------------------------------
@@ -279,6 +306,7 @@ class Telemetry:
         qid = query.query_id
         self.metrics.counter("diknn.query.issued").inc()
         self._issued_at[qid] = at
+        self._qpoint[qid] = (query.point.x, query.point.y)
         self._energy0[qid] = self._network.ledger.total_j()
         self._root[qid] = self.spans.begin(
             f"query q{qid}", "query", at=at, node=sink_id, query_id=qid,
@@ -309,10 +337,20 @@ class Telemetry:
                      hops: int, at: float) -> None:
         self.metrics.histogram("diknn.route.hops").observe(hops)
         self.metrics.histogram("diknn.knnb.radius_m").observe(radius)
+        extra: Dict[str, float] = {}
+        qpoint = self._qpoint.get(qid)
+        if qpoint is not None and self._network is not None:
+            home_pos = self._network.nodes[node_id].position()
+            dx = home_pos.x - qpoint[0]
+            dy = home_pos.y - qpoint[1]
+            displacement = (dx * dx + dy * dy) ** 0.5
+            extra["displacement_m"] = displacement
+            self.metrics.histogram(
+                "diknn.home.displacement_m").observe(displacement)
         span_id = self._route.pop(qid, None)
         if span_id is not None and self.spans.is_open(span_id):
             self.spans.end(span_id, at=at, home=node_id, hops=hops,
-                           radius_m=radius)
+                           radius_m=radius, **extra)
 
     def sector_dispatched(self, qid: int, sector: int, node_id: int,
                           at: float) -> None:
@@ -356,6 +394,29 @@ class Telemetry:
         self.stage_instant(qid, self.spans.instant(
             "token retry", at=at, node=node_id, query_id=qid,
             sector=sector))
+
+    def sector_void(self, qid: int, sector: int, node_id: int,
+                    voids: int, consecutive: int, at: float) -> None:
+        """The sector itinerary detoured around a coverage void."""
+        self.metrics.counter("diknn.sector.voids").inc()
+        self.stage_instant(qid, self.spans.instant(
+            "void detour", at=at, node=node_id, query_id=qid,
+            sector=sector, voids=voids, consecutive=consecutive))
+
+    def sector_finished(self, qid: int, sector: int, node_id: int,
+                        reason: str, waypoint_index: int, voids: int,
+                        progress: float, at: float) -> None:
+        """A sector traversal ended (before the result bundle is sent).
+
+        ``reason`` is ``plan_complete`` / ``dead_end`` /
+        ``detours_exhausted``; ``progress`` is the fraction of the
+        waypoint plan consumed."""
+        self.metrics.counter(f"diknn.sector.finish.{reason}").inc()
+        self.metrics.histogram("diknn.sector.progress").observe(progress)
+        self.stage_instant(qid, self.spans.instant(
+            "sector finished", at=at, node=node_id, query_id=qid,
+            sector=sector, reason=reason, waypoint_index=waypoint_index,
+            voids=voids, progress=progress))
 
     def window_closed(self, qid: int, sector: int, node_id: int,
                       replies: int, at: float) -> None:
@@ -430,6 +491,7 @@ class Telemetry:
         if span_id is not None and self.spans.is_open(span_id):
             self.spans.end(span_id, at=at, status="unfinished")
         self.spans.end(root, at=at, status=status)
+        self._qpoint.pop(qid, None)
         issued = self._issued_at.pop(qid, None)
         if completed and issued is not None:
             self._observe_query(qid, "diknn.query.latency_s", at - issued)

@@ -153,6 +153,7 @@ class GpsrRouter(Router):
                 state["mode"] = _GREEDY
                 state["entry_pos"] = None
                 state["first_edge"] = None
+                self._note_mode(node, state, "perimeter", "greedy", my_d)
 
         if state["mode"] == _GREEDY:
             nxt = self._greedy_next(node, neighbors, dst_pos, my_pos, my_d,
@@ -166,11 +167,12 @@ class GpsrRouter(Router):
                 # the home node; but a void may hide closer nodes, so probe
                 # the perimeter unless we are already very close.
                 if my_d <= self.network.radio.range_m:
-                    self._deliver(node, state)
+                    self._deliver(node, state, "greedy_local_min")
                     return
             state["mode"] = _PERIMETER
             state["entry_pos"] = my_pos
             state["first_edge"] = None
+            self._note_mode(node, state, "greedy", "perimeter", my_d)
 
         # Perimeter mode forwarding.
         nxt = self._perimeter_next(node, neighbors, state, dst_pos, my_pos)
@@ -178,7 +180,7 @@ class GpsrRouter(Router):
             if dst_id is None:
                 # Nowhere to go around the void: current node is the best
                 # reachable approximation of the home node.
-                self._deliver(node, state)
+                self._deliver(node, state, "perimeter_dead_end")
             else:
                 self._drop(state, node, "perimeter_dead_end")
             return
@@ -188,7 +190,7 @@ class GpsrRouter(Router):
         elif edge == tuple(state["first_edge"]):
             # Completed a full face tour without progress.
             if dst_id is None:
-                self._deliver(node, state)
+                self._deliver(node, state, "perimeter_loop")
             else:
                 self._drop(state, node, "perimeter_loop")
             return
@@ -294,7 +296,7 @@ class GpsrRouter(Router):
                                        my_pos)
         if nxt is None:
             if state["dst_id"] is None:
-                self._deliver(node, state)
+                self._deliver(node, state, "reroute_dead_end")
                 return True
             return False
         self._forward(node, nxt, message, retries)
@@ -302,11 +304,34 @@ class GpsrRouter(Router):
 
     # -- terminal outcomes ----------------------------------------------------
 
-    def _deliver(self, node: SensorNode, state: Dict[str, Any]) -> None:
+    def _note_mode(self, node: SensorNode, state: Dict[str, Any],
+                   old: str, new: str, dist_m: float) -> None:
+        """Pure observer note of a greedy<->perimeter transition."""
+        if self.obs is not None:
+            self.obs.route_mode(state["inner_kind"],
+                                state["inner"].get("query_id"),
+                                node.id, old, new, dist_m,
+                                self.network.sim.now)
+
+    def _deliver(self, node: SensorNode, state: Dict[str, Any],
+                 anchor_reason: Optional[str] = None) -> None:
         self.deliveries += 1
         if self.obs is not None:
             self.obs.route_delivered(state["inner_kind"],
                                      state["route_hops"])
+            if anchor_reason is not None and state["dst_id"] is None:
+                # Route-to-location terminal: this node declares itself
+                # the home anchor.  Report how it got there (greedy local
+                # minimum vs. perimeter give-up) and how far from the
+                # geometric target it actually is — the post-mortem
+                # engine's anchor-displacement evidence.
+                offset = node.position().distance_to(state["dst_pos"])
+                mode = ("perimeter" if state["mode"] == _PERIMETER
+                        else "greedy")
+                self.obs.route_anchor(state["inner_kind"],
+                                      state["inner"].get("query_id"),
+                                      node.id, offset, mode, anchor_reason,
+                                      self.network.sim.now)
         self._drop_handlers.pop(state["route_id"], None)
         handler = self._delivery.get(state["inner_kind"])
         if handler is not None:

@@ -359,9 +359,19 @@ class QueryService:
             None if outcome is Outcome.SHED else now - sq.submitted_at)
         obs = self.handle.obs
         if obs is not None and sq.span_id is not None:
+            # queue wait + attempt ids give the post-mortem engine the
+            # deadline/retry context (attempt ids as a comma string: the
+            # flight recorder reprs non-primitive attrs).
+            queue_wait = (sq.started_at - sq.submitted_at
+                          if sq.started_at is not None else None)
             obs.spans.end(
                 sq.span_id, at=now, status=outcome.value, reason=reason,
-                attempts=sq.attempts, confidence=round(sq.confidence, 4))
+                attempts=sq.attempts, confidence=round(sq.confidence, 4),
+                retries=sq.retries, degraded=sq.degraded,
+                sectors_reported=sq.sectors_reported,
+                sectors_total=sq.sectors_total,
+                queue_wait_s=queue_wait,
+                attempt_qids=",".join(str(q) for q in sq.attempt_ids))
         if obs is not None:
             obs.service_finalized(sq.service_id,
                                   outcome is Outcome.COMPLETE)

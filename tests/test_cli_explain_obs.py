@@ -1,0 +1,119 @@
+"""CLI edge cases for ``repro obs show``/``dump`` and ``repro explain``.
+
+Exit-code contract: 0 = success, 1 = readable-but-useless input (empty
+bundle, unknown query id), 2 = unreadable input (missing file, truncated
+gzip, corrupt JSON) with the diagnostic on stderr.
+"""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def bundle_path(tmp_path_factory):
+    """A real flight bundle dumped once via the CLI round trip."""
+    out = tmp_path_factory.mktemp("flight") / "bundle.jsonl.gz"
+    code = main(["obs", "dump", "static-diknn", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    return out
+
+
+class TestObsShow:
+    def test_missing_bundle_exit_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl.gz"
+        assert main(["obs", "show", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "nope.jsonl.gz" in err
+
+    def test_empty_bundle_exit_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "show", str(empty)]) == 1
+        assert "is empty" in capsys.readouterr().err
+
+    def test_truncated_gzip_exit_two(self, bundle_path, tmp_path,
+                                     capsys):
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(bundle_path.read_bytes()[:40])
+        assert main(["obs", "show", str(cut)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_corrupt_json_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl.gz"
+        with gzip.open(bad, "wt", encoding="utf-8") as handle:
+            handle.write('{"record": "header"}\n{oops\n')
+        assert main(["obs", "show", str(bad)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_binary_garbage_exit_two(self, tmp_path, capsys):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_bytes(b"\x00\xff\xfe garbage \x80")
+        assert main(["obs", "show", str(junk)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_round_trip_exit_zero(self, bundle_path, capsys):
+        assert main(["obs", "show", str(bundle_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ring capacity" in out
+        assert "trigger manual" in out
+
+
+class TestObsDump:
+    def test_unknown_scenario_exit_two(self, tmp_path, capsys):
+        code = main(["obs", "dump", "no-such-scenario",
+                     "--out", str(tmp_path / "x.jsonl.gz")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unwritable_out_exit_two(self, tmp_path, capsys):
+        blocker = tmp_path / "a-file"
+        blocker.write_text("not a directory")
+        out = blocker / "x.jsonl.gz"
+        assert main(["obs", "dump", "static-diknn",
+                     "--out", str(out)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_bundle_attribution_exit_zero(self, bundle_path, capsys):
+        assert main(["explain", "--bundle", str(bundle_path)]) == 0
+        out = capsys.readouterr().out
+        assert "q1" in out
+
+    def test_missing_bundle_exit_two(self, tmp_path, capsys):
+        assert main(["explain", "--bundle",
+                     str(tmp_path / "gone.jsonl.gz")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bundle_without_spans_exit_one(self, tmp_path, capsys):
+        bare = tmp_path / "bare.jsonl"
+        bare.write_text('{"record": "header", "capacity": 4}\n')
+        assert main(["explain", "--bundle", str(bare)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_unknown_query_id_exit_one(self, bundle_path, capsys):
+        assert main(["explain", "424242",
+                     "--bundle", str(bundle_path)]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_json_report_written(self, bundle_path, tmp_path, capsys):
+        report = tmp_path / "attribution.jsonl"
+        assert main(["explain", "--bundle", str(bundle_path),
+                     "--json", str(report)]) == 0
+        assert report.exists()
+        assert '"record": "aggregate"' in report.read_text()
+
+    def test_replay_seed9999_reports_anchor_displacement(self, capsys):
+        """Acceptance: the pinned defect seed explains itself."""
+        code = main(["explain", "--replay", "9999", "-k", "1",
+                     "--x", "20", "--y", "52"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ANCHOR_DISPLACED" in out
+        assert "perimeter" in out

@@ -144,12 +144,12 @@ class TestObsCommand:
     def test_dump_unknown_scenario_exit_two(self, tmp_path, capsys):
         assert main(["obs", "dump", "no-such", "--out",
                      str(tmp_path / "f.jsonl")]) == 2
-        assert "error:" in capsys.readouterr().out
+        assert "error:" in capsys.readouterr().err
 
     def test_show_missing_bundle_exit_two(self, tmp_path, capsys):
         assert main(["obs", "show",
                      str(tmp_path / "absent.jsonl")]) == 2
-        assert "cannot read" in capsys.readouterr().out
+        assert "cannot read" in capsys.readouterr().err
 
     def test_query_with_obs_sample_flag(self, capsys):
         code = main(["query", "--obs-sample", "5", "-k", "10",

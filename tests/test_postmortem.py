@@ -1,0 +1,268 @@
+"""Unit coverage for the post-mortem attribution engine.
+
+Classification rules are exercised on synthetic wire-format artifacts
+(one focused scenario per cause), then on a real captured run and a
+flight-bundle round trip — a bundle must explain identically to the
+telemetry that wrote it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.postmortem import (ADMISSION_SHED, ANCHOR_DISPLACED,
+                                  BREAKER_SHORT_CIRCUIT, CONGESTION_BACKOFF,
+                                  COVERAGE_GAP, DEADLINE_QUEUE_WAIT,
+                                  HEALTHY, PERIMETER_STUCK,
+                                  RETRY_EXHAUSTED, SECTOR_LOST_TO_CRASH,
+                                  UNKNOWN, Attribution, PostMortem,
+                                  aggregate, write_report)
+
+RANGE_M = 20.0
+
+
+def span(span_id, name, category, start, end=None, node=None, qid=None,
+         parent=None, **attrs):
+    return {"span_id": span_id, "name": name, "category": category,
+            "start": start, "end": end, "node": node, "query_id": qid,
+            "parent_id": parent, "attrs": attrs}
+
+
+def instant(name, time, node=None, qid=None, **attrs):
+    return {"name": name, "time": time, "node": node, "query_id": qid,
+            "category": "instant", "attrs": attrs}
+
+
+def engine(spans, instants=(), events=(), radio=RANGE_M):
+    return PostMortem(spans, instants, events=events,
+                      radio_range_m=radio)
+
+
+def healthy_query(qid=1, t0=0.0):
+    """A complete query: root + route (tiny displacement) + sectors."""
+    spans = [
+        span(100 * qid, f"query q{qid}", "query", t0, t0 + 2.0, node=0,
+             qid=qid, status="completed"),
+        span(100 * qid + 1, "route", "route", t0, t0 + 0.1, node=0,
+             qid=qid, home=5, hops=4, radius_m=30.0, displacement_m=3.0),
+    ]
+    for s in range(2):
+        spans.append(span(100 * qid + 2 + s, f"sector {s}", "sector",
+                          t0 + 0.1, t0 + 1.5, node=5, qid=qid, sector=s))
+    return spans
+
+
+class TestProtocolCauses:
+    def test_healthy_complete_query(self):
+        att = engine(healthy_query()).explain_query(1)
+        assert att.cause == HEALTHY
+        assert not att.flagged
+        assert att.status == "completed"
+
+    def test_anchor_displaced_even_when_completed(self):
+        spans = healthy_query()
+        spans[1]["attrs"]["displacement_m"] = 77.5
+        insts = [
+            instant("gpsr greedy->perimeter", 0.02, node=7, qid=1,
+                    dist_m=80.0),
+            instant("anchor declared", 0.1, node=5, qid=1,
+                    offset_m=77.5, mode="perimeter",
+                    reason="perimeter_loop"),
+        ]
+        att = engine(spans, insts).explain_query(1)
+        assert att.cause == ANCHOR_DISPLACED
+        assert att.flagged
+        assert att.confidence >= 0.9
+        details = " ".join(ev.detail for ev in att.evidence)
+        assert "perimeter_loop" in details
+        assert "77.5" in details
+
+    def test_anchor_threshold_scales_with_radio_range(self):
+        spans = healthy_query()
+        spans[1]["attrs"]["displacement_m"] = 25.0
+        # 25 m > 1.5 * 20 m range does not hold -> healthy...
+        assert engine(spans).explain_query(1).cause == HEALTHY
+        # ...but with a 10 m radio it does.
+        assert engine(spans, radio=10.0).explain_query(1).cause \
+            == ANCHOR_DISPLACED
+
+    def test_perimeter_stuck_when_route_never_delivers(self):
+        spans = [
+            span(1, "query q3", "query", 0.0, 9.0, qid=3,
+                 status="abandoned"),
+            span(2, "route", "route", 0.0, 9.0, qid=3,
+                 status="unfinished"),
+        ]
+        insts = [instant("gpsr greedy->perimeter", 0.5, node=2, qid=3,
+                         dist_m=44.0)]
+        att = engine(spans, insts).explain_query(3)
+        assert att.cause == PERIMETER_STUCK
+        assert att.confidence >= 0.8
+
+    def test_sector_lost_to_crash(self):
+        spans = [
+            span(1, "query q4", "query", 0.0, 9.0, qid=4,
+                 status="abandoned"),
+            span(2, "route", "route", 0.0, 0.1, qid=4, home=5, hops=3,
+                 radius_m=30.0, displacement_m=2.0),
+            span(3, "sector 0", "sector", 0.1, 9.0, qid=4, sector=0,
+                 status="unreported"),
+            span(4, "window @9", "window", 0.2, 0.4, node=9, qid=4,
+                 sector=0, status="superseded"),
+        ]
+        att = engine(spans).explain_query(4)
+        assert att.cause == SECTOR_LOST_TO_CRASH
+        assert any("never reported" in ev.detail for ev in att.evidence)
+
+    def test_coverage_gap_on_detour_exhaustion(self):
+        spans = healthy_query(qid=5)
+        insts = [instant("sector finished", 1.0, node=8, qid=5, sector=1,
+                         reason="detours_exhausted", waypoint_index=3,
+                         voids=7, progress=0.4)]
+        att = engine(spans, insts).explain_query(5)
+        assert att.cause == COVERAGE_GAP
+        assert any("detour budget" in ev.detail for ev in att.evidence)
+
+    def test_unknown_when_nothing_recorded(self):
+        spans = [span(1, "query q6", "query", 0.0, 5.0, qid=6,
+                      status="abandoned"),
+                 span(2, "route", "route", 0.0, 0.1, qid=6, home=2,
+                      hops=1, radius_m=20.0),
+                 span(3, "sector 0", "sector", 0.1, 5.0, qid=6, sector=0,
+                      status="unreported")]
+        att = engine(spans).explain_query(6)
+        assert att.cause == UNKNOWN
+
+    def test_timeline_is_time_ordered(self):
+        att = engine(healthy_query()).explain_query(1)
+        times = [e["time"] for e in att.timeline]
+        assert times == sorted(times)
+        assert att.timeline  # spans contributed entries
+
+
+def serve_span(sid, status, reason, start=0.0, end=6.0, queue_wait=0.0,
+               retries=0, attempt_qids="", **attrs):
+    return span(1000 + sid, f"serve s{sid}", "service", start, end,
+                node=0, status=status, reason=reason, retries=retries,
+                queue_wait_s=queue_wait, attempt_qids=attempt_qids,
+                **attrs)
+
+
+class TestServiceCauses:
+    def test_admission_shed(self):
+        att = engine([serve_span(1, "shed", "admission")]) \
+            .explain_service(1)
+        assert att.cause == ADMISSION_SHED
+
+    def test_breaker_short_circuit(self):
+        att = engine([serve_span(2, "failed", "breaker_open")]) \
+            .explain_service(2)
+        assert att.cause == BREAKER_SHORT_CIRCUIT
+
+    def test_deadline_queue_wait(self):
+        att = engine([serve_span(3, "timeout", "deadline",
+                                 queue_wait=4.5)]).explain_service(3)
+        assert att.cause == DEADLINE_QUEUE_WAIT
+        assert any("waiting for admission" in ev.detail
+                   for ev in att.evidence)
+
+    def test_retry_exhausted_without_congestion(self):
+        att = engine([serve_span(4, "failed", "retry_budget",
+                                 retries=2)]).explain_service(4)
+        assert att.cause == RETRY_EXHAUSTED
+
+    def test_congestion_backoff_with_mac_evidence(self):
+        events = [{"record": "event", "time": 1.0 + i * 0.5,
+                   "category": "mac", "kind": "diknn_token"}
+                  for i in range(4)]
+        att = engine([serve_span(5, "failed", "retry_budget",
+                                 retries=2)],
+                     events=events).explain_service(5)
+        assert att.cause == CONGESTION_BACKOFF
+
+    def test_delegates_to_protocol_attempt_cause(self):
+        spans = healthy_query(qid=7)
+        spans[0]["attrs"]["status"] = "completed"
+        spans[1]["attrs"]["displacement_m"] = 70.0
+        spans.append(serve_span(6, "partial", "deadline",
+                                attempt_qids="7"))
+        att = engine(spans).explain_service(6)
+        assert att.cause == ANCHOR_DISPLACED
+        assert att.query_id == 7
+
+    def test_complete_with_healthy_attempt_is_healthy(self):
+        spans = healthy_query(qid=8)
+        spans.append(serve_span(7, "complete", "all_sectors",
+                                attempt_qids="8"))
+        att = engine(spans).explain_service(7)
+        assert att.cause == HEALTHY
+
+    def test_explain_all_subsumes_claimed_attempts(self):
+        spans = healthy_query(qid=8)
+        spans.append(serve_span(7, "complete", "all_sectors",
+                                attempt_qids="8"))
+        atts = engine(spans).explain_all()
+        assert [a.subject for a in atts] == ["s7"]
+
+
+class TestAggregation:
+    def _mixed(self):
+        return [Attribution("q1", HEALTHY, "completed", 0.9),
+                Attribution("q2", ANCHOR_DISPLACED, "completed", 0.9),
+                Attribution("s1", DEADLINE_QUEUE_WAIT, "timeout", 0.8),
+                Attribution("s2", DEADLINE_QUEUE_WAIT, "timeout", 0.8)]
+
+    def test_aggregate_counts_and_top_causes(self):
+        agg = aggregate(self._mixed())
+        assert agg["total"] == 4
+        assert agg["flagged"] == 3
+        assert agg["causes"][DEADLINE_QUEUE_WAIT] == 2
+        assert agg["top_causes"][0] == {"cause": DEADLINE_QUEUE_WAIT,
+                                        "count": 2}
+
+    def test_worst_ranks_by_severity(self):
+        spans = healthy_query(qid=1) + [
+            span(50, "query q2", "query", 0.0, 9.0, qid=2,
+                 status="abandoned"),
+            span(51, "route", "route", 0.0, 9.0, qid=2,
+                 status="unfinished"),
+        ]
+        worst = engine(spans).worst(1)
+        assert len(worst) == 1
+        assert worst[0].cause == PERIMETER_STUCK
+
+    def test_write_report_round_trips(self, tmp_path):
+        path = tmp_path / "report.jsonl"
+        write_report(self._mixed(), path)
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines[0]["record"] == "aggregate"
+        assert lines[0]["total"] == 4
+        assert len(lines) == 5
+        assert {l["cause"] for l in lines[1:]} \
+            == {HEALTHY, ANCHOR_DISPLACED, DEADLINE_QUEUE_WAIT}
+
+
+class TestRealArtifacts:
+    @pytest.fixture(scope="class")
+    def capture(self):
+        from repro.obs.capture import capture_scenario
+        return capture_scenario("static-diknn", flight=True)
+
+    def test_captured_run_is_healthy(self, capture):
+        engine_ = PostMortem.from_telemetry(capture.telemetry)
+        atts = engine_.explain_all()
+        assert atts and all(a.cause == HEALTHY for a in atts)
+
+    def test_bundle_explains_identically_to_telemetry(self, capture,
+                                                      tmp_path):
+        live = PostMortem.from_telemetry(capture.telemetry)
+        path = capture.flight.dump(tmp_path / "bundle.jsonl.gz",
+                                   spans=capture.telemetry.spans)
+        replayed = PostMortem.from_bundle(path)
+        assert replayed.query_ids() == live.query_ids()
+        for qid in live.query_ids():
+            a, b = live.explain_query(qid), replayed.explain_query(qid)
+            assert (a.cause, a.status) == (b.cause, b.status)
